@@ -1,0 +1,104 @@
+package afmm_test
+
+import (
+	"math"
+	"testing"
+
+	"afmm"
+)
+
+// The facade tests exercise the public API end to end, the way the README
+// and examples use it.
+
+func TestFacadeGravityQuickstart(t *testing.T) {
+	sys := afmm.Plummer(800, 1.0, 1.0, 42)
+	cfg := afmm.GravityConfig{
+		P:       8,
+		S:       32,
+		NumGPUs: 2,
+		Kernel:  afmm.GravityKernel{G: 1},
+	}
+	cfg.CPU.Cores = 10
+	solver := afmm.NewGravitySolver(sys, cfg)
+	times := solver.Solve()
+	if times.Compute <= 0 || times.Compute != math.Max(times.CPUTime, times.GPUTime) {
+		t.Fatalf("bad step times: %+v", times)
+	}
+	_, accRef := afmm.AllPairsGravity(sys, cfg.Kernel)
+	var num, den float64
+	for i := range accRef {
+		num += sys.Acc[i].Sub(accRef[i]).Norm2()
+		den += accRef[i].Norm2()
+	}
+	if err := math.Sqrt(num / den); err > 1e-4 {
+		t.Fatalf("facade solve error %g", err)
+	}
+}
+
+func TestFacadeStokesRing(t *testing.T) {
+	sys := afmm.NewSystem(128)
+	ring := afmm.NewRing(sys, 0, 128, afmm.Vec3{}, 1, 2, 20)
+	for i := range sys.Pos {
+		sys.Pos[i].X *= 1.2
+	}
+	cfg := afmm.StokesConfig{P: 6, S: 16, Kernel: afmm.StokesletKernel{Mu: 1, Eps: 0.02}}
+	solver := afmm.NewStokesSolver(sys, cfg)
+	afmm.ClearForces(sys)
+	ring.AccumulateForces(sys)
+	st := solver.Solve()
+	if st.Compute <= 0 {
+		t.Fatalf("stokes times: %+v", st)
+	}
+	var moved bool
+	for i := range sys.Acc {
+		if sys.Acc[i].Norm() > 0 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("stokes solve produced zero velocities")
+	}
+}
+
+func TestFacadeSimulationWithBalancer(t *testing.T) {
+	sys := afmm.Plummer(600, 1, 1, 7)
+	cfg := afmm.GravityConfig{P: 4, S: 32, NumGPUs: 1, Kernel: afmm.GravityKernel{G: 1, Softening: 0.01}}
+	cfg.CPU.Cores = 4
+	solver := afmm.NewGravitySolver(sys, cfg)
+	res := afmm.RunGravity(solver, afmm.SimConfig{
+		Dt:      1e-4,
+		Steps:   15,
+		Balance: afmm.BalanceConfig{Strategy: afmm.StrategyFull},
+	})
+	if len(res.Records) != 15 {
+		t.Fatalf("%d records", len(res.Records))
+	}
+	k, p := afmm.Energies(sys)
+	if k < 0 || p >= 0 {
+		t.Fatalf("energies implausible: K=%v W=%v", k, p)
+	}
+}
+
+func TestFacadeUniformMode(t *testing.T) {
+	sys := afmm.UniformCube(500, 1, 3)
+	solver := afmm.NewGravitySolver(sys, afmm.GravityConfig{
+		P: 6, S: 16, Mode: afmm.Uniform, NumGPUs: 1,
+	})
+	st := solver.Solve()
+	if st.Compute <= 0 {
+		t.Fatal("uniform mode produced no timing")
+	}
+}
+
+func TestFacadeMachineSpecs(t *testing.T) {
+	cpu := afmm.DefaultCPU()
+	gpu := afmm.DefaultGPU()
+	if cpu.Cores != 1 || gpu.SMs != 14 {
+		t.Fatalf("unexpected defaults: %+v / %+v", cpu, gpu)
+	}
+	pool := afmm.NewPool(2)
+	if pool.Workers() != 2 {
+		t.Fatal("pool workers")
+	}
+}

@@ -1,0 +1,165 @@
+// Benchmarks regenerating the paper's evaluation: one testing.B benchmark
+// per table and figure (§VIII-IX). Each reports the figure's headline
+// quantities as custom metrics; run cmd/afmm-bench for the full rows.
+// Sizes are scaled down (see DESIGN.md §2); pass -n via cmd/afmm-bench for
+// larger runs.
+package afmm_test
+
+import (
+	"math"
+	"testing"
+
+	"afmm/internal/balance"
+	"afmm/internal/experiments"
+)
+
+// benchParams returns the default scaled-down experiment sizing.
+func benchParams() experiments.Params {
+	return experiments.Params{Seed: 42}
+}
+
+// BenchmarkFig3AdaptiveCostVsS sweeps S on the adaptive decomposition and
+// reports how gradually the compute cost varies (largest relative step
+// between adjacent S samples — Fig. 3's point is that this is small).
+func BenchmarkFig3AdaptiveCostVsS(b *testing.B) {
+	p := benchParams()
+	p.N = 10000
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig3(p)
+		var maxStep float64
+		for j := 1; j < len(pts); j++ {
+			rel := math.Abs(pts[j].Compute-pts[j-1].Compute) / pts[j-1].Compute
+			if rel > maxStep {
+				maxStep = rel
+			}
+		}
+		b.ReportMetric(maxStep, "max-rel-step")
+	}
+}
+
+// BenchmarkFig4UniformGap sweeps S on the uniform decomposition and
+// reports the largest jump at a depth-regime boundary (the Uniform Gap).
+func BenchmarkFig4UniformGap(b *testing.B) {
+	p := benchParams()
+	p.N = 10000
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig4(p)
+		r := experiments.AnalyzeUniformGap(pts)
+		b.ReportMetric(r.MaxJump, "gap-jump")
+		b.ReportMetric(float64(len(r.Depths)), "regimes")
+	}
+}
+
+// BenchmarkFig6CPUScaling replays the far-field task graph on 1..32
+// virtual cores and reports the 16- and 32-core speedups.
+func BenchmarkFig6CPUScaling(b *testing.B) {
+	p := benchParams()
+	p.N = 30000
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig6(p)
+		for _, pt := range pts {
+			if pt.Cores == 16 {
+				b.ReportMetric(pt.Speedup, "speedup-16c")
+			}
+			if pt.Cores == 32 {
+				b.ReportMetric(pt.Speedup, "speedup-32c")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1GPUScaling reports the 2- and 4-GPU near-field speedups
+// for a fixed workload (paper Table I: near-linear).
+func BenchmarkTable1GPUScaling(b *testing.B) {
+	p := benchParams()
+	p.N = 30000
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Table1(p)
+		for _, pt := range pts {
+			if pt.GPUs == 2 {
+				b.ReportMetric(pt.Speedup, "speedup-2g")
+			}
+			if pt.GPUs == 4 {
+				b.ReportMetric(pt.Speedup, "speedup-4g")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7HeteroSpeedup reports the best heterogeneous speedups over
+// the serial baseline for the paper's configurations (peak at 10C_4G).
+func BenchmarkFig7HeteroSpeedup(b *testing.B) {
+	p := benchParams()
+	p.N = 10000
+	for i := 0; i < b.N; i++ {
+		_, curves := experiments.Fig7(p)
+		for _, c := range curves {
+			switch c.Label {
+			case "10C_4G":
+				b.ReportMetric(c.BestSpeedup, "speedup-10c4g")
+			case "10C_2G":
+				b.ReportMetric(c.BestSpeedup, "speedup-10c2g")
+			case "4C_4G":
+				b.ReportMetric(c.BestSpeedup, "speedup-4c4g")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Strategies runs the three balancing strategies on the
+// dynamic workload (Figures 8/9) and reports their mean per-step totals.
+func BenchmarkFig8Strategies(b *testing.B) {
+	p := benchParams()
+	p.N = 6000
+	p.Steps = 150
+	p.Dt = 2e-4
+	for i := 0; i < b.N; i++ {
+		runs := experiments.Fig8(p)
+		for _, r := range runs {
+			switch r.Strategy {
+			case balance.StrategyStatic:
+				b.ReportMetric(r.Result.MeanTotalPerStep()*1e3, "ms/step-static")
+			case balance.StrategyEnforce:
+				b.ReportMetric(r.Result.MeanTotalPerStep()*1e3, "ms/step-enforce")
+			case balance.StrategyFull:
+				b.ReportMetric(r.Result.MeanTotalPerStep()*1e3, "ms/step-full")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2StrategySummary reports the Table II relative costs and
+// the full strategy's LB overhead percentage.
+func BenchmarkTable2StrategySummary(b *testing.B) {
+	p := benchParams()
+	p.N = 6000
+	p.Steps = 150
+	p.Dt = 2e-4
+	for i := 0; i < b.N; i++ {
+		runs := experiments.Fig8(p)
+		rows := experiments.Table2(runs)
+		for _, r := range rows {
+			switch r.Strategy {
+			case "strategy1-static":
+				b.ReportMetric(r.RelCostPerStep, "rel-static")
+			case "strategy2-enforce":
+				b.ReportMetric(r.RelCostPerStep, "rel-enforce")
+			case "strategy3-full":
+				b.ReportMetric(r.LBPercent, "lb-pct-full")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10FineGrained runs the Stokes uniform-distribution ablation
+// and reports the mean per-step advantage of FineGrainedOptimize.
+func BenchmarkFig10FineGrained(b *testing.B) {
+	p := benchParams()
+	p.N = 6000
+	p.Steps = 60
+	p.Dt = 1e-3
+	for i := 0; i < b.N; i++ {
+		_, mean := experiments.Fig10(p)
+		b.ReportMetric(100*(mean-1), "fgo-advantage-pct")
+	}
+}

@@ -1,0 +1,46 @@
+// Flagella: the helical-swimming application of the paper's fluid
+// reference [15] (Cortez, Fauci & Medovikov: "... application to helical
+// swimming"). A rotating helical flagellum in Stokes flow couples rotation
+// to axial pumping through its chirality; mirror-image helices pump in
+// opposite directions. Velocities come from the AFMM-accelerated
+// regularized-Stokeslet solver.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"afmm"
+)
+
+func main() {
+	markers := flag.Int("markers", 360, "markers along the flagellum")
+	turns := flag.Float64("turns", 3, "helical turns")
+	torque := flag.Float64("f", 1.0, "tangential driving force magnitude")
+	flag.Parse()
+
+	run := func(handedness int) (uz, ur float64) {
+		sys := afmm.NewSystem(*markers)
+		afmm.NewHelix(sys, 0, *markers, afmm.Vec3{Z: -0.5}, 0.3, 0.4, *turns, handedness, 1)
+		solver := afmm.NewStokesSolver(sys, afmm.StokesConfig{
+			P: 6, S: 16,
+			Kernel: afmm.StokesletKernel{Mu: 1, Eps: 0.03},
+		})
+		afmm.ClearForces(sys)
+		afmm.RotletForces(sys, 0, *markers, afmm.Vec3{Z: 1}, *torque)
+		solver.Solve()
+		for i := range sys.Acc {
+			uz += sys.Acc[i].Z
+			ur += sys.Acc[i].X*sys.Pos[i].X + sys.Acc[i].Y*sys.Pos[i].Y
+		}
+		return uz / float64(*markers), ur / float64(*markers)
+	}
+
+	fmt.Printf("rotating helical flagellum (%d markers, %.0f turns)\n", *markers, *turns)
+	uzR, _ := run(+1)
+	uzL, _ := run(-1)
+	fmt.Printf("right-handed helix: mean axial marker velocity %+.6f\n", uzR)
+	fmt.Printf("left-handed helix:  mean axial marker velocity %+.6f\n", uzL)
+	fmt.Println("\nrotation-translation coupling: the axial pumping direction")
+	fmt.Println("flips with chirality — the mechanism bacterial flagella use to swim.")
+}

@@ -1,0 +1,93 @@
+// Galaxy: the paper's dynamic workload — a Plummer sphere compressed into
+// 1/64th of the simulation volume that violently collapses, ejects a halo
+// and recontracts — simulated over many time steps with the full dynamic
+// load-balancing scheme (Search -> Incremental -> Observation with
+// Enforce_S and FineGrainedOptimize). Prints the per-step S choices and
+// timing so the balancer's behaviour is visible, plus energy diagnostics.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"afmm"
+)
+
+func main() {
+	n := flag.Int("n", 3000, "number of bodies")
+	steps := flag.Int("steps", 120, "time steps")
+	dt := flag.Float64("dt", 1e-4, "time step size")
+	gpus := flag.Int("gpus", 2, "simulated GPUs")
+	cores := flag.Int("cores", 10, "virtual CPU cores")
+	strategy := flag.Int("strategy", 3, "balancing strategy 1..3 (paper §IX.A)")
+	flag.Parse()
+
+	sys := afmm.Plummer(*n, 1.0, 1.0, 7)
+	// Compress to 1/64th of the volume: sub-virial, so it collapses.
+	for i := range sys.Pos {
+		sys.Pos[i] = sys.Pos[i].Scale(0.25)
+	}
+
+	cfg := afmm.GravityConfig{
+		P:       4,
+		S:       64,
+		NumGPUs: *gpus,
+		Kernel:  afmm.GravityKernel{G: 1, Softening: 0.01},
+	}
+	cfg.CPU.Cores = *cores
+	// Derate the simulated devices for the scaled-down N so the CPU/GPU
+	// balance structure matches the paper's regime (see DESIGN.md).
+	cfg.GPUSpec = afmm.DefaultGPU()
+	cfg.GPUSpec.InteractionsPerSecPerSM /= 64
+
+	solver := afmm.NewGravitySolver(sys, cfg)
+	var strat afmm.Strategy
+	switch *strategy {
+	case 1:
+		strat = afmm.StrategyStatic
+	case 2:
+		strat = afmm.StrategyEnforce
+	default:
+		strat = afmm.StrategyFull
+	}
+
+	solver.Solve()
+	k0, p0 := afmm.Energies(sys)
+	fmt.Printf("start: E = %.4g (K=%.4g, W=%.4g), virial ratio 2K/|W| = %.2f\n",
+		k0+p0, k0, p0, 2*k0/-p0)
+
+	res := afmm.RunGravity(solver, afmm.SimConfig{
+		Dt:    *dt,
+		Steps: *steps,
+		Balance: afmm.BalanceConfig{
+			Strategy: strat,
+		},
+	})
+
+	fmt.Printf("\n%5s %6s %10s %10s %10s %10s %-12s\n",
+		"step", "S", "cpu[s]", "gpu[s]", "compute", "total", "state")
+	every := *steps / 20
+	if every < 1 {
+		every = 1
+	}
+	for i, r := range res.Records {
+		if i%every == 0 || i == len(res.Records)-1 {
+			fmt.Printf("%5d %6d %10.5f %10.5f %10.5f %10.5f %-12s\n",
+				r.Step, r.S, r.CPUTime, r.GPUTime, r.Compute, r.Total, r.State)
+		}
+	}
+
+	solver.Solve()
+	k1, p1 := afmm.Energies(sys)
+	fmt.Printf("\nend:   E = %.4g (K=%.4g, W=%.4g)\n", k1+p1, k1, p1)
+	fmt.Printf("totals: compute %.3fs, LB %.3fs (%.2f%% of compute), mean/step %.5fs\n",
+		res.TotalCompute, res.TotalLB, res.LBPercent(), res.MeanTotalPerStep())
+	st := solver.Tree.ComputeStats()
+	fmt.Printf("final tree: %d leaves, depth %d, S=%d\n",
+		st.VisibleLeaves, st.MaxDepth, solver.S())
+	eb := solver.EstimateError()
+	fmt.Printf("far-field truncation bound: max %.2e, weighted mean %.2e over %d pairs\n",
+		eb.MaxPair, eb.MeanPair, eb.Pairs)
+	fmt.Println()
+	fmt.Println(solver.Tree.Render())
+}

@@ -1,0 +1,80 @@
+// Stokeslets: fluid dynamics with immersed flexible boundaries via the
+// method of regularized Stokeslets (the paper's second test problem,
+// ref. [15]). A stretched elastic ring immersed in Stokes flow relaxes
+// toward its rest shape; marker velocities come from the AFMM-accelerated
+// regularized-Stokeslet solver (4 harmonic far-field passes + regularized
+// near field).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"afmm"
+)
+
+func main() {
+	markers := flag.Int("markers", 512, "markers on the ring")
+	steps := flag.Int("steps", 60, "time steps")
+	dt := flag.Float64("dt", 5e-4, "time step")
+	gpus := flag.Int("gpus", 1, "simulated GPUs")
+	flag.Parse()
+
+	sys := afmm.NewSystem(*markers)
+	ring := afmm.NewRing(sys, 0, *markers, afmm.Vec3{}, 1.0, 2, 40.0)
+	// Stretch the ring into an ellipse: x scaled up, y scaled down.
+	for i := range sys.Pos {
+		sys.Pos[i].X *= 1.4
+		sys.Pos[i].Y *= 0.7
+	}
+
+	cfg := afmm.StokesConfig{
+		P:       6,
+		S:       32,
+		NumGPUs: *gpus,
+		Kernel:  afmm.StokesletKernel{Mu: 1, Eps: 0.02},
+	}
+	cfg.CPU.Cores = 10
+	solver := afmm.NewStokesSolver(sys, cfg)
+
+	circumference := func() float64 {
+		loc := make([]int, sys.Len())
+		for storage, id := range sys.Index {
+			loc[id] = storage
+		}
+		var c float64
+		for _, l := range ring.Links {
+			c += sys.Pos[loc[l.B]].Sub(sys.Pos[loc[l.A]]).Norm()
+		}
+		return c
+	}
+	aspect := func() float64 {
+		var maxX, maxY float64
+		for _, p := range sys.Pos {
+			maxX = math.Max(maxX, math.Abs(p.X))
+			maxY = math.Max(maxY, math.Abs(p.Y))
+		}
+		return maxX / maxY
+	}
+
+	fmt.Printf("elastic ring of %d regularized-Stokeslet markers (mu=%g, eps=%g)\n",
+		*markers, cfg.Kernel.Mu, cfg.Kernel.Eps)
+	fmt.Printf("%5s %12s %10s %12s %12s\n", "step", "circumf.", "aspect", "cpu[s]", "gpu[s]")
+	for step := 0; step < *steps; step++ {
+		afmm.ClearForces(sys)
+		ring.AccumulateForces(sys)
+		st := solver.Solve()
+		for i := range sys.Pos {
+			sys.Pos[i] = sys.Pos[i].Add(sys.Acc[i].Scale(*dt))
+		}
+		solver.Refill()
+		if step%10 == 0 || step == *steps-1 {
+			fmt.Printf("%5d %12.5f %10.3f %12.6f %12.6f\n",
+				step, circumference(), aspect(), st.CPUTime, st.GPUTime)
+		}
+	}
+	fmt.Printf("\nrest circumference: %.5f (2*pi*r = %.5f)\n",
+		circumference(), 2*math.Pi)
+	fmt.Println("the ring relaxes toward aspect 1.0 as elastic energy dissipates into the fluid")
+}

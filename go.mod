@@ -1,0 +1,3 @@
+module afmm
+
+go 1.22

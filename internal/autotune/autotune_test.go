@@ -1,0 +1,85 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/vgpu"
+)
+
+func TestOrderForTargetMonotone(t *testing.T) {
+	prev := 0
+	for _, target := range []float64{1e-2, 1e-3, 1e-4, 1e-6, 1e-8} {
+		p := OrderForTarget(target)
+		if p < prev {
+			t.Fatalf("order decreased for tighter target %g: %d < %d", target, p, prev)
+		}
+		prev = p
+	}
+	if OrderForTarget(0) != 20 {
+		t.Fatal("zero target should clamp to max order")
+	}
+	if OrderForTarget(0.5) != 2 {
+		t.Fatal("loose target should clamp to min order")
+	}
+}
+
+func TestTunePicksSweepMinimum(t *testing.T) {
+	sys := distrib.Plummer(8000, 1, 1, 42)
+	cfg := core.Config{NumGPUs: 1, GPUSpec: vgpu.ScaledSpec(1.0 / 64)}
+	cfg.CPU.Cores = 10
+	c := Tune(sys, Request{TargetRMSError: 1e-4, Machine: cfg})
+	if len(c.Sweep) == 0 {
+		t.Fatal("no sweep points")
+	}
+	best := math.Inf(1)
+	bestS := 0
+	for _, pt := range c.Sweep {
+		if pt.Compute < best {
+			best, bestS = pt.Compute, pt.S
+		}
+	}
+	if c.S != bestS || c.PredictedCompute != best {
+		t.Fatalf("choice %+v does not match sweep minimum (S=%d %g)", c, bestS, best)
+	}
+}
+
+func TestTuneMeetsAccuracyTarget(t *testing.T) {
+	// Choose parameters for 1e-4, run a real solve, verify the achieved
+	// error beats the target (the order model is deliberately
+	// conservative for typical, non-worst-case geometry).
+	sys := distrib.Plummer(800, 1, 1, 7)
+	cfg := core.Config{NumGPUs: 1}
+	c := Tune(sys, Request{TargetRMSError: 1e-4, Machine: cfg,
+		SGrid: []int{16, 32, 64}})
+	runCfg := core.Config{P: c.P, S: c.S, NumGPUs: 1}
+	s := core.NewSolver(sys, runCfg)
+	s.Solve()
+	_, accRef := core.AllPairsReference(sys, s.Cfg.Kernel)
+	var num, den float64
+	for i := range accRef {
+		num += s.Sys.Acc[i].Sub(accRef[i]).Norm2()
+		den += accRef[i].Norm2()
+	}
+	err := math.Sqrt(num / den)
+	if err > 1e-4 {
+		t.Fatalf("tuned (p=%d, S=%d) achieved %g, target 1e-4", c.P, c.S, err)
+	}
+}
+
+func TestHigherAccuracyCostsMore(t *testing.T) {
+	sys := distrib.Plummer(8000, 1, 1, 42)
+	cfg := core.Config{NumGPUs: 1, GPUSpec: vgpu.ScaledSpec(1.0 / 64)}
+	cfg.CPU.Cores = 10
+	loose := Tune(sys, Request{TargetRMSError: 1e-2, Machine: cfg})
+	tight := Tune(sys, Request{TargetRMSError: 1e-7, Machine: cfg})
+	if tight.P <= loose.P {
+		t.Fatalf("orders not ordered: %d vs %d", tight.P, loose.P)
+	}
+	if tight.PredictedCompute <= loose.PredictedCompute {
+		t.Fatalf("tighter accuracy predicted cheaper: %g vs %g",
+			tight.PredictedCompute, loose.PredictedCompute)
+	}
+}

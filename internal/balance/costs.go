@@ -1,0 +1,115 @@
+package balance
+
+import (
+	"afmm/internal/costmodel"
+)
+
+// LBCostModel charges virtual time for the balancing operations themselves
+// (tree rebuilds, Enforce_S walks, list rebuilds for prediction, and
+// Collapse/PushDown batches), so the per-step totals of Figure 8 and the
+// overhead percentages of Table II include the cost of balancing, not just
+// its benefit. Costs scale with the work each operation touches and are
+// divided over the virtual cores (construction and maintenance are
+// task-parallel in the paper).
+type LBCostModel struct {
+	// PartitionPerBodyLevel: seconds to route one body down one level
+	// during a rebuild or repartition.
+	PartitionPerBodyLevel float64
+	// RefillPerBodyLevel: seconds to re-bin one body down one level of
+	// the existing tree.
+	RefillPerBodyLevel float64
+	// ListPerPair: seconds per interaction-list pair visited during the
+	// dual traversal that prediction requires.
+	ListPerPair float64
+	// WalkPerNode: seconds per visible node for tree walks.
+	WalkPerNode float64
+	// ParallelEff discounts the core count for these memory-bound phases.
+	ParallelEff float64
+}
+
+func (m *LBCostModel) setDefaults() {
+	if m.PartitionPerBodyLevel <= 0 {
+		m.PartitionPerBodyLevel = 12e-9
+	}
+	if m.RefillPerBodyLevel <= 0 {
+		m.RefillPerBodyLevel = 18e-9
+	}
+	if m.ListPerPair <= 0 {
+		m.ListPerPair = 60e-9
+	}
+	if m.WalkPerNode <= 0 {
+		m.WalkPerNode = 40e-9
+	}
+	if m.ParallelEff <= 0 {
+		m.ParallelEff = 0.7
+	}
+}
+
+func (m *LBCostModel) cores(s Target) float64 {
+	k := float64(s.Cores())
+	if k < 1 {
+		k = 1
+	}
+	return k * m.ParallelEff
+}
+
+// avgLeafDepth returns the body-weighted mean visible-leaf depth.
+func avgLeafDepth(s Target) float64 {
+	var sum, n float64
+	t := s.Octree()
+	t.WalkVisible(func(ni int32) {
+		nd := &t.Nodes[ni]
+		if nd.IsVisibleLeaf() {
+			sum += float64(nd.Count()) * float64(nd.Level)
+			n += float64(nd.Count())
+		}
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// rebuildCost charges for a full tree rebuild: every body partitioned once
+// per level of its final depth (estimated from the current tree).
+func (m LBCostModel) rebuildCost(s Target) float64 {
+	depth := avgLeafDepth(s) + 1
+	return float64(s.System().Len()) * depth * m.PartitionPerBodyLevel / m.cores(s)
+}
+
+// RefillCost charges for re-binning all bodies into the existing
+// structure; exported for the simulation driver, which performs a refill
+// every step for every strategy.
+func (m LBCostModel) RefillCost(s Target) float64 {
+	depth := avgLeafDepth(s) + 1
+	return float64(s.System().Len()) * depth * m.RefillPerBodyLevel / m.cores(s)
+}
+
+// enforceCost charges for the Enforce_S walk plus its repartitions.
+func (m LBCostModel) enforceCost(s Target, collapses, pushdowns int) float64 {
+	st := s.Octree().ComputeStats()
+	walk := float64(st.VisibleNodes) * m.WalkPerNode
+	// A pushdown repartitions roughly S bodies one level; collapses only
+	// flip flags.
+	part := float64(pushdowns) * float64(s.S()) * m.PartitionPerBodyLevel
+	return (walk + part) / m.cores(s)
+}
+
+// predictCost charges for one prediction: a dual-traversal list rebuild
+// plus the counting walk.
+func (m LBCostModel) predictCost(s Target) float64 {
+	c := costmodel.FromTree(s.Octree().CountOps())
+	st := s.Octree().ComputeStats()
+	pairs := float64(c[costmodel.M2L]) + float64(st.VisibleLeaves)*8
+	return (pairs*m.ListPerPair + float64(st.VisibleNodes)*m.WalkPerNode) / m.cores(s)
+}
+
+// modifyCost charges for applying (or reverting) a Collapse/PushDown batch.
+func (m LBCostModel) modifyCost(s Target, batch []int32) float64 {
+	var bodies float64
+	t := s.Octree()
+	for _, ni := range batch {
+		bodies += float64(t.Nodes[ni].Count())
+	}
+	return bodies * m.PartitionPerBodyLevel / m.cores(s)
+}

@@ -1,0 +1,115 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sys := distrib.Plummer(500, 1, 1, 42)
+	sys.Aux[3].X = 7 // exercise the aux channel
+	sn := Capture(sys, 48, 17, 0.0017)
+	var buf bytes.Buffer
+	if err := Write(&buf, sn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.S != 48 || got.Step != 17 || got.Time != 0.0017 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	restored, err := got.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Pos {
+		if restored.Pos[i] != sys.Pos[i] || restored.Vel[i] != sys.Vel[i] ||
+			restored.Mass[i] != sys.Mass[i] || restored.Index[i] != sys.Index[i] ||
+			restored.Aux[i] != sys.Aux[i] {
+			t.Fatalf("body %d not restored exactly", i)
+		}
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	sys := distrib.Plummer(50, 1, 1, 1)
+	sn := Capture(sys, 8, 0, 0)
+	sn.Pos = sn.Pos[:10]
+	if _, err := sn.Restore(); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	sn2 := Capture(sys, 8, 0, 0)
+	sn2.Version = 99
+	if _, err := sn2.Restore(); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	sn3 := Capture(sys, 8, 0, 0)
+	sn3.Index[0] = sn3.Index[1]
+	if _, err := sn3.Restore(); err == nil {
+		t.Fatal("corrupt permutation accepted")
+	}
+}
+
+// TestResumeDeterminism: advancing A for 5+5 steps with a tree rebuild in
+// the middle must equal advancing 5 steps, snapshotting, restoring into a
+// fresh solver (which rebuilds), and advancing 5 more.
+func TestResumeDeterminism(t *testing.T) {
+	const dt = 1e-4
+	mk := func() *core.Solver {
+		sys := distrib.Plummer(400, 1, 1, 9)
+		return core.NewSolver(sys, core.Config{P: 4, S: 16, NumGPUs: 1})
+	}
+	step := func(s *core.Solver) {
+		s.Solve()
+		sim.KickDrift(s.Sys, dt)
+		s.Refill()
+	}
+
+	// Continuous run with a mid-run rebuild.
+	a := mk()
+	for i := 0; i < 5; i++ {
+		step(a)
+	}
+	a.Rebuild(16)
+	for i := 0; i < 5; i++ {
+		step(a)
+	}
+
+	// Snapshot/resume run.
+	b := mk()
+	for i := 0; i < 5; i++ {
+		step(b)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, Capture(b.Sys, b.S(), 5, 5*dt)); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysC, err := sn.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewSolver(sysC, core.Config{P: 4, S: sn.S, NumGPUs: 1})
+	for i := 0; i < 5; i++ {
+		step(c)
+	}
+
+	accA := a.Sys.AccInInputOrder()
+	accC := c.Sys.AccInInputOrder()
+	posA := a.Sys.PhiInInputOrder()
+	posC := c.Sys.PhiInInputOrder()
+	for i := range accA {
+		if accA[i] != accC[i] || posA[i] != posC[i] {
+			t.Fatalf("resumed run diverged at body %d", i)
+		}
+	}
+}

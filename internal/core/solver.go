@@ -1,0 +1,481 @@
+// Package core implements the heterogeneous AFMM solver of the paper: the
+// far-field expansion phases (P2M, M2M, M2L, L2L, L2P) executed by CPU
+// task parallelism over the adaptive octree, concurrently with the
+// near-field (P2P) work on the (simulated) GPUs, under the paper's timing
+// definitions — CPU Time is the up-sweep-to-down-sweep span, GPU Time is
+// the maximum per-device kernel time, Compute Time is their maximum.
+package core
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"afmm/internal/costmodel"
+	"afmm/internal/expansion"
+	"afmm/internal/geom"
+	"afmm/internal/kernels"
+	"afmm/internal/octree"
+	"afmm/internal/particle"
+	"afmm/internal/sched"
+	"afmm/internal/sphharm"
+	"afmm/internal/vcpu"
+	"afmm/internal/vgpu"
+)
+
+// Profile adapts the timing model to the physical problem: the Stokes
+// solver performs four harmonic far-field passes per solve and its direct
+// kernel is costlier per interaction than gravity's.
+type Profile struct {
+	FarFieldPasses int
+	P2PCostFactor  float64
+}
+
+// GravityProfile is the single-pass Laplace profile.
+func GravityProfile() Profile { return Profile{FarFieldPasses: 1, P2PCostFactor: 1} }
+
+// StokesProfile reflects the 4-harmonic decomposition (M2L cost ~4x the
+// gravitational problem, §IX.B) and the regularized Stokeslet P2P cost.
+func StokesProfile() Profile {
+	return Profile{
+		FarFieldPasses: 4,
+		P2PCostFactor:  float64(kernels.FlopsPerStokesletInteraction) / float64(kernels.FlopsPerGravityInteraction),
+	}
+}
+
+// Config assembles a solver.
+type Config struct {
+	// P is the number of retained expansion terms (order); default 8.
+	P int
+	// S is the leaf-capacity parameter the load balancer tunes.
+	S int
+	// MAC is the acceptance parameter of the interaction-list traversal.
+	MAC float64
+	// Mode selects adaptive (AFMM) or uniform (FMM) decomposition.
+	Mode octree.Mode
+	// MaxDepth bounds subdivision.
+	MaxDepth int
+	// Kernel is the gravity kernel (G, softening).
+	Kernel kernels.Gravity
+	// Pool runs the real computation; nil creates a GOMAXPROCS pool.
+	Pool *sched.Pool
+	// CPU is the virtual CPU subsystem (cores, base coefficients).
+	CPU vcpu.Spec
+	// NumGPUs and GPUSpec define the simulated device cluster; zero GPUs
+	// runs the near field on the virtual CPU (serial/CPU-only configs).
+	NumGPUs int
+	GPUSpec vgpu.Spec
+	// Profile adapts timing to the physical problem.
+	Profile Profile
+	// SkipFarField disables the far-field numeric execution (used by
+	// harnesses that only study timing behaviour at scale). Timing is
+	// unaffected; accelerations are then near-field only.
+	SkipFarField bool
+	// SkipNearField likewise disables the numeric P2P execution; the
+	// device timing model still runs. With both Skip flags set a Solve
+	// is a pure timing dry run (no forces are produced).
+	SkipNearField bool
+	// UseRotatedTranslations switches M2M/M2L/L2L to the O(p^3)
+	// rotation-accelerated ("point and shoot") operators. Numerically
+	// equivalent to the direct O(p^4) operators up to rounding; faster
+	// for P >= ~6. The virtual-machine cost model is unchanged (the
+	// paper's implementation uses direct translations), so this only
+	// affects host wall time.
+	UseRotatedTranslations bool
+	// OffloadEndpoints moves the P2M and L2P work to the GPUs — the
+	// extension the paper proposes (§VIII.E) for configurations whose
+	// CPU is underpowered relative to the devices ("the way forward in
+	// such an unbalanced situation is to move additional work to the
+	// GPU... P2M expansion formation and L2P expansion evaluation").
+	// The numeric result is unchanged; the endpoint costs move from the
+	// CPU task graph to the device timing model.
+	OffloadEndpoints bool
+}
+
+func (c *Config) setDefaults() {
+	if c.P <= 0 {
+		c.P = 8
+	}
+	if c.S <= 0 {
+		c.S = 64
+	}
+	if c.Pool == nil {
+		c.Pool = sched.NewPool(0)
+	}
+	c.CPU = c.CPU.Normalized()
+	if c.NumGPUs > 0 && c.GPUSpec.SMs == 0 {
+		c.GPUSpec = vgpu.DefaultSpec()
+	}
+	if c.Profile.FarFieldPasses == 0 {
+		c.Profile = GravityProfile()
+	}
+	if c.Kernel.G == 0 {
+		c.Kernel.G = 1
+	}
+}
+
+// StepTimes reports one solve's virtual-machine timing (the quantities the
+// paper's load balancer consumes) plus host wall time for reference.
+type StepTimes struct {
+	CPUTime float64 // far-field makespan on the virtual CPU (plus P2P when no GPUs)
+	GPUTime float64 // max simulated kernel time over devices
+	Compute float64 // max(CPUTime, GPUTime) — the paper's Compute Time
+	Counts  costmodel.Counts
+	CPUEff  float64 // parallel efficiency of the virtual schedule
+	GPUEff  float64 // useful/slot interactions on the slowest-loaded cluster
+	Real    time.Duration
+}
+
+// Solver is the heterogeneous AFMM engine.
+type Solver struct {
+	Cfg     Config
+	Sys     *particle.System
+	Tree    *octree.Tree
+	Cluster *vgpu.Cluster
+	Model   *costmodel.Model
+
+	packedLen  int
+	multipoles []complex128
+	locals     []complex128
+	wsPool     sync.Pool
+}
+
+// NewSolver builds the decomposition and the device cluster.
+func NewSolver(sys *particle.System, cfg Config) *Solver {
+	cfg.setDefaults()
+	s := &Solver{
+		Cfg:       cfg,
+		Sys:       sys,
+		packedLen: sphharm.PackedLen(cfg.P),
+	}
+	s.wsPool.New = func() interface{} { return expansion.NewWorkspace(cfg.P) }
+	s.Tree = octree.Build(sys, octree.Config{
+		S:        cfg.S,
+		MaxDepth: cfg.MaxDepth,
+		Mode:     cfg.Mode,
+		MAC:      cfg.MAC,
+		Pool:     cfg.Pool,
+	})
+	if cfg.NumGPUs > 0 {
+		s.Cluster = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
+	}
+	s.Model = costmodel.NewModel(s.priorCoefficients())
+	return s
+}
+
+// priorCoefficients predicts costs before any observation: base CPU costs
+// spread over the cores, and the device's ideal interaction rate.
+func (s *Solver) priorCoefficients() costmodel.Coefficients {
+	var c costmodel.Coefficients
+	k := float64(s.Cfg.CPU.Cores)
+	if k < 1 {
+		k = 1
+	}
+	passes := float64(s.Cfg.Profile.FarFieldPasses)
+	for op := costmodel.P2M; op <= costmodel.L2P; op++ {
+		c[op] = s.Cfg.CPU.Base[op] * passes / k
+	}
+	if s.Cfg.NumGPUs > 0 {
+		rate := s.Cfg.GPUSpec.InteractionsPerSecPerSM * float64(s.Cfg.GPUSpec.SMs) * float64(s.Cfg.NumGPUs)
+		c[costmodel.P2P] = s.Cfg.Profile.P2PCostFactor / rate
+	} else {
+		c[costmodel.P2P] = s.Cfg.CPU.Base[costmodel.P2P] * s.Cfg.Profile.P2PCostFactor / k
+	}
+	return c
+}
+
+// S returns the current leaf-capacity parameter.
+func (s *Solver) S() int { return s.Tree.Cfg.S }
+
+// Rebuild reconstructs the tree with a new S (the Search/Incremental
+// states' full rebuild).
+func (s *Solver) Rebuild(newS int) { s.Tree.Rebuild(newS) }
+
+// Refill re-bins moved bodies into the existing structure.
+func (s *Solver) Refill() { s.Tree.Refill() }
+
+// EnforceS restores the leaf-capacity invariant on the existing tree.
+func (s *Solver) EnforceS() (collapses, pushdowns int) { return s.Tree.EnforceS() }
+
+// Solve runs one full FMM evaluation: potentials and accelerations for
+// every body, and the virtual-machine timing of the step.
+func (s *Solver) Solve() StepTimes {
+	timer := sched.StartTimer()
+	t := s.Tree
+	t.BuildLists()
+	s.Sys.ResetAccumulators()
+	s.ensureSlabs()
+
+	// Launch the near-field "kernels" and the far-field traversal; on the
+	// real host these are executed in sequence (the virtual clock is what
+	// models the CPU/GPU overlap, exactly like the paper's concurrent
+	// launch followed by the blocking collect call).
+	var gpuTime float64
+	if s.Cluster != nil {
+		s.Cluster.Partition(t)
+		fn := vgpu.P2PFunc(s.p2pPair)
+		if s.Cfg.SkipNearField {
+			fn = nil
+		}
+		gpuTime = s.Cluster.ExecuteParallel(t, fn, s.Cfg.Pool)
+	} else if !s.Cfg.SkipNearField {
+		s.runCPUNearField()
+	}
+	if !s.Cfg.SkipFarField {
+		s.upSweep()
+		s.downSweep()
+	}
+
+	counts := costmodel.FromTree(t.CountOps())
+	offload := s.Cfg.OffloadEndpoints && s.Cluster != nil
+	graph := vcpu.BuildFMMGraph(t, s.Cfg.CPU.Base, vcpu.FMMGraphOptions{
+		IncludeP2P:       s.Cluster == nil,
+		FarFieldPasses:   s.Cfg.Profile.FarFieldPasses,
+		P2PCostFactor:    s.Cfg.Profile.P2PCostFactor,
+		ExcludeEndpoints: offload,
+	})
+	res := s.Cfg.CPU.Simulate(graph)
+	if offload {
+		// Endpoint work runs on the devices: one P2M/L2P application is
+		// charged like EndpointInteractionEquiv near-field interactions,
+		// spread over the cluster.
+		passes := float64(s.Cfg.Profile.FarFieldPasses)
+		rate := s.Cfg.GPUSpec.InteractionsPerSecPerSM * float64(s.Cfg.GPUSpec.SMs) *
+			float64(len(s.Cluster.Devices))
+		gpuTime += passes * float64(counts[costmodel.P2M]+counts[costmodel.L2P]) *
+			vgpu.EndpointInteractionEquiv / rate
+	}
+
+	st := StepTimes{
+		CPUTime: res.Makespan,
+		GPUTime: gpuTime,
+		Counts:  counts,
+		CPUEff:  res.Efficiency(s.Cfg.CPU.Cores),
+		Real:    timer.Elapsed(),
+	}
+	st.Compute = math.Max(st.CPUTime, st.GPUTime)
+	if s.Cluster != nil {
+		var slot, useful int64
+		for _, d := range s.Cluster.Devices {
+			slot += d.SlotWork
+			useful += d.Interactions
+		}
+		if slot > 0 {
+			st.GPUEff = float64(useful) / float64(slot)
+		}
+	}
+
+	// Fold observations into the cost model (paper §IV.D): CPU busy time
+	// per op scaled to wall-clock share so that sum(M(op) c(op)) equals
+	// the observed CPU makespan; the GPU coefficient is max kernel time
+	// over total interactions.
+	var obs costmodel.Observation
+	obs.Counts = counts
+	// Normalize over the op-attributed busy time (excluding task-spawn
+	// overhead) so the per-op shares sum exactly to the observed makespan
+	// and PredictCPU reproduces it on an unchanged tree.
+	var opBusy float64
+	for op := costmodel.Op(0); op < costmodel.NumOps; op++ {
+		opBusy += res.BusyTime[op]
+	}
+	if opBusy > 0 {
+		for op := costmodel.P2M; op <= costmodel.L2P; op++ {
+			obs.Time[op] = res.Makespan * res.BusyTime[op] / opBusy
+		}
+	}
+	if s.Cluster != nil {
+		obs.Time[costmodel.P2P] = gpuTime
+	} else if opBusy > 0 {
+		obs.Time[costmodel.P2P] = res.Makespan * res.BusyTime[costmodel.P2P] / opBusy
+	}
+	s.Model.Observe(obs)
+	return st
+}
+
+// Predict estimates the compute time of the *current* tree shape without
+// solving (§IV.D): it rebuilds the interaction lists, counts operations,
+// and applies the observed coefficients.
+func (s *Solver) Predict() (cpu, gpu float64) {
+	s.Tree.BuildLists()
+	counts := costmodel.FromTree(s.Tree.CountOps())
+	return s.Model.PredictCPU(counts), s.Model.PredictGPU(counts)
+}
+
+// Octree exposes the decomposition (balance.Target).
+func (s *Solver) Octree() *octree.Tree { return s.Tree }
+
+// System exposes the bodies (balance.Target).
+func (s *Solver) System() *particle.System { return s.Sys }
+
+// Cores returns the virtual core count (balance.Target).
+func (s *Solver) Cores() int { return s.Cfg.CPU.Cores }
+
+func (s *Solver) ensureSlabs() {
+	need := len(s.Tree.Nodes) * s.packedLen
+	if cap(s.multipoles) < need {
+		s.multipoles = make([]complex128, need)
+		s.locals = make([]complex128, need)
+	}
+	s.multipoles = s.multipoles[:need]
+	s.locals = s.locals[:need]
+	for i := range s.multipoles {
+		s.multipoles[i] = 0
+		s.locals[i] = 0
+	}
+}
+
+func (s *Solver) mpole(ni int32) expansion.Expansion {
+	off := int(ni) * s.packedLen
+	return expansion.Expansion{P: s.Cfg.P, C: s.multipoles[off : off+s.packedLen]}
+}
+
+func (s *Solver) local(ni int32) expansion.Expansion {
+	off := int(ni) * s.packedLen
+	return expansion.Expansion{P: s.Cfg.P, C: s.locals[off : off+s.packedLen]}
+}
+
+func (s *Solver) getWS() *expansion.Workspace  { return s.wsPool.Get().(*expansion.Workspace) }
+func (s *Solver) putWS(w *expansion.Workspace) { s.wsPool.Put(w) }
+
+// p2pPair executes the direct interaction of one target/source leaf pair
+// (the numeric work the simulated device performs).
+func (s *Solver) p2pPair(target, source int32) {
+	t := s.Tree
+	sys := s.Sys
+	tn := &t.Nodes[target]
+	sn := &t.Nodes[source]
+	s.Cfg.Kernel.P2P(
+		sys.Pos[tn.Start:tn.End],
+		sys.Phi[tn.Start:tn.End],
+		sys.Acc[tn.Start:tn.End],
+		sys.Pos[sn.Start:sn.End],
+		sys.Mass[sn.Start:sn.End],
+	)
+}
+
+// runCPUNearField executes all U-list work on the host pool (CPU-only
+// configurations).
+func (s *Solver) runCPUNearField() {
+	t := s.Tree
+	leaves := t.VisibleLeaves()
+	g := s.Cfg.Pool.NewGroup()
+	for _, li := range leaves {
+		li := li
+		g.Spawn(func() {
+			for _, si := range t.Nodes[li].U {
+				s.p2pPair(li, si)
+			}
+		})
+	}
+	g.Wait()
+}
+
+// upSweep computes multipoles bottom-up with the paper's recursive task
+// pattern: spawn a task per child, taskwait, then combine (head recursion).
+func (s *Solver) upSweep() {
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		t := s.Tree
+		n := &t.Nodes[ni]
+		if n.IsVisibleLeaf() {
+			w := s.getWS()
+			m := s.mpole(ni)
+			for i := n.Start; i < n.End; i++ {
+				w.P2M(m, n.Box.Center, s.Sys.Pos[i], s.Sys.Mass[i])
+			}
+			s.putWS(w)
+			return
+		}
+		g := s.Cfg.Pool.NewGroup()
+		for _, ci := range n.Children {
+			if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+				ci := ci
+				g.Spawn(func() { rec(ci) })
+			}
+		}
+		g.Wait()
+		w := s.getWS()
+		m := s.mpole(ni)
+		for _, ci := range n.Children {
+			if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+				if s.Cfg.UseRotatedTranslations {
+					w.M2MRotated(m, n.Box.Center, s.mpole(ci), t.Nodes[ci].Box.Center)
+				} else {
+					w.M2M(m, n.Box.Center, s.mpole(ci), t.Nodes[ci].Box.Center)
+				}
+			}
+		}
+		s.putWS(w)
+	}
+	if s.Tree.Nodes[s.Tree.Root].Count() > 0 {
+		rec(s.Tree.Root)
+	}
+}
+
+// downSweep propagates locals top-down: per node, L2L from the parent and
+// M2L from the V list, then a task per child; leaves evaluate L2P.
+func (s *Solver) downSweep() {
+	g := s.Cfg.Kernel.G
+	var rec func(ni, parent int32)
+	rec = func(ni, parent int32) {
+		t := s.Tree
+		n := &t.Nodes[ni]
+		w := s.getWS()
+		l := s.local(ni)
+		if parent != octree.NilNode {
+			if s.Cfg.UseRotatedTranslations {
+				w.L2LRotated(l, n.Box.Center, s.local(parent), t.Nodes[parent].Box.Center)
+			} else {
+				w.L2L(l, n.Box.Center, s.local(parent), t.Nodes[parent].Box.Center)
+			}
+		}
+		for _, vi := range n.V {
+			if s.Cfg.UseRotatedTranslations {
+				w.M2LRotated(l, n.Box.Center, s.mpole(vi), t.Nodes[vi].Box.Center)
+			} else {
+				w.M2L(l, n.Box.Center, s.mpole(vi), t.Nodes[vi].Box.Center)
+			}
+		}
+		if n.IsVisibleLeaf() {
+			for i := n.Start; i < n.End; i++ {
+				phi, grad := w.L2P(l, n.Box.Center, s.Sys.Pos[i])
+				s.Sys.Phi[i] += -g * phi
+				s.Sys.Acc[i] = s.Sys.Acc[i].Add(grad.Scale(g))
+			}
+			s.putWS(w)
+			return
+		}
+		s.putWS(w)
+		grp := s.Cfg.Pool.NewGroup()
+		for _, ci := range n.Children {
+			if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+				ci := ci
+				grp.Spawn(func() { rec(ci, ni) })
+			}
+		}
+		grp.Wait()
+	}
+	if s.Tree.Nodes[s.Tree.Root].Count() > 0 {
+		rec(s.Tree.Root, octree.NilNode)
+	}
+}
+
+// AllPairsReference computes exact (softened) potentials and accelerations
+// by direct summation into fresh slices, in storage order — the
+// correctness baseline for tests and examples.
+func AllPairsReference(sys *particle.System, k kernels.Gravity) ([]float64, []geom.Vec3) {
+	n := sys.Len()
+	phi := make([]float64, n)
+	acc := make([]geom.Vec3, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			p, a := k.Accumulate(sys.Pos[i], sys.Pos[j], sys.Mass[j])
+			phi[i] += p
+			acc[i] = acc[i].Add(a)
+		}
+	}
+	return phi, acc
+}

@@ -1,0 +1,97 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"afmm/internal/octree"
+)
+
+func TestOpString(t *testing.T) {
+	want := []string{"P2M", "M2M", "M2L", "L2L", "L2P", "P2P"}
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() != want[op] {
+			t.Fatalf("op %d string %q", op, op.String())
+		}
+	}
+	if Op(99).String() == "" {
+		t.Fatal("out-of-range op has empty string")
+	}
+}
+
+func TestObserveDerivesCoefficients(t *testing.T) {
+	m := NewModel(Coefficients{})
+	var o Observation
+	o.Counts = Counts{100, 10, 50, 10, 100, 1000}
+	o.Time = [NumOps]float64{1e-4, 1e-5, 5e-4, 1e-5, 2e-4, 3e-3}
+	m.Observe(o)
+	if got := m.Coef[P2M]; math.Abs(got-1e-6) > 1e-18 {
+		t.Fatalf("c(P2M) = %v", got)
+	}
+	if got := m.Coef[P2P]; math.Abs(got-3e-6) > 1e-18 {
+		t.Fatalf("c(P2P) = %v", got)
+	}
+	// Prediction on the same counts reproduces the observed totals.
+	cpu := m.PredictCPU(o.Counts)
+	wantCPU := 1e-4 + 1e-5 + 5e-4 + 1e-5 + 2e-4
+	if math.Abs(cpu-wantCPU) > 1e-15 {
+		t.Fatalf("PredictCPU %v want %v", cpu, wantCPU)
+	}
+	if gpu := m.PredictGPU(o.Counts); math.Abs(gpu-3e-3) > 1e-15 {
+		t.Fatalf("PredictGPU %v", gpu)
+	}
+}
+
+func TestObserveSkipsZeroCounts(t *testing.T) {
+	prior := Coefficients{}
+	prior[M2L] = 7e-6
+	m := NewModel(prior)
+	var o Observation
+	o.Counts = Counts{10, 0, 0, 0, 10, 0}
+	o.Time[P2M] = 1e-5
+	o.Time[L2P] = 2e-5
+	m.Observe(o)
+	if m.Coef[M2L] != 7e-6 {
+		t.Fatalf("unobserved coefficient overwritten: %v", m.Coef[M2L])
+	}
+}
+
+func TestSmoothing(t *testing.T) {
+	m := NewModel(Coefficients{})
+	m.Smoothing = 0.5
+	obs := func(c float64) {
+		var o Observation
+		o.Counts = Counts{1, 0, 0, 0, 0, 0}
+		o.Time[P2M] = c
+		m.Observe(o)
+	}
+	obs(1.0) // first observation: taken as-is
+	obs(2.0) // smoothed: 0.5*1 + 0.5*2 = 1.5
+	if math.Abs(m.Coef[P2M]-1.5) > 1e-15 {
+		t.Fatalf("smoothed coefficient %v", m.Coef[P2M])
+	}
+}
+
+func TestPredictComputeIsMax(t *testing.T) {
+	f := func(cpuScale, gpuScale uint16) bool {
+		m := NewModel(Coefficients{})
+		m.Coef[M2L] = float64(cpuScale) * 1e-9
+		m.Coef[P2P] = float64(gpuScale) * 1e-9
+		c := Counts{0, 0, 1000, 0, 0, 1000}
+		want := math.Max(m.PredictCPU(c), m.PredictGPU(c))
+		return m.PredictCompute(c) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromTree(t *testing.T) {
+	oc := octree.OpCounts{P2M: 1, M2M: 2, M2L: 3, L2L: 4, L2P: 5, P2P: 6}
+	c := FromTree(oc)
+	want := Counts{1, 2, 3, 4, 5, 6}
+	if c != want {
+		t.Fatalf("FromTree = %v", c)
+	}
+}

@@ -1,0 +1,205 @@
+// Package distrib generates deterministic initial particle distributions
+// for the experiments: the Plummer model used throughout the paper, uniform
+// cubes for the uniform-gap study, and a few stress distributions.
+package distrib
+
+import (
+	"math"
+	"math/rand"
+
+	"afmm/internal/geom"
+	"afmm/internal/particle"
+)
+
+// Plummer returns n bodies sampled from a Plummer sphere with scale radius
+// a, centered at the origin, each with mass 1 (as in the paper's test
+// problem). Velocities are drawn from the isotropic Plummer distribution
+// function using the standard Aarseth-Henon-Wielen rejection method, scaled
+// for G = g and total mass n.
+func Plummer(n int, a, g float64, seed int64) *particle.System {
+	rng := rand.New(rand.NewSource(seed))
+	s := particle.New(n)
+	totalMass := float64(n)
+	for i := 0; i < n; i++ {
+		// Radius from the inverse cumulative mass profile.
+		x := rng.Float64()
+		// Avoid the extreme tail which produces unbounded radii.
+		if x > 0.999 {
+			x = 0.999
+		}
+		r := a / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+		s.Pos[i] = randomDirection(rng).Scale(r)
+
+		// Velocity by von Neumann rejection on q = v/v_esc.
+		var q float64
+		for {
+			q = rng.Float64()
+			gq := q * q * math.Pow(1-q*q, 3.5)
+			if 0.1*rng.Float64() < gq {
+				break
+			}
+		}
+		vesc := math.Sqrt(2*g*totalMass) * math.Pow(r*r+a*a, -0.25)
+		s.Vel[i] = randomDirection(rng).Scale(q * vesc)
+	}
+	return s
+}
+
+// PlummerTruncated returns a Plummer sphere truncated to the innermost
+// massFrac of the cumulative mass profile (massFrac = 0.8 keeps bodies
+// within ~2.8 scale radii), avoiding the huge sparse halo of the untruncated
+// model. Used by the dynamic-workload experiments, where the entire system
+// should participate in the collapse.
+func PlummerTruncated(n int, a, g, massFrac float64, seed int64) *particle.System {
+	if massFrac <= 0 || massFrac > 0.999 {
+		massFrac = 0.999
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := particle.New(n)
+	totalMass := float64(n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * massFrac
+		r := a / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+		s.Pos[i] = randomDirection(rng).Scale(r)
+		var q float64
+		for {
+			q = rng.Float64()
+			gq := q * q * math.Pow(1-q*q, 3.5)
+			if 0.1*rng.Float64() < gq {
+				break
+			}
+		}
+		vesc := math.Sqrt(2*g*totalMass) * math.Pow(r*r+a*a, -0.25)
+		s.Vel[i] = randomDirection(rng).Scale(q * vesc)
+	}
+	return s
+}
+
+// UniformCube returns n unit-mass bodies uniformly distributed in the cube
+// [-half, half)^3 with zero velocities.
+func UniformCube(n int, half float64, seed int64) *particle.System {
+	rng := rand.New(rand.NewSource(seed))
+	s := particle.New(n)
+	for i := 0; i < n; i++ {
+		s.Pos[i] = geom.Vec3{
+			X: (2*rng.Float64() - 1) * half,
+			Y: (2*rng.Float64() - 1) * half,
+			Z: (2*rng.Float64() - 1) * half,
+		}
+	}
+	return s
+}
+
+// UniformShell returns n unit-mass bodies uniformly distributed on a sphere
+// of the given radius — an adversarial case for uniform decompositions
+// because most octree cells are empty.
+func UniformShell(n int, radius float64, seed int64) *particle.System {
+	rng := rand.New(rand.NewSource(seed))
+	s := particle.New(n)
+	for i := 0; i < n; i++ {
+		s.Pos[i] = randomDirection(rng).Scale(radius)
+	}
+	return s
+}
+
+// TwoClusters returns two Plummer spheres of n/2 bodies each whose centers
+// are separated by dist along X, approaching each other at speed vrel —
+// the colliding-galaxies scenario from the paper's introduction.
+func TwoClusters(n int, a, g, dist, vrel float64, seed int64) *particle.System {
+	n1 := n / 2
+	n2 := n - n1
+	s1 := Plummer(n1, a, g, seed)
+	s2 := Plummer(n2, a, g, seed+1)
+	s := particle.New(n)
+	off := geom.Vec3{X: dist / 2}
+	dv := geom.Vec3{X: vrel / 2}
+	for i := 0; i < n1; i++ {
+		s.Pos[i] = s1.Pos[i].Sub(off)
+		s.Vel[i] = s1.Vel[i].Add(dv)
+		s.Mass[i] = s1.Mass[i]
+	}
+	for i := 0; i < n2; i++ {
+		s.Pos[n1+i] = s2.Pos[i].Add(off)
+		s.Vel[n1+i] = s2.Vel[i].Sub(dv)
+		s.Mass[n1+i] = s2.Mass[i]
+	}
+	return s
+}
+
+// SpiralDisk returns a rotating flat exponential disk — a highly
+// non-uniform, anisotropic distribution exercising deep adaptive trees.
+func SpiralDisk(n int, scale, g float64, seed int64) *particle.System {
+	rng := rand.New(rand.NewSource(seed))
+	s := particle.New(n)
+	for i := 0; i < n; i++ {
+		// Exponential radial profile via inverse transform of a
+		// truncated exponential.
+		u := rng.Float64()
+		r := -scale * math.Log(1-u*(1-math.Exp(-6)))
+		phi := 2 * math.Pi * rng.Float64()
+		z := scale * 0.05 * rng.NormFloat64()
+		s.Pos[i] = geom.Vec3{X: r * math.Cos(phi), Y: r * math.Sin(phi), Z: z}
+		// Roughly circular orbits around the enclosed mass.
+		menc := float64(n) * (1 - math.Exp(-r/scale)*(1+r/scale))
+		v := 0.0
+		if r > 0 {
+			v = math.Sqrt(g * menc / (r + 1e-9))
+		}
+		s.Vel[i] = geom.Vec3{X: -v * math.Sin(phi), Y: v * math.Cos(phi)}
+	}
+	return s
+}
+
+// CompressTo scales all positions so the system occupies fraction frac of
+// the cube [-half, half]^3 per axis (the paper starts its dynamic workload
+// with the distribution contained in 1/64th of the simulation space, i.e.
+// 1/4 per axis).
+func CompressTo(s *particle.System, half, frac float64) {
+	// Current extent.
+	box := geom.BoundingCube(s.Pos)
+	if box.Half == 0 {
+		return
+	}
+	k := half * frac / box.Half
+	for i := range s.Pos {
+		s.Pos[i] = s.Pos[i].Sub(box.Center).Scale(k)
+	}
+}
+
+func randomDirection(rng *rand.Rand) geom.Vec3 {
+	// Marsaglia's method: uniform on the unit sphere.
+	for {
+		u := 2*rng.Float64() - 1
+		v := 2*rng.Float64() - 1
+		ss := u*u + v*v
+		if ss >= 1 {
+			continue
+		}
+		f := 2 * math.Sqrt(1-ss)
+		return geom.Vec3{X: u * f, Y: v * f, Z: 1 - 2*ss}
+	}
+}
+
+// Hernquist returns n unit-mass bodies sampled from the Hernquist (1990)
+// profile rho ~ 1/(r (r+a)^3) with scale radius a — cuspier than Plummer,
+// a stress test for deep adaptive trees. Velocities are a cold fraction of
+// the local circular speed (the profile's full distribution function is
+// not needed for decomposition experiments).
+func Hernquist(n int, a, g float64, seed int64) *particle.System {
+	rng := rand.New(rand.NewSource(seed))
+	s := particle.New(n)
+	total := float64(n)
+	for i := 0; i < n; i++ {
+		// Inverse cumulative mass: M(<r)/M = r^2/(r+a)^2 -> r = a*sqrt(x)/(1-sqrt(x)).
+		x := rng.Float64()
+		if x > 0.995 {
+			x = 0.995
+		}
+		sq := math.Sqrt(x)
+		r := a * sq / (1 - sq)
+		s.Pos[i] = randomDirection(rng).Scale(r)
+		vc := math.Sqrt(g*total*r) / (r + a)
+		s.Vel[i] = randomDirection(rng).Scale(0.5 * vc)
+	}
+	return s
+}

@@ -1,0 +1,178 @@
+package distrib
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"afmm/internal/geom"
+	"afmm/internal/particle"
+)
+
+func TestPlummerDeterministic(t *testing.T) {
+	a := Plummer(100, 1, 1, 7)
+	b := Plummer(100, 1, 1, 7)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	c := Plummer(100, 1, 1, 8)
+	same := 0
+	for i := range a.Pos {
+		if a.Pos[i] == c.Pos[i] {
+			same++
+		}
+	}
+	if same == len(a.Pos) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestPlummerHalfMassRadius(t *testing.T) {
+	// The Plummer half-mass radius is ~1.305 a.
+	const n = 20000
+	s := Plummer(n, 2.0, 1, 3)
+	r := make([]float64, n)
+	for i := range s.Pos {
+		r[i] = s.Pos[i].Norm()
+	}
+	sort.Float64s(r)
+	rh := r[n/2]
+	if math.Abs(rh-1.305*2.0) > 0.1*2.0 {
+		t.Fatalf("half-mass radius %v, want ~%v", rh, 1.305*2.0)
+	}
+}
+
+func TestPlummerNearVirial(t *testing.T) {
+	// 2K/|W| should be close to 1 for the self-consistent model.
+	const n = 5000
+	const g = 1.0
+	s := Plummer(n, 1, g, 5)
+	var kin float64
+	for i := range s.Vel {
+		kin += 0.5 * s.Mass[i] * s.Vel[i].Norm2()
+	}
+	// Potential energy by direct sum (O(n^2) but fine at this size).
+	var pot float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pot -= g * s.Mass[i] * s.Mass[j] / s.Pos[i].Sub(s.Pos[j]).Norm()
+		}
+	}
+	ratio := 2 * kin / -pot
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("virial ratio %v, want ~1", ratio)
+	}
+}
+
+func TestPlummerTruncatedBounded(t *testing.T) {
+	s := PlummerTruncated(2000, 1, 1, 0.8, 9)
+	// massFrac 0.8 -> rmax = a/sqrt(0.8^{-2/3}-1) ~ 2.59a.
+	rmax := 1 / math.Sqrt(math.Pow(0.8, -2.0/3.0)-1)
+	for i := range s.Pos {
+		if s.Pos[i].Norm() > rmax*1.0001 {
+			t.Fatalf("body %d at r=%v beyond truncation %v", i, s.Pos[i].Norm(), rmax)
+		}
+	}
+}
+
+func TestUniformCubeBounds(t *testing.T) {
+	s := UniformCube(1000, 2.5, 11)
+	for i := range s.Pos {
+		p := s.Pos[i]
+		if math.Abs(p.X) > 2.5 || math.Abs(p.Y) > 2.5 || math.Abs(p.Z) > 2.5 {
+			t.Fatalf("body outside cube: %v", p)
+		}
+	}
+	// Mean should be near the origin.
+	var m geom.Vec3
+	for i := range s.Pos {
+		m = m.Add(s.Pos[i])
+	}
+	if m.Scale(1.0/1000).Norm() > 0.2 {
+		t.Fatalf("uniform cube mean %v", m.Scale(1.0/1000))
+	}
+}
+
+func TestUniformShellRadius(t *testing.T) {
+	s := UniformShell(500, 3, 13)
+	for i := range s.Pos {
+		if math.Abs(s.Pos[i].Norm()-3) > 1e-12 {
+			t.Fatalf("shell body at r=%v", s.Pos[i].Norm())
+		}
+	}
+}
+
+func TestTwoClustersSeparation(t *testing.T) {
+	s := TwoClusters(1000, 1, 1, 10, 0.5, 17)
+	var left, right int
+	for i := range s.Pos {
+		if s.Pos[i].X < 0 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left < 300 || right < 300 {
+		t.Fatalf("clusters not separated: %d / %d", left, right)
+	}
+	// Closing velocity: left cluster moves right and vice versa.
+	var vLeft float64
+	for i := 0; i < 500; i++ {
+		vLeft += s.Vel[i].X
+	}
+	if vLeft/500 < 0.1 {
+		t.Fatalf("left cluster not approaching: mean vx %v", vLeft/500)
+	}
+}
+
+func TestSpiralDiskFlat(t *testing.T) {
+	s := SpiralDisk(2000, 1, 1, 19)
+	var zrms, rrms float64
+	for i := range s.Pos {
+		zrms += s.Pos[i].Z * s.Pos[i].Z
+		rrms += s.Pos[i].X*s.Pos[i].X + s.Pos[i].Y*s.Pos[i].Y
+	}
+	if math.Sqrt(zrms) > 0.2*math.Sqrt(rrms) {
+		t.Fatal("disk not flat")
+	}
+}
+
+func TestCompressTo(t *testing.T) {
+	s := UniformCube(500, 4, 23)
+	CompressTo(s, 4, 0.25)
+	b := geom.BoundingCube(s.Pos)
+	if b.Half > 1.01 {
+		t.Fatalf("compressed extent %v, want <= 1", b.Half)
+	}
+}
+
+func TestHernquistCuspierThanPlummer(t *testing.T) {
+	const n = 10000
+	h := Hernquist(n, 1, 1, 5)
+	p := Plummer(n, 1, 1, 5)
+	inner := func(s *particle.System, r float64) int {
+		c := 0
+		for i := range s.Pos {
+			if s.Pos[i].Norm() < r {
+				c++
+			}
+		}
+		return c
+	}
+	// The Hernquist cusp concentrates far more mass at tiny radii.
+	if inner(h, 0.05) < 3*inner(p, 0.05) {
+		t.Fatalf("Hernquist inner count %d not cuspier than Plummer %d",
+			inner(h, 0.05), inner(p, 0.05))
+	}
+	// Half-mass radius ~ a(1+sqrt(2)) = 2.41a.
+	r := make([]float64, n)
+	for i := range h.Pos {
+		r[i] = h.Pos[i].Norm()
+	}
+	sort.Float64s(r)
+	if math.Abs(r[n/2]-2.41) > 0.4 {
+		t.Fatalf("Hernquist half-mass radius %v, want ~2.41", r[n/2])
+	}
+}

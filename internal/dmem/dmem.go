@@ -1,0 +1,495 @@
+// Package dmem extends the single-node heterogeneous AFMM to a simulated
+// distributed-memory cluster — the extension the paper anticipates in §II
+// ("we expect the method can be extended to a distributed memory cluster
+// using techniques such as those in [13, 9]").
+//
+// The model follows the classical partitioned-tree design of Lashuk et al.
+// [13]: bodies are ordered by the adaptive tree's DFS (space-filling)
+// order and split into contiguous ranges, one per virtual node; every node
+// owns the visible tree cells whose bodies start inside its range. A cell
+// interaction is computed by the owner of the *target* cell; source data
+// owned elsewhere must be communicated first:
+//
+//   - a V-list (M2L) source cell owned remotely ships its multipole
+//     expansion — the locally essential tree exchange;
+//   - a U-list (P2P) source leaf owned remotely ships its bodies — the
+//     ghost-particle exchange.
+//
+// Transfers are deduplicated per (receiver, source cell) and charged to an
+// alpha-beta network model; per-node compute times come from the same
+// virtual CPU/GPU machinery as the single-node solver. The numerics are
+// exactly the shared-memory solver's (the decomposition only re-attributes
+// work), so distributed results are bit-identical to single-node results.
+package dmem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"afmm/internal/core"
+	"afmm/internal/costmodel"
+	"afmm/internal/octree"
+	"afmm/internal/particle"
+	"afmm/internal/sphharm"
+	"afmm/internal/vcpu"
+	"afmm/internal/vgpu"
+)
+
+// NetworkSpec is the alpha-beta communication model of the interconnect.
+type NetworkSpec struct {
+	// Latency per aggregated peer-to-peer message, seconds.
+	Latency float64
+	// Bandwidth in bytes/second per node.
+	Bandwidth float64
+	// BytesPerBody transferred for one ghost particle.
+	BytesPerBody int
+}
+
+// DefaultNetwork models a commodity cluster interconnect (~2 us latency,
+// ~5 GB/s effective per node).
+func DefaultNetwork() NetworkSpec {
+	return NetworkSpec{Latency: 2e-6, Bandwidth: 5e9, BytesPerBody: 32}
+}
+
+// NodeSpec is one virtual compute node: a CPU plus an optional device
+// cluster, identical in kind to the single-node machine.
+type NodeSpec struct {
+	CPU     vcpu.Spec
+	GPUs    int
+	GPUSpec vgpu.Spec
+}
+
+// Config assembles a distributed solver.
+type Config struct {
+	// Core configures the underlying (numerically authoritative) solver.
+	Core core.Config
+	// Nodes describes each cluster node. Homogeneous clusters can use
+	// HomogeneousNodes.
+	Nodes []NodeSpec
+	// Net is the interconnect model.
+	Net NetworkSpec
+}
+
+// HomogeneousNodes returns n identical node specs.
+func HomogeneousNodes(n int, spec NodeSpec) []NodeSpec {
+	out := make([]NodeSpec, n)
+	for i := range out {
+		out[i] = spec
+	}
+	return out
+}
+
+// NodeTimes is one node's share of a step.
+type NodeTimes struct {
+	Compute  float64 // max(local CPU far field, local GPU near field)
+	CPUTime  float64
+	GPUTime  float64
+	CommTime float64
+	BytesIn  int64
+	Messages int64   // aggregated peer messages received
+	Bodies   int     // bodies owned
+	OpShare  float64 // fraction of the global op cost owned
+}
+
+// StepReport summarizes a distributed step.
+type StepReport struct {
+	PerNode []NodeTimes
+	// StepTime is the slowest node's comm + compute (bulk-synchronous).
+	StepTime float64
+	// Imbalance is max node compute over mean node compute.
+	Imbalance float64
+	// TotalBytes moved across the interconnect.
+	TotalBytes int64
+	// Single is the underlying single-node timing for reference.
+	Single core.StepTimes
+}
+
+// Solver runs the AFMM on a simulated cluster.
+type Solver struct {
+	Cfg   Config
+	Inner *core.Solver
+	// cuts[i] is the first body index owned by node i; cuts has length
+	// len(Nodes)+1 with cuts[0]=0 and cuts[last]=N.
+	cuts []int32
+	// costWeights from the last step's observed coefficients drive
+	// Rebalance.
+	lastLeafCost []float64
+	lastLeaves   []int32
+}
+
+// NewSolver builds the distributed solver. The body partition starts as an
+// equal-count split of the tree-ordered bodies.
+func NewSolver(sys *particle.System, cfg Config) (*Solver, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("dmem: no nodes configured")
+	}
+	inner := core.NewSolver(sys, cfg.Core)
+	if cfg.Net.Bandwidth == 0 {
+		cfg.Net = DefaultNetwork()
+	}
+	s := &Solver{Cfg: cfg, Inner: inner}
+	s.equalCountCuts()
+	return s, nil
+}
+
+// NumNodes returns the cluster size.
+func (s *Solver) NumNodes() int { return len(s.Cfg.Nodes) }
+
+// Cuts exposes the current ownership boundaries (body indices).
+func (s *Solver) Cuts() []int32 { return append([]int32(nil), s.cuts...) }
+
+func (s *Solver) equalCountCuts() {
+	p := len(s.Cfg.Nodes)
+	n := s.Inner.Sys.Len()
+	s.cuts = make([]int32, p+1)
+	for i := 0; i <= p; i++ {
+		s.cuts[i] = int32(i * n / p)
+	}
+}
+
+// owner returns the node owning body index i.
+func (s *Solver) owner(i int32) int {
+	// cuts is small; binary search.
+	lo, hi := 0, len(s.cuts)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if s.cuts[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Solve runs one distributed step: the numerics via the inner solver, then
+// ownership attribution, per-node machine timing, and communication
+// accounting.
+func (s *Solver) Solve() StepReport {
+	single := s.Inner.Solve()
+	return s.attribute(single)
+}
+
+// attribute computes the per-node report for the current tree/lists.
+func (s *Solver) attribute(single core.StepTimes) StepReport {
+	t := s.Inner.Tree
+	p := len(s.Cfg.Nodes)
+	rep := StepReport{PerNode: make([]NodeTimes, p), Single: single}
+
+	// Ownership of visible cells: owner of the cell's first body.
+	cellOwner := map[int32]int{}
+	t.WalkVisible(func(ni int32) {
+		cellOwner[ni] = s.owner(t.Nodes[ni].Start)
+	})
+
+	// Per-node far-field task graphs and per-node device work. Cross-node
+	// tree dependencies are carried by the communication phase, so each
+	// node's graph keeps only intra-node precedence.
+	passes := s.Inner.Cfg.Profile.FarFieldPasses
+	if passes < 1 {
+		passes = 1
+	}
+	graphs := make([]*vcpu.Graph, p)
+	upTask := make([]map[int32]int32, p)
+	downTask := make([]map[int32]int32, p)
+	for k := 0; k < p; k++ {
+		graphs[k] = &vcpu.Graph{}
+		upTask[k] = map[int32]int32{}
+		downTask[k] = map[int32]int32{}
+	}
+	base := func(k int) costmodel.Coefficients { return s.Cfg.Nodes[k].CPU.Base }
+
+	// transfers[k] dedupes (receiver k, source cell) pairs.
+	type transfer struct {
+		bytes int64
+		peers map[int]bool
+	}
+	incoming := make([]transfer, p)
+	for k := range incoming {
+		incoming[k].peers = map[int]bool{}
+	}
+	seen := map[[2]int32]bool{} // (receiver, source cell) dedup
+	expBytes := int64(sphharm.PackedLen(s.Inner.Cfg.P)) * 16 * int64(passes)
+
+	addComm := func(recv int, src int32, bytes int64) {
+		key := [2]int32{int32(recv), src}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		incoming[recv].bytes += bytes
+		incoming[recv].peers[cellOwner[src]] = true
+	}
+
+	t.WalkVisible(func(ni int32) {
+		n := &t.Nodes[ni]
+		k := cellOwner[ni]
+		g := graphs[k]
+		var up vcpu.TaskCost
+		if n.IsVisibleLeaf() {
+			up[costmodel.P2M] = float64(passes) * base(k)[costmodel.P2M] * float64(n.Count())
+		} else {
+			kids := 0
+			for _, ci := range n.Children {
+				if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+					kids++
+				}
+			}
+			up[costmodel.M2M] = float64(passes) * base(k)[costmodel.M2M] * float64(kids)
+		}
+		upID := g.AddTask(up)
+		upTask[k][ni] = upID
+		if !n.IsVisibleLeaf() {
+			for _, ci := range n.Children {
+				if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+					if cellOwner[ci] == k {
+						if cid, ok := upTask[k][ci]; ok {
+							g.AddDep(cid, upID)
+						}
+					} else {
+						// Child multipole arrives from its owner.
+						addComm(k, ci, expBytes)
+					}
+				}
+			}
+		}
+
+		var down vcpu.TaskCost
+		down[costmodel.M2L] = float64(passes) * base(k)[costmodel.M2L] * float64(len(n.V))
+		if n.Parent != octree.NilNode {
+			down[costmodel.L2L] = float64(passes) * base(k)[costmodel.L2L]
+		}
+		if n.IsVisibleLeaf() {
+			down[costmodel.L2P] = float64(passes) * base(k)[costmodel.L2P] * float64(n.Count())
+		}
+		downID := g.AddTask(down)
+		downTask[k][ni] = downID
+		if n.Parent != octree.NilNode && cellOwner[n.Parent] == k {
+			if pid, ok := downTask[k][n.Parent]; ok {
+				g.AddDep(pid, downID)
+			}
+		} else if n.Parent != octree.NilNode {
+			// Parent local expansion arrives from the parent's owner.
+			addComm(k, n.Parent, expBytes)
+		}
+		// Remote V-list multipoles and U-list ghost bodies.
+		for _, vi := range n.V {
+			if cellOwner[vi] != k {
+				addComm(k, vi, expBytes)
+			}
+		}
+		if n.IsVisibleLeaf() {
+			for _, ui := range n.U {
+				if cellOwner[ui] != k {
+					addComm(k, ui, int64(t.Nodes[ui].Count())*int64(s.Cfg.Net.BytesPerBody))
+				}
+			}
+		}
+	})
+
+	// Per-node device work: each node's GPUs run its owned leaves.
+	leafSets := make([][]int32, p)
+	t.WalkVisible(func(ni int32) {
+		if t.Nodes[ni].IsVisibleLeaf() {
+			k := cellOwner[ni]
+			leafSets[k] = append(leafSets[k], ni)
+		}
+	})
+
+	var totalOps float64
+	var maxEnd float64
+	var sumCompute float64
+	s.lastLeaves = s.lastLeaves[:0]
+	s.lastLeafCost = s.lastLeafCost[:0]
+	for k := 0; k < p; k++ {
+		spec := s.Cfg.Nodes[k].CPU.Normalized()
+		res := spec.Simulate(graphs[k])
+		nt := &rep.PerNode[k]
+		nt.CPUTime = res.Makespan
+		if s.Cfg.Nodes[k].GPUs > 0 {
+			gs := s.Cfg.Nodes[k].GPUSpec
+			if gs.SMs == 0 {
+				gs = vgpu.DefaultSpec()
+			}
+			cl := vgpu.NewCluster(s.Cfg.Nodes[k].GPUs, gs)
+			assignLeaves(cl, leafSets[k])
+			nt.GPUTime = cl.Execute(t, nil)
+		} else {
+			// CPU-only node: near field joins the CPU side; approximate
+			// by serializing it over the cores after the far field.
+			var ints int64
+			for _, li := range leafSets[k] {
+				var srcs int64
+				for _, ui := range t.Nodes[li].U {
+					srcs += int64(t.Nodes[ui].Count())
+				}
+				ints += int64(t.Nodes[li].Count()) * srcs
+			}
+			k2 := math.Max(1, float64(spec.Cores))
+			nt.CPUTime += float64(ints) * spec.Base[costmodel.P2P] / k2
+		}
+		nt.Compute = math.Max(nt.CPUTime, nt.GPUTime)
+		nt.CommTime = float64(len(incoming[k].peers))*s.Cfg.Net.Latency +
+			float64(incoming[k].bytes)/s.Cfg.Net.Bandwidth
+		nt.BytesIn = incoming[k].bytes
+		nt.Messages = int64(len(incoming[k].peers))
+		nt.Bodies = int(s.cuts[k+1] - s.cuts[k])
+		nt.OpShare = res.TotalBusy
+		totalOps += res.TotalBusy
+		rep.TotalBytes += incoming[k].bytes
+		sumCompute += nt.Compute
+		if end := nt.Compute + nt.CommTime; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	for k := range rep.PerNode {
+		if totalOps > 0 {
+			rep.PerNode[k].OpShare /= totalOps
+		}
+	}
+	rep.StepTime = maxEnd
+	mean := sumCompute / float64(p)
+	if mean > 0 {
+		var maxC float64
+		for _, nt := range rep.PerNode {
+			maxC = math.Max(maxC, nt.Compute)
+		}
+		rep.Imbalance = maxC / mean
+	}
+
+	// Record per-leaf cost estimates for Rebalance.
+	model := s.Inner.Model
+	t.WalkVisible(func(ni int32) {
+		n := &t.Nodes[ni]
+		if !n.IsVisibleLeaf() {
+			return
+		}
+		var srcs int64
+		for _, ui := range n.U {
+			srcs += int64(t.Nodes[ui].Count())
+		}
+		c := float64(n.Count())*(model.Coef[costmodel.P2M]+model.Coef[costmodel.L2P]) +
+			float64(len(n.V))*model.Coef[costmodel.M2L] +
+			float64(int64(n.Count())*srcs)*model.Coef[costmodel.P2P]
+		s.lastLeaves = append(s.lastLeaves, ni)
+		s.lastLeafCost = append(s.lastLeafCost, c)
+	})
+	return rep
+}
+
+// assignLeaves distributes a node's leaves over its devices by interaction
+// share, mirroring the single-node partitioner.
+func assignLeaves(cl *vgpu.Cluster, leaves []int32) {
+	for _, d := range cl.Devices {
+		d.Targets = d.Targets[:0]
+	}
+	if len(cl.Devices) == 0 {
+		return
+	}
+	per := (len(leaves) + len(cl.Devices) - 1) / len(cl.Devices)
+	if per < 1 {
+		per = 1
+	}
+	for i, leaf := range leaves {
+		di := i / per
+		if di >= len(cl.Devices) {
+			di = len(cl.Devices) - 1
+		}
+		cl.Devices[di].Targets = append(cl.Devices[di].Targets, leaf)
+	}
+}
+
+// Rebalance moves the ownership cuts so each node receives an equal share
+// of the measured per-leaf cost (the inter-node analogue of the paper's
+// intra-node balancing). It returns the predicted improvement ratio
+// (old max-node-cost / new max-node-cost, >= 1 when it helped) and
+// requires a prior Solve.
+func (s *Solver) Rebalance() float64 {
+	if len(s.lastLeaves) == 0 {
+		return 1
+	}
+	t := s.Inner.Tree
+	p := len(s.Cfg.Nodes)
+	// Leaves are already in DFS (storage) order; compute cost prefix.
+	total := 0.0
+	for _, c := range s.lastLeafCost {
+		total += c
+	}
+	if total == 0 {
+		return 1
+	}
+	target := total / float64(p)
+	newCuts := make([]int32, 0, p+1)
+	newCuts = append(newCuts, 0)
+	acc := 0.0
+	for i, li := range s.lastLeaves {
+		if len(newCuts) >= p {
+			break
+		}
+		acc += s.lastLeafCost[i]
+		if acc >= target*float64(len(newCuts)) {
+			newCuts = append(newCuts, t.Nodes[li].End)
+		}
+	}
+	for len(newCuts) <= p {
+		newCuts = append(newCuts, int32(s.Inner.Sys.Len()))
+	}
+	sort.Slice(newCuts, func(i, j int) bool { return newCuts[i] < newCuts[j] })
+
+	maxCost := func(cuts []int32) float64 {
+		var worst float64
+		for k := 0; k < p; k++ {
+			var sum float64
+			for i, li := range s.lastLeaves {
+				start := t.Nodes[li].Start
+				if start >= cuts[k] && start < cuts[k+1] {
+					sum += s.lastLeafCost[i]
+				}
+			}
+			worst = math.Max(worst, sum)
+		}
+		return worst
+	}
+	oldMax := maxCost(s.cuts)
+	newMax := maxCost(newCuts)
+	s.cuts = newCuts
+	if newMax <= 0 {
+		return 1
+	}
+	return oldMax / newMax
+}
+
+// RunResult aggregates a distributed multi-step run.
+type RunResult struct {
+	Steps      []StepReport
+	TotalTime  float64
+	TotalBytes int64
+	Rebalances int
+}
+
+// Run advances a gravitational simulation for steps time steps on the
+// cluster: each step solves, integrates (kick-drift), refills, and
+// rebalances the node partition whenever the compute imbalance exceeds
+// rebalanceAt (e.g. 1.15); rebalanceAt <= 0 disables rebalancing.
+func (s *Solver) Run(steps int, dt, rebalanceAt float64) RunResult {
+	var res RunResult
+	for step := 0; step < steps; step++ {
+		rep := s.Solve()
+		// Kick-drift using the inner solver's accelerations.
+		sys := s.Inner.Sys
+		for i := range sys.Pos {
+			sys.Vel[i] = sys.Vel[i].Add(sys.Acc[i].Scale(dt))
+			sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(dt))
+		}
+		s.Inner.Refill()
+		if rebalanceAt > 0 && rep.Imbalance > rebalanceAt {
+			s.Rebalance()
+			res.Rebalances++
+		}
+		res.Steps = append(res.Steps, rep)
+		res.TotalTime += rep.StepTime
+		res.TotalBytes += rep.TotalBytes
+	}
+	return res
+}

@@ -1,0 +1,213 @@
+package dmem
+
+import (
+	"testing"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/vcpu"
+	"afmm/internal/vgpu"
+)
+
+func clusterConfig(nodes int) Config {
+	node := NodeSpec{
+		CPU:     vcpu.Spec{Cores: 10}.Normalized(),
+		GPUs:    2,
+		GPUSpec: vgpu.ScaledSpec(1.0 / 64),
+	}
+	coreCfg := core.Config{
+		P: 4, S: 64, NumGPUs: 2, GPUSpec: vgpu.ScaledSpec(1.0 / 64),
+		SkipFarField: true, SkipNearField: true,
+	}
+	coreCfg.CPU.Cores = 10
+	return Config{
+		Core:  coreCfg,
+		Nodes: HomogeneousNodes(nodes, node),
+	}
+}
+
+func TestDistributedMatchesSingleNodeNumerics(t *testing.T) {
+	sysA := distrib.Plummer(1200, 1, 1, 3)
+	sysB := sysA.Clone()
+	cfg := clusterConfig(4)
+	cfg.Core.SkipFarField = false
+	cfg.Core.SkipNearField = false
+	cfg.Core.P = 6
+	d, err := NewSolver(sysA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Solve()
+
+	single := core.NewSolver(sysB, cfg.Core)
+	single.Solve()
+	accA := sysA.AccInInputOrder()
+	accB := sysB.AccInInputOrder()
+	for i := range accA {
+		if accA[i].Sub(accB[i]).Norm() > 1e-12*(1+accB[i].Norm()) {
+			t.Fatalf("distributed numerics diverged at body %d", i)
+		}
+	}
+}
+
+func TestOwnershipPartitionsBodies(t *testing.T) {
+	sys := distrib.Plummer(5000, 1, 1, 5)
+	d, err := NewSolver(sys, clusterConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Solve()
+	var owned int
+	for _, nt := range rep.PerNode {
+		owned += nt.Bodies
+	}
+	if owned != sys.Len() {
+		t.Fatalf("nodes own %d bodies, want %d", owned, sys.Len())
+	}
+	cuts := d.Cuts()
+	if cuts[0] != 0 || cuts[len(cuts)-1] != int32(sys.Len()) {
+		t.Fatalf("cut endpoints wrong: %v", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			t.Fatalf("cuts not monotone: %v", cuts)
+		}
+	}
+}
+
+func TestMoreNodesReduceComputeAddComm(t *testing.T) {
+	sys := distrib.Plummer(20000, 1, 1, 7)
+	var prevMaxCompute float64
+	var prevBytes int64
+	for i, nodes := range []int{1, 2, 4, 8} {
+		d, err := NewSolver(sys.Clone(), clusterConfig(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := d.Solve()
+		var maxC float64
+		for _, nt := range rep.PerNode {
+			if nt.Compute > maxC {
+				maxC = nt.Compute
+			}
+		}
+		if nodes == 1 {
+			if rep.TotalBytes != 0 {
+				t.Fatalf("single node should not communicate: %d bytes", rep.TotalBytes)
+			}
+		} else {
+			if rep.TotalBytes <= prevBytes {
+				t.Fatalf("%d nodes: bytes %d did not grow from %d",
+					nodes, rep.TotalBytes, prevBytes)
+			}
+			if maxC >= prevMaxCompute {
+				t.Fatalf("%d nodes: max compute %v did not shrink from %v",
+					nodes, maxC, prevMaxCompute)
+			}
+		}
+		_ = i
+		prevMaxCompute = maxC
+		prevBytes = rep.TotalBytes
+	}
+}
+
+func TestCommVolumeBounded(t *testing.T) {
+	// Ghost/multipole traffic must be far below shipping the whole
+	// system to every node (the point of the locally essential tree).
+	sys := distrib.Plummer(20000, 1, 1, 9)
+	d, err := NewSolver(sys, clusterConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Solve()
+	naive := int64(4) * int64(sys.Len()) * int64(d.Cfg.Net.BytesPerBody)
+	if rep.TotalBytes >= naive {
+		t.Fatalf("comm %d bytes not below naive broadcast %d", rep.TotalBytes, naive)
+	}
+	if rep.TotalBytes == 0 {
+		t.Fatal("no communication recorded on 4 nodes")
+	}
+}
+
+func TestRebalanceImprovesSkewedPartition(t *testing.T) {
+	// A clustered distribution with equal-count cuts loads the node
+	// owning the dense core with most of the near-field work; cost-based
+	// cuts must improve the bound.
+	sys := distrib.TwoClusters(12000, 0.3, 1, 8, 0, 11)
+	d, err := NewSolver(sys, clusterConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Solve()
+	gain := d.Rebalance()
+	after := d.attribute(before.Single)
+	if gain < 0.99 {
+		t.Fatalf("rebalance predicted regression: gain %v", gain)
+	}
+	if after.Imbalance > before.Imbalance*1.05 {
+		t.Fatalf("imbalance worsened: %v -> %v", before.Imbalance, after.Imbalance)
+	}
+}
+
+func TestHeterogeneousClusterNodes(t *testing.T) {
+	// A cluster whose first node has no GPUs: that node's near field
+	// lands on its CPU and it should be the step bottleneck.
+	sys := distrib.Plummer(10000, 1, 1, 13)
+	cfg := clusterConfig(3)
+	// Full-speed devices on the GPU nodes so the contrast with the
+	// GPU-less node is unambiguous.
+	for k := range cfg.Nodes {
+		cfg.Nodes[k].GPUSpec = vgpu.DefaultSpec()
+	}
+	cfg.Nodes[0].GPUs = 0
+	d, err := NewSolver(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Solve()
+	slowest := 0
+	for k, nt := range rep.PerNode {
+		if nt.Compute > rep.PerNode[slowest].Compute {
+			slowest = k
+		}
+	}
+	if slowest != 0 {
+		t.Fatalf("GPU-less node %d not the bottleneck (slowest=%d)", 0, slowest)
+	}
+}
+
+func TestNoNodesRejected(t *testing.T) {
+	sys := distrib.Plummer(100, 1, 1, 1)
+	if _, err := NewSolver(sys, Config{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}
+
+func TestRunRebalancesWhenSkewed(t *testing.T) {
+	// Colliding clusters drive the partition out of balance over time;
+	// the driver must trigger rebalances and keep the run sane.
+	sys := distrib.TwoClusters(4000, 0.3, 1, 4, 4, 31)
+	cfg := clusterConfig(4)
+	cfg.Core.SkipFarField = false
+	cfg.Core.SkipNearField = false
+	cfg.Core.P = 2
+	cfg.Core.Kernel.G = 1
+	cfg.Core.Kernel.Softening = 0.02
+	d, err := NewSolver(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(30, 5e-4, 1.05)
+	if len(res.Steps) != 30 {
+		t.Fatalf("%d step reports", len(res.Steps))
+	}
+	if res.TotalTime <= 0 || res.TotalBytes <= 0 {
+		t.Fatalf("degenerate totals: %+v", res)
+	}
+	if res.Rebalances == 0 {
+		t.Fatal("skewed collision never triggered a rebalance")
+	}
+	if err := d.Inner.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

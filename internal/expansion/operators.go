@@ -1,0 +1,256 @@
+package expansion
+
+import (
+	"math"
+
+	"afmm/internal/geom"
+	"afmm/internal/sphharm"
+)
+
+// Expansion is a packed (m >= 0) coefficient vector of a multipole or
+// local expansion of order P.
+type Expansion struct {
+	P int
+	C []complex128
+}
+
+// NewExpansion allocates a zero expansion of order p.
+func NewExpansion(p int) Expansion {
+	return Expansion{P: p, C: make([]complex128, sphharm.PackedLen(p))}
+}
+
+// Zero resets all coefficients.
+func (e Expansion) Zero() {
+	for i := range e.C {
+		e.C[i] = 0
+	}
+}
+
+// Add accumulates o into e (same order required).
+func (e Expansion) Add(o Expansion) {
+	for i := range e.C {
+		e.C[i] += o.C[i]
+	}
+}
+
+// Workspace holds per-goroutine scratch buffers for the operators so hot
+// paths do not allocate. A Workspace must not be shared across goroutines.
+type Workspace struct {
+	p    int
+	t    *sphharm.Tables
+	reg  []complex128 // regular harmonics, degree p
+	irr  []complex128 // irregular harmonics, degree 2p
+	val  []complex128 // L2P value buffer
+	gx   []complex128
+	gy   []complex128
+	gz   []complex128
+	tmp  []complex128 // generic degree-p buffer
+	rpow []float64
+	rot  *rotWorkspace // buffers for the rotation-accelerated operators
+}
+
+// NewWorkspace creates scratch space for order-p operators.
+func NewWorkspace(p int) *Workspace {
+	return &Workspace{
+		p:    p,
+		t:    sphharm.NewTables(p),
+		reg:  make([]complex128, sphharm.PackedLen(p)),
+		irr:  make([]complex128, sphharm.PackedLen(2*p)),
+		val:  make([]complex128, sphharm.PackedLen(p)),
+		gx:   make([]complex128, sphharm.PackedLen(p)),
+		gy:   make([]complex128, sphharm.PackedLen(p)),
+		gz:   make([]complex128, sphharm.PackedLen(p)),
+		tmp:  make([]complex128, sphharm.PackedLen(p)),
+		rpow: make([]float64, 2*p+2),
+		rot:  newRotWorkspace(p),
+	}
+}
+
+// Order returns the expansion order the workspace was built for.
+func (w *Workspace) Order() int { return w.p }
+
+// P2M accumulates the multipole contribution of a charge q at position pos
+// into the expansion m centered at center:
+//
+//	M_n^k += q * conj(R_n^k(pos - center))
+func (w *Workspace) P2M(m Expansion, center, pos geom.Vec3, q float64) {
+	Regular(m.P, pos.Sub(center), w.reg)
+	for i, r := range w.reg[:len(m.C)] {
+		m.C[i] += complex(q, 0) * complex(real(r), -imag(r))
+	}
+}
+
+// M2M translates the child multipole o centered at from into the parent
+// expansion m centered at to (accumulating):
+//
+//	M_j^k += sum_{n<=j, |k-m|<=j-n} O_{j-n}^{k-m} i^{|k|-|m|-|k-m|}
+//	          A_n^m A_{j-n}^{k-m} conj(R_n^m(d)) / A_j^k,  d = from - to
+func (w *Workspace) M2M(m Expansion, to geom.Vec3, o Expansion, from geom.Vec3) {
+	p := m.P
+	Regular(p, from.Sub(to), w.reg)
+	t := w.t
+	for j := 0; j <= p; j++ {
+		for k := 0; k <= j; k++ {
+			var acc complex128
+			for n := 0; n <= j; n++ {
+				jn := j - n
+				for mm := -n; mm <= n; mm++ {
+					km := k - mm
+					if km < -jn || km > jn {
+						continue
+					}
+					sign := sphharm.IPow(abs(k) - abs(mm) - abs(km))
+					r := get(w.reg, n, -mm) // conj(R_n^m) = R_n^{-m}
+					acc += get(o.C, jn, km) * sign *
+						complex(t.Anm(n, mm)*t.Anm(jn, km), 0) * r
+				}
+			}
+			m.C[sphharm.Idx(j, k)] += acc / complex(t.Anm(j, k), 0)
+		}
+	}
+}
+
+// M2L converts the multipole o centered at from into a local expansion
+// accumulated into l centered at to:
+//
+//	L_j^k += sum_{n,m} O_n^m i^{|k-m|-|k|-|m|} A_n^m A_j^k
+//	          S_{j+n}^{m-k}(d) / ((-1)^n A_{j+n}^{m-k}),  d = from - to
+func (w *Workspace) M2L(l Expansion, to geom.Vec3, o Expansion, from geom.Vec3) {
+	// Orders may differ (e.g. probe evaluation converts a full multipole
+	// into a degree-1 local); the workspace must cover l.P + o.P.
+	p := l.P
+	srcP := o.P
+	Irregular(p+srcP, from.Sub(to), w.irr)
+	t := w.t
+	for j := 0; j <= p; j++ {
+		for k := 0; k <= j; k++ {
+			ajk := t.Anm(j, k)
+			var acc complex128
+			for n := 0; n <= srcP; n++ {
+				neg := 1.0
+				if n%2 == 1 {
+					neg = -1.0
+				}
+				for mm := -n; mm <= n; mm++ {
+					sign := sphharm.IPow(abs(k-mm) - abs(k) - abs(mm))
+					s := get(w.irr, j+n, mm-k)
+					acc += get(o.C, n, mm) * sign *
+						complex(t.Anm(n, mm)*ajk*neg/t.Anm(j+n, mm-k), 0) * s
+				}
+			}
+			l.C[sphharm.Idx(j, k)] += acc
+		}
+	}
+}
+
+// L2L translates the parent local expansion o centered at from into the
+// child expansion l centered at to (accumulating):
+//
+//	L_j^k += sum_{n>=j,m} O_n^m i^{|m|-|m-k|-|k|} A_{n-j}^{m-k} A_j^k
+//	          R_{n-j}^{m-k}(d) / ((-1)^{n+j} A_n^m),  d = from - to
+func (w *Workspace) L2L(l Expansion, to geom.Vec3, o Expansion, from geom.Vec3) {
+	p := l.P
+	Regular(p, from.Sub(to), w.reg)
+	t := w.t
+	for j := 0; j <= p; j++ {
+		for k := 0; k <= j; k++ {
+			ajk := t.Anm(j, k)
+			var acc complex128
+			for n := j; n <= p; n++ {
+				nj := n - j
+				neg := 1.0
+				if (n+j)%2 == 1 {
+					neg = -1.0
+				}
+				for mm := -n; mm <= n; mm++ {
+					mk := mm - k
+					if mk < -nj || mk > nj {
+						continue
+					}
+					sign := sphharm.IPow(abs(mm) - abs(mk) - abs(k))
+					r := get(w.reg, nj, mk)
+					acc += get(o.C, n, mm) * sign *
+						complex(t.Anm(nj, mk)*ajk*neg/t.Anm(n, mm), 0) * r
+				}
+			}
+			l.C[sphharm.Idx(j, k)] += acc
+		}
+	}
+}
+
+// L2P evaluates the local expansion l centered at center at the point pos,
+// returning the potential and its Cartesian gradient.
+func (w *Workspace) L2P(l Expansion, center, pos geom.Vec3) (phi float64, grad geom.Vec3) {
+	RegularGrad(l.P, pos.Sub(center), w.val, w.gx, w.gy, w.gz)
+	var p, gx, gy, gz float64
+	for n := 0; n <= l.P; n++ {
+		i0 := sphharm.Idx(n, 0)
+		c := l.C[i0]
+		p += real(c) * real(w.val[i0])
+		// m = 0 harmonics are real-valued polynomials, but retain the
+		// general complex product for safety against rounding drift.
+		p -= imag(c) * imag(w.val[i0])
+		gx += real(c)*real(w.gx[i0]) - imag(c)*imag(w.gx[i0])
+		gy += real(c)*real(w.gy[i0]) - imag(c)*imag(w.gy[i0])
+		gz += real(c)*real(w.gz[i0]) - imag(c)*imag(w.gz[i0])
+		for m := 1; m <= n; m++ {
+			i := sphharm.Idx(n, m)
+			c := l.C[i]
+			p += 2 * (real(c)*real(w.val[i]) - imag(c)*imag(w.val[i]))
+			gx += 2 * (real(c)*real(w.gx[i]) - imag(c)*imag(w.gx[i]))
+			gy += 2 * (real(c)*real(w.gy[i]) - imag(c)*imag(w.gy[i]))
+			gz += 2 * (real(c)*real(w.gz[i]) - imag(c)*imag(w.gz[i]))
+		}
+	}
+	return p, geom.Vec3{X: gx, Y: gy, Z: gz}
+}
+
+// EvalMultipole evaluates the multipole expansion m centered at center at a
+// point pos outside the expansion sphere, returning the potential.
+func (w *Workspace) EvalMultipole(m Expansion, center, pos geom.Vec3) float64 {
+	Irregular(m.P, pos.Sub(center), w.irr)
+	var p float64
+	for n := 0; n <= m.P; n++ {
+		i0 := sphharm.Idx(n, 0)
+		p += real(m.C[i0])*real(w.irr[i0]) - imag(m.C[i0])*imag(w.irr[i0])
+		for k := 1; k <= n; k++ {
+			i := sphharm.Idx(n, k)
+			p += 2 * (real(m.C[i])*real(w.irr[i]) - imag(m.C[i])*imag(w.irr[i]))
+		}
+	}
+	return p
+}
+
+// P2L accumulates the local expansion of a distant point charge q at pos
+// into l centered at center:
+//
+//	L_n^m += q * conj(S_n^m(pos - center))
+func (w *Workspace) P2L(l Expansion, center, pos geom.Vec3, q float64) {
+	Irregular(l.P, pos.Sub(center), w.irr)
+	for i := range l.C {
+		s := w.irr[i]
+		l.C[i] += complex(q, 0) * complex(real(s), -imag(s))
+	}
+}
+
+// TruncationError returns the classical a-priori bound on the relative
+// truncation error of an order-p multipole expansion of radius a evaluated
+// at distance d from its center: the geometric tail
+//
+//	(a/d)^(p+1) * d/(d-a)
+//
+// finite whenever d > a (the multipole acceptance criterion guarantees
+// a/d <= MAC < 1).
+func TruncationError(p int, a, d float64) float64 {
+	if d <= a {
+		return math.Inf(1)
+	}
+	return math.Pow(a/d, float64(p+1)) * d / (d - a)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+// Package expansion implements the multipole and local expansions of the
+// 3-D Laplace kernel and the six FMM operators (P2M, M2M, M2L, L2L, L2P
+// plus multipole evaluation) using Greengard's translation theorems.
+//
+// Conventions. With Y_n^m in the sphharm normalization,
+//
+//	multipole: Phi(x) = sum_{n,m} M_n^m * S_n^m(x - c),  S_n^m = Y_n^m / r^{n+1}
+//	local:     Phi(x) = sum_{n,m} L_n^m * R_n^m(x - c),  R_n^m = r^n Y_n^m
+//
+// Potentials are real, so M_n^{-m} = conj(M_n^m) and likewise for L; only
+// the m >= 0 triangle is stored (packed layout sphharm.Idx).
+package expansion
+
+import (
+	"math"
+
+	"afmm/internal/geom"
+	"afmm/internal/sphharm"
+)
+
+// Regular fills out[Idx(n,m)] with the regular solid harmonics
+// R_n^m(v) = r^n Y_n^m for 0 <= m <= n <= deg. out must have length
+// >= PackedLen(deg).
+func Regular(deg int, v geom.Vec3, out []complex128) {
+	x, y, z := v.X, v.Y, v.Z
+	r2 := x*x + y*y + z*z
+	xy := complex(x, y)
+	out[0] = 1
+	for m := 0; m <= deg; m++ {
+		mm := sphharm.Idx(m, m)
+		if m > 0 {
+			// R_m^m = sqrt((2m-1)/(2m)) (x+iy) R_{m-1}^{m-1}
+			c := math.Sqrt(float64(2*m-1) / float64(2*m))
+			out[mm] = complex(c, 0) * xy * out[sphharm.Idx(m-1, m-1)]
+		}
+		prev2 := complex(0, 0) // R_{n-2}^m
+		prev1 := out[mm]       // R_{n-1}^m
+		for n := m + 1; n <= deg; n++ {
+			a := float64(2*n-1) / math.Sqrt(float64(n-m)*float64(n+m))
+			b := math.Sqrt(float64(n+m-1) * float64(n-m-1) /
+				(float64(n-m) * float64(n+m)))
+			cur := complex(a*z, 0)*prev1 - complex(b*r2, 0)*prev2
+			out[sphharm.Idx(n, m)] = cur
+			prev2, prev1 = prev1, cur
+		}
+	}
+}
+
+// RegularGrad fills val with R_n^m(v) and gx, gy, gz with the Cartesian
+// partial derivatives of R_n^m at v, via differentiated recurrences. All
+// output slices must have length >= PackedLen(deg). The gradients are exact
+// (R_n^m are harmonic polynomials), so there are no polar singularities.
+func RegularGrad(deg int, v geom.Vec3, val, gx, gy, gz []complex128) {
+	x, y, z := v.X, v.Y, v.Z
+	r2 := x*x + y*y + z*z
+	xy := complex(x, y)
+	val[0], gx[0], gy[0], gz[0] = 1, 0, 0, 0
+	for m := 0; m <= deg; m++ {
+		mm := sphharm.Idx(m, m)
+		if m > 0 {
+			pm := sphharm.Idx(m-1, m-1)
+			c := complex(math.Sqrt(float64(2*m-1)/float64(2*m)), 0)
+			val[mm] = c * xy * val[pm]
+			gx[mm] = c * (val[pm] + xy*gx[pm])
+			gy[mm] = c * (complex(0, 1)*val[pm] + xy*gy[pm])
+			gz[mm] = c * xy * gz[pm]
+		}
+		var v2, x2, y2, z2 complex128 // degree n-2 values/grads
+		v1, x1, y1, z1 := val[mm], gx[mm], gy[mm], gz[mm]
+		for n := m + 1; n <= deg; n++ {
+			a := complex(float64(2*n-1)/math.Sqrt(float64(n-m)*float64(n+m)), 0)
+			b := complex(math.Sqrt(float64(n+m-1)*float64(n-m-1)/
+				(float64(n-m)*float64(n+m))), 0)
+			i := sphharm.Idx(n, m)
+			val[i] = a*complex(z, 0)*v1 - b*complex(r2, 0)*v2
+			gx[i] = a*complex(z, 0)*x1 - b*(complex(2*x, 0)*v2+complex(r2, 0)*x2)
+			gy[i] = a*complex(z, 0)*y1 - b*(complex(2*y, 0)*v2+complex(r2, 0)*y2)
+			gz[i] = a*(v1+complex(z, 0)*z1) - b*(complex(2*z, 0)*v2+complex(r2, 0)*z2)
+			v2, x2, y2, z2 = v1, x1, y1, z1
+			v1, x1, y1, z1 = val[i], gx[i], gy[i], gz[i]
+		}
+	}
+}
+
+// Irregular fills out[Idx(n,m)] with the irregular solid harmonics
+// S_n^m(v) = Y_n^m / r^{n+1} for 0 <= m <= n <= deg. v must be nonzero.
+func Irregular(deg int, v geom.Vec3, out []complex128) {
+	x, y, z := v.X, v.Y, v.Z
+	r2 := x*x + y*y + z*z
+	inv := 1 / r2
+	xy := complex(x, y)
+	out[0] = complex(math.Sqrt(inv), 0) // 1/r
+	for m := 0; m <= deg; m++ {
+		mm := sphharm.Idx(m, m)
+		if m > 0 {
+			c := math.Sqrt(float64(2*m-1) / float64(2*m))
+			out[mm] = complex(c*inv, 0) * xy * out[sphharm.Idx(m-1, m-1)]
+		}
+		prev2 := complex(0, 0)
+		prev1 := out[mm]
+		for n := m + 1; n <= deg; n++ {
+			// Note: for S the standard three-term coefficients differ
+			// from R; derived from the same Legendre recurrence:
+			// S_n^m = ((2n-1) z S_{n-1}^m - c2 S_{n-2}^m) / (c1 r^2)
+			// with the normalization folded in below.
+			a := float64(2*n-1) / math.Sqrt(float64(n-m)*float64(n+m))
+			b := math.Sqrt(float64(n+m-1) * float64(n-m-1) /
+				(float64(n-m) * float64(n+m)))
+			cur := complex(inv, 0) * (complex(a*z, 0)*prev1 - complex(b, 0)*prev2)
+			out[sphharm.Idx(n, m)] = cur
+			prev2, prev1 = prev1, cur
+		}
+	}
+}
+
+// get returns coefficient (n, m) of a packed Hermitian expansion, handling
+// negative m via conjugation.
+func get(e []complex128, n, m int) complex128 {
+	if m >= 0 {
+		return e[sphharm.Idx(n, m)]
+	}
+	c := e[sphharm.Idx(n, -m)]
+	return complex(real(c), -imag(c))
+}

@@ -1,0 +1,111 @@
+package expansion
+
+import "math"
+
+// Wigner small-d matrices, used by the rotation-accelerated ("point and
+// shoot") translation operators: a translation along an arbitrary vector
+// becomes rotate -> translate along z -> rotate back, turning the O(p^4)
+// translation double sum into O(p^3) work.
+//
+// A stack holds d^l_{m'm}(beta) in the standard quantum-mechanics (Sakurai)
+// convention for l = 0..p, each as a dense (2l+1)x(2l+1) row-major matrix
+// indexed (m'+l)*(2l+1) + (m+l).
+//
+// Construction is O(p^3): the interior of each degree comes from the
+// three-term recurrence of Blanco, Florez & Bermejo (1997); the extreme
+// rows/columns (|m'| = l or |m| = l) from the closed form of d^l_{l,m} and
+// the symmetries d_{m'm} = (-1)^{m'-m} d_{m m'} = d_{-m,-m'}. The explicit
+// factorial sum (wignerdExplicit, in the tests) is the reference.
+
+// WignerStack computes d^l(beta) for l = 0..p, allocating the stack.
+func WignerStack(p int, beta float64) [][]float64 {
+	stack := make([][]float64, p+1)
+	for l := 0; l <= p; l++ {
+		stack[l] = make([]float64, (2*l+1)*(2*l+1))
+	}
+	WignerStackInto(stack, p, beta)
+	return stack
+}
+
+// WignerStackInto fills pre-allocated per-degree matrices (allocation-free
+// hot path for the rotated translation operators).
+func WignerStackInto(stack [][]float64, p int, beta float64) {
+	c := math.Cos(beta)
+	ch := math.Cos(beta / 2)
+	sh := math.Sin(beta / 2)
+	s := math.Sin(beta)
+	stack[0][0] = 1
+	if p == 0 {
+		return
+	}
+	copy(stack[1], []float64{
+		ch * ch, s / math.Sqrt2, sh * sh,
+		-s / math.Sqrt2, c, s / math.Sqrt2,
+		sh * sh, -s / math.Sqrt2, ch * ch,
+	})
+	get := func(l, mp, m int) float64 {
+		if mp < -l || mp > l || m < -l || m > l {
+			return 0
+		}
+		return stack[l][(mp+l)*(2*l+1)+(m+l)]
+	}
+	for l := 2; l <= p; l++ {
+		dim := 2*l + 1
+		dl := stack[l]
+		fl := float64(l)
+		// Interior (|m'|,|m| <= l-1): three-term recurrence in l. The
+		// d^{l-2} term's coefficient vanishes exactly where that entry
+		// is out of range, so the formula is uniformly valid here.
+		for mp := -(l - 1); mp <= l-1; mp++ {
+			for m := -(l - 1); m <= l-1; m++ {
+				fmp, fm := float64(mp), float64(m)
+				denom := math.Sqrt((fl*fl - fmp*fmp) * (fl*fl - fm*fm))
+				a := fl * (2*fl - 1) / denom
+				b := c - fmp*fm/(fl*(fl-1))
+				coef2 := math.Sqrt(((fl-1)*(fl-1)-fmp*fmp)*((fl-1)*(fl-1)-fm*fm)) /
+					((fl - 1) * (2*fl - 1))
+				dl[(mp+l)*dim+(m+l)] = a * (b*get(l-1, mp, m) - coef2*get(l-2, mp, m))
+			}
+		}
+		// Extreme row m' = l: d^l_{l,m} = C(l,m) ch^{l+m} (-sh)^{l-m},
+		// C(l,m) = sqrt((2l)! / ((l+m)!(l-m)!)).
+		for m := -l; m <= l; m++ {
+			v := math.Sqrt(centralBinom(l, m)) *
+				intPow(ch, l+m) * intPow(-sh, l-m)
+			dl[(l+l)*dim+(m+l)] = v
+			// Column m = l: d_{m',l} = (-1)^{m'-l} d_{l,m'}.
+			dl[(m+l)*dim+(l+l)] = signPow(m-l) * v
+			// Row m' = -l: d_{-l,m} = (-1)^{l+m} d_{l,-m}.
+			dl[(0)*dim+(-m+l)] = signPow(l+m) * v // here v = d_{l,m}; -m column
+			// Column m = -l: d_{m',-l} = d_{l,-m'}.
+			dl[(-m+l)*dim+(0)] = v // d_{-m', -l} with m' = -m  => d_{l, m}
+		}
+	}
+}
+
+// centralBinom returns (2l)! / ((l+m)!(l-m)!), computed via log-gamma for
+// range safety.
+func centralBinom(l, m int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return math.Exp(lg(2*l) - lg(l+m) - lg(l-m))
+}
+
+// intPow returns x^k for small non-negative integer k, preserving exact
+// zeros (math.Pow(0, 0) conventions are avoided).
+func intPow(x float64, k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v *= x
+	}
+	return v
+}
+
+func signPow(k int) float64 {
+	if k%2 != 0 {
+		return -1
+	}
+	return 1
+}

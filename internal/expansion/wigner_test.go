@@ -1,0 +1,106 @@
+package expansion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// wignerdExplicit evaluates d^j_{m'm}(beta) by Wigner's explicit factorial
+// sum (Sakurai convention) — the slow reference the fast recurrence must
+// match.
+func wignerdExplicit(j, mp, m int, beta float64) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	ch := math.Cos(beta / 2)
+	sh := math.Sin(beta / 2)
+	lo := 0
+	if m-mp > lo {
+		lo = m - mp
+	}
+	hi := j + m
+	if j-mp < hi {
+		hi = j - mp
+	}
+	var sum float64
+	for s := lo; s <= hi; s++ {
+		logc := 0.5*(lg(j+m)+lg(j-m)+lg(j+mp)+lg(j-mp)) -
+			lg(j+m-s) - lg(s) - lg(mp-m+s) - lg(j-mp-s)
+		term := math.Exp(logc) *
+			math.Pow(ch, float64(2*j+m-mp-2*s)) *
+			math.Pow(sh, float64(mp-m+2*s))
+		if (mp-m+s)%2 != 0 && (mp-m+s)%2 != -0 {
+		}
+		if ((mp-m+s)%2+2)%2 == 1 {
+			term = -term
+		}
+		sum += term
+	}
+	return sum
+}
+
+func TestWignerStackMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		beta := rng.Float64()*math.Pi*0.98 + 0.01
+		const p = 14
+		stack := WignerStack(p, beta)
+		for l := 0; l <= p; l++ {
+			dim := 2*l + 1
+			for mp := -l; mp <= l; mp++ {
+				for m := -l; m <= l; m++ {
+					got := stack[l][(mp+l)*dim+(m+l)]
+					want := wignerdExplicit(l, mp, m, beta)
+					if math.Abs(got-want) > 1e-10 {
+						t.Fatalf("d^%d_{%d,%d}(%v) = %v, want %v",
+							l, mp, m, beta, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWignerOrthogonality(t *testing.T) {
+	// Each d^l is orthogonal: d^l (d^l)^T = I.
+	const p = 12
+	stack := WignerStack(p, 0.7)
+	for l := 0; l <= p; l++ {
+		dim := 2*l + 1
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				var dot float64
+				for k := 0; k < dim; k++ {
+					dot += stack[l][i*dim+k] * stack[l][j*dim+k]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-11 {
+					t.Fatalf("l=%d: row %d . row %d = %v", l, i, j, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestWignerIdentityAtZero(t *testing.T) {
+	stack := WignerStack(10, 0)
+	for l := 0; l <= 10; l++ {
+		dim := 2*l + 1
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(stack[l][i*dim+j]-want) > 1e-13 {
+					t.Fatalf("d^%d(0) not identity at (%d,%d)", l, i, j)
+				}
+			}
+		}
+	}
+}

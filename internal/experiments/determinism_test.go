@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestExperimentsDeterministic: the same seed must reproduce experiment
+// outputs bit-for-bit — the property that makes EXPERIMENTS.md's recorded
+// numbers regenerable.
+func TestExperimentsDeterministic(t *testing.T) {
+	p := Params{N: 4000, Seed: 42}
+	a := Fig3(p)
+	b := Fig3(p)
+	if len(a) != len(b) {
+		t.Fatal("sweep lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fig3 point %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c1 := Cluster(Params{N: 4000, Seed: 42, GPUs: 1}, 4)
+	c2 := Cluster(Params{N: 4000, Seed: 42, GPUs: 1}, 4)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("cluster point %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"afmm/internal/geom"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// randUnit returns a uniformly distributed unit vector.
+func randUnit(rng *rand.Rand) geom.Vec3 {
+	z := 2*rng.Float64() - 1
+	phi := 2 * math.Pi * rng.Float64()
+	s := math.Sqrt(1 - z*z)
+	return geom.Vec3{X: s * math.Cos(phi), Y: s * math.Sin(phi), Z: z}
+}

@@ -1,0 +1,77 @@
+// Package fieldgrid samples the gravitational field of a solved system on
+// a regular lattice — the bridge between the solver and visualization
+// tooling (the probe evaluation itself is core.Solver.EvaluateAt).
+package fieldgrid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"afmm/internal/core"
+	"afmm/internal/geom"
+)
+
+// Grid is a regular lattice of Nx x Ny x Nz points starting at Origin with
+// spacing Dx along each axis.
+type Grid struct {
+	Origin     geom.Vec3
+	Dx         float64
+	Nx, Ny, Nz int
+}
+
+// Covering returns a cubic grid of n^3 points covering the box with a
+// small margin.
+func Covering(b geom.Box, n int) Grid {
+	if n < 2 {
+		n = 2
+	}
+	span := 2 * b.Half * 1.05
+	return Grid{
+		Origin: b.Center.Sub(geom.Vec3{X: span / 2, Y: span / 2, Z: span / 2}),
+		Dx:     span / float64(n-1),
+		Nx:     n, Ny: n, Nz: n,
+	}
+}
+
+// Len returns the number of lattice points.
+func (g Grid) Len() int { return g.Nx * g.Ny * g.Nz }
+
+// Points materializes the lattice in x-fastest order.
+func (g Grid) Points() []geom.Vec3 {
+	pts := make([]geom.Vec3, 0, g.Len())
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				pts = append(pts, g.Origin.Add(geom.Vec3{
+					X: float64(i) * g.Dx,
+					Y: float64(j) * g.Dx,
+					Z: float64(k) * g.Dx,
+				}))
+			}
+		}
+	}
+	return pts
+}
+
+// Sample evaluates the solver's field on the grid.
+func Sample(s *core.Solver, g Grid) (phi []float64, field []geom.Vec3) {
+	return s.EvaluateAt(g.Points())
+}
+
+// WriteCSV samples the grid and writes "x,y,z,phi,ax,ay,az" rows.
+func WriteCSV(w io.Writer, s *core.Solver, g Grid) error {
+	pts := g.Points()
+	phi, field := s.EvaluateAt(pts)
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "x,y,z,phi,ax,ay,az"); err != nil {
+		return err
+	}
+	for i, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%.8g,%.8g,%.8g,%.8g,%.8g,%.8g,%.8g\n",
+			p.X, p.Y, p.Z, phi[i], field[i].X, field[i].Y, field[i].Z); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,82 @@
+package fieldgrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/geom"
+)
+
+func TestGridPointsLayout(t *testing.T) {
+	g := Grid{Origin: geom.Vec3{X: 1}, Dx: 0.5, Nx: 3, Ny: 2, Nz: 2}
+	pts := g.Points()
+	if len(pts) != g.Len() || g.Len() != 12 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0] != (geom.Vec3{X: 1}) {
+		t.Fatalf("origin %v", pts[0])
+	}
+	// x-fastest ordering.
+	if pts[1] != (geom.Vec3{X: 1.5}) || pts[3] != (geom.Vec3{X: 1, Y: 0.5}) {
+		t.Fatalf("ordering wrong: %v %v", pts[1], pts[3])
+	}
+}
+
+func TestCoveringContainsBox(t *testing.T) {
+	b := geom.Box{Center: geom.Vec3{X: 2}, Half: 3}
+	g := Covering(b, 5)
+	pts := g.Points()
+	first := pts[0]
+	last := pts[len(pts)-1]
+	if first.X > b.Center.X-b.Half || last.X < b.Center.X+b.Half {
+		t.Fatalf("grid [%v, %v] does not cover box", first.X, last.X)
+	}
+}
+
+func TestSampleMatchesDirect(t *testing.T) {
+	sys := distrib.Plummer(500, 1, 1, 43)
+	s := core.NewSolver(sys, core.Config{P: 8, S: 16, NumGPUs: 1})
+	s.Solve()
+	g := Grid{Origin: geom.Vec3{X: 2, Y: 2, Z: 2}, Dx: 1, Nx: 2, Ny: 2, Nz: 2}
+	phi, field := Sample(s, g)
+	pts := g.Points()
+	for i, x := range pts {
+		var wantPhi float64
+		var wantF geom.Vec3
+		for j := range sys.Pos {
+			p, a := s.Cfg.Kernel.Accumulate(x, sys.Pos[j], sys.Mass[j])
+			wantPhi += p
+			wantF = wantF.Add(a)
+		}
+		if d := phi[i] - wantPhi; d > 1e-4*-wantPhi || d < -1e-4*-wantPhi {
+			t.Fatalf("point %d: phi %g want %g", i, phi[i], wantPhi)
+		}
+		if field[i].Sub(wantF).Norm() > 1e-4*(1+wantF.Norm()) {
+			t.Fatalf("point %d: field %v want %v", i, field[i], wantF)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	sys := distrib.Plummer(200, 1, 1, 44)
+	s := core.NewSolver(sys, core.Config{P: 6, S: 16})
+	s.Solve()
+	g := Covering(geom.Box{Half: 2}, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+g.Len() {
+		t.Fatalf("%d lines, want %d", len(lines), 1+g.Len())
+	}
+	if lines[0] != "x,y,z,phi,ax,ay,az" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(strings.Split(lines[1], ",")) != 7 {
+		t.Fatalf("row %q", lines[1])
+	}
+}

@@ -1,0 +1,59 @@
+package geom
+
+// Morton (Z-order) encoding: interleaves the bits of quantized coordinates
+// so that sorting by key yields a space-filling order. The octree's DFS
+// body order coincides with the Morton order of the leaf cells; these
+// helpers let external partitioners (e.g. the distributed-memory
+// extension) reason about locality without a tree.
+
+// MortonBits is the per-axis resolution of the 63-bit 3-D key.
+const MortonBits = 21
+
+// MortonKey quantizes p within the cube b to MortonBits per axis and
+// interleaves the bits (x lowest). Points outside the cube are clamped.
+func MortonKey(p Vec3, b Box) uint64 {
+	scale := float64(uint64(1)<<MortonBits) / (2 * b.Half)
+	qx := quantize((p.X - (b.Center.X - b.Half)) * scale)
+	qy := quantize((p.Y - (b.Center.Y - b.Half)) * scale)
+	qz := quantize((p.Z - (b.Center.Z - b.Half)) * scale)
+	return interleave3(qx) | interleave3(qy)<<1 | interleave3(qz)<<2
+}
+
+func quantize(x float64) uint32 {
+	max := float64(uint64(1)<<MortonBits - 1)
+	if x < 0 {
+		return 0
+	}
+	if x > max {
+		return uint32(max)
+	}
+	return uint32(x)
+}
+
+// interleave3 spreads the low 21 bits of v so consecutive bits land three
+// apart (the classic magic-number dilation).
+func interleave3(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// MortonCompact inverts interleave3 (extracts every third bit).
+func MortonCompact(x uint64) uint32 {
+	x &= 0x1249249249249249
+	x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3
+	x = (x ^ (x >> 4)) & 0x100f00f00f00f00f
+	x = (x ^ (x >> 8)) & 0x1f0000ff0000ff
+	x = (x ^ (x >> 16)) & 0x1f00000000ffff
+	x = (x ^ (x >> 32)) & 0x1fffff
+	return uint32(x)
+}
+
+// MortonDecode returns the quantized per-axis coordinates of a key.
+func MortonDecode(key uint64) (x, y, z uint32) {
+	return MortonCompact(key), MortonCompact(key >> 1), MortonCompact(key >> 2)
+}

@@ -1,0 +1,69 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= 1<<MortonBits - 1
+		y &= 1<<MortonBits - 1
+		z &= 1<<MortonBits - 1
+		key := interleave3(x) | interleave3(y)<<1 | interleave3(z)<<2
+		gx, gy, gz := MortonDecode(key)
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMortonKeyLocality(t *testing.T) {
+	// Points in the same octant of the cube share the top interleaved
+	// bits; points in different octants differ there.
+	b := Box{Half: 1}
+	topBits := func(key uint64) uint64 { return key >> (3 * (MortonBits - 1)) }
+	pp := Vec3{0.5, 0.5, 0.5}
+	pm := Vec3{0.5, 0.5, -0.5}
+	pp2 := Vec3{0.9, 0.1, 0.3}
+	if topBits(MortonKey(pp, b)) != topBits(MortonKey(pp2, b)) {
+		t.Fatal("same-octant points differ in top Morton bits")
+	}
+	if topBits(MortonKey(pp, b)) == topBits(MortonKey(pm, b)) {
+		t.Fatal("different-octant points share top Morton bits")
+	}
+}
+
+func TestMortonOrderMatchesOctantOrder(t *testing.T) {
+	// Sorting random points by Morton key must group them by octant,
+	// with octant index equal to the top 3 bits (x lowest).
+	rng := rand.New(rand.NewSource(5))
+	b := Box{Half: 2}
+	for i := 0; i < 200; i++ {
+		p := Vec3{
+			X: (2*rng.Float64() - 1) * 2,
+			Y: (2*rng.Float64() - 1) * 2,
+			Z: (2*rng.Float64() - 1) * 2,
+		}
+		key := MortonKey(p, b)
+		oct := int(key >> (3*MortonBits - 3))
+		if oct != b.Octant(p) {
+			t.Fatalf("point %v: morton octant %d, geometric octant %d",
+				p, oct, b.Octant(p))
+		}
+	}
+}
+
+func TestMortonClamping(t *testing.T) {
+	b := Box{Half: 1}
+	inside := MortonKey(Vec3{0.999, 0.999, 0.999}, b)
+	outside := MortonKey(Vec3{50, 50, 50}, b)
+	if inside > outside {
+		t.Fatal("clamped outside point ordered before inside corner")
+	}
+	if MortonKey(Vec3{-50, -50, -50}, b) != 0 {
+		t.Fatal("clamped negative point should map to key 0")
+	}
+}

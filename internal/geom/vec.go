@@ -1,0 +1,175 @@
+// Package geom provides the small geometric vocabulary shared by the AFMM:
+// 3-D vectors, axis-aligned cubic boxes, and octant indexing for octrees.
+package geom
+
+import "math"
+
+// Vec3 is a point or displacement in 3-D space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Spherical returns the spherical coordinates (r, theta, phi) of v, with
+// theta the polar angle measured from the +Z axis and phi the azimuth.
+// For the zero vector it returns (0, 0, 0).
+func (v Vec3) Spherical() (r, theta, phi float64) {
+	r = v.Norm()
+	if r == 0 {
+		return 0, 0, 0
+	}
+	theta = math.Acos(clamp(v.Z/r, -1, 1))
+	phi = math.Atan2(v.Y, v.X)
+	return r, theta, phi
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Box is an axis-aligned cube described by its center and half-width.
+// Octree cells are always cubes, so a single half-width suffices.
+type Box struct {
+	Center Vec3
+	Half   float64
+}
+
+// Contains reports whether p lies inside the half-open cube
+// [c-h, c+h) in each dimension. The half-open convention guarantees each
+// point belongs to exactly one child octant during subdivision.
+func (b Box) Contains(p Vec3) bool {
+	return p.X >= b.Center.X-b.Half && p.X < b.Center.X+b.Half &&
+		p.Y >= b.Center.Y-b.Half && p.Y < b.Center.Y+b.Half &&
+		p.Z >= b.Center.Z-b.Half && p.Z < b.Center.Z+b.Half
+}
+
+// Octant returns the index (0..7) of the child octant containing p.
+// Bit 0 is set when p.X >= center.X, bit 1 for Y, bit 2 for Z.
+func (b Box) Octant(p Vec3) int {
+	o := 0
+	if p.X >= b.Center.X {
+		o |= 1
+	}
+	if p.Y >= b.Center.Y {
+		o |= 2
+	}
+	if p.Z >= b.Center.Z {
+		o |= 4
+	}
+	return o
+}
+
+// Child returns the cube of child octant i (0..7).
+func (b Box) Child(i int) Box {
+	h := b.Half / 2
+	c := b.Center
+	if i&1 != 0 {
+		c.X += h
+	} else {
+		c.X -= h
+	}
+	if i&2 != 0 {
+		c.Y += h
+	} else {
+		c.Y -= h
+	}
+	if i&4 != 0 {
+		c.Z += h
+	} else {
+		c.Z -= h
+	}
+	return Box{Center: c, Half: h}
+}
+
+// WellSeparated reports whether boxes a and b satisfy the FMM
+// well-separated criterion used throughout this library: the boxes are at
+// the same refinement level (equal half-widths within rounding) and are not
+// adjacent, i.e. their center distance exceeds 2x the sum that adjacency
+// would give. For equal-size cubes with half-width h, neighbors (including
+// diagonal) have center offsets <= 2h per axis; anything farther is
+// well separated.
+func WellSeparated(a, b Box) bool {
+	// Tolerance absorbs floating-point drift in half-widths after many
+	// subdivisions.
+	d := a.Sub(b)
+	limit := 2*math.Max(a.Half, b.Half) + 1e-12*(a.Half+b.Half)
+	return d.X > limit || d.Y > limit || d.Z > limit
+}
+
+// Sub returns the per-axis absolute center distances between the boxes.
+func (b Box) Sub(o Box) Vec3 {
+	return Vec3{
+		math.Abs(b.Center.X - o.Center.X),
+		math.Abs(b.Center.Y - o.Center.Y),
+		math.Abs(b.Center.Z - o.Center.Z),
+	}
+}
+
+// Adjacent reports whether the two cubes touch or overlap (they are not
+// well separated in the neighbor sense), allowing for different sizes.
+func Adjacent(a, b Box) bool {
+	d := a.Sub(b)
+	limit := a.Half + b.Half + 1e-12*(a.Half+b.Half)
+	return d.X <= limit && d.Y <= limit && d.Z <= limit
+}
+
+// BoundingCube returns the smallest cube centered on the centroid of the
+// points' bounding box that contains all points, expanded by a small margin
+// so boundary points fall strictly inside the half-open root cell.
+func BoundingCube(pts []Vec3) Box {
+	if len(pts) == 0 {
+		return Box{Half: 1}
+	}
+	min := pts[0]
+	max := pts[0]
+	for _, p := range pts[1:] {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		min.Z = math.Min(min.Z, p.Z)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+		max.Z = math.Max(max.Z, p.Z)
+	}
+	c := min.Add(max).Scale(0.5)
+	h := math.Max(max.X-min.X, math.Max(max.Y-min.Y, max.Z-min.Z)) / 2
+	if h == 0 {
+		h = 1
+	}
+	// Expand slightly so points on the max faces stay inside the
+	// half-open cube.
+	h *= 1 + 1e-9
+	h += 1e-300 // guard against denormal collapse for degenerate input
+	return Box{Center: c, Half: h}
+}

@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecAlgebra(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-4, 5, 0.5}
+	if got := a.Add(b); got != (Vec3{-3, 7, 3.5}) {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{5, -3, 2.5}) {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale: %v", got)
+	}
+	if got := a.Dot(b); got != -4+10+1.5 {
+		t.Fatalf("Dot: %v", got)
+	}
+}
+
+func TestCrossProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz int16) bool {
+		a := Vec3{float64(ax) / 64, float64(ay) / 64, float64(az) / 64}
+		b := Vec3{float64(bx) / 64, float64(by) / 64, float64(bz) / 64}
+		c := a.Cross(b)
+		// c is orthogonal to both, up to rounding; a x b = -(b x a).
+		scale := a.Norm()*b.Norm() + 1
+		anti := b.Cross(a).Add(c)
+		return almost(c.Dot(a), 0, 1e-9*scale*scale) &&
+			almost(c.Dot(b), 0, 1e-9*scale*scale) &&
+			anti.Norm() < 1e-12*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSphericalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		r, th, ph := v.Spherical()
+		back := Vec3{
+			X: r * math.Sin(th) * math.Cos(ph),
+			Y: r * math.Sin(th) * math.Sin(ph),
+			Z: r * math.Cos(th),
+		}
+		if back.Sub(v).Norm() > 1e-12*(1+r) {
+			t.Fatalf("round trip failed: %v -> %v", v, back)
+		}
+	}
+	// Degenerate cases.
+	if r, th, ph := (Vec3{}).Spherical(); r != 0 || th != 0 || ph != 0 {
+		t.Fatal("zero vector spherical not zero")
+	}
+	if _, th, _ := (Vec3{Z: 2}).Spherical(); th != 0 {
+		t.Fatalf("polar vector theta = %v", th)
+	}
+}
+
+func TestOctantChildConsistency(t *testing.T) {
+	// For any point inside a box, the child of its octant contains it.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		b := Box{
+			Center: Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+			Half:   rng.Float64() + 0.1,
+		}
+		p := b.Center.Add(Vec3{
+			X: (2*rng.Float64() - 1) * b.Half,
+			Y: (2*rng.Float64() - 1) * b.Half,
+			Z: (2*rng.Float64() - 1) * b.Half,
+		})
+		if !b.Contains(p) {
+			continue // boundary rounding
+		}
+		child := b.Child(b.Octant(p))
+		if !child.Contains(p) {
+			t.Fatalf("child %d of %+v does not contain %v", b.Octant(p), b, p)
+		}
+	}
+}
+
+func TestChildrenTileParent(t *testing.T) {
+	b := Box{Center: Vec3{1, -2, 3}, Half: 2}
+	var vol float64
+	for i := 0; i < 8; i++ {
+		c := b.Child(i)
+		if !almost(c.Half, 1, 1e-15) {
+			t.Fatalf("child half = %v", c.Half)
+		}
+		vol += 8 * c.Half * c.Half * c.Half
+		// Child center offset is (±h/2, ±h/2, ±h/2).
+		d := c.Center.Sub(b.Center)
+		for _, x := range []float64{d.X, d.Y, d.Z} {
+			if !almost(math.Abs(x), 1, 1e-15) {
+				t.Fatalf("child offset %v", d)
+			}
+		}
+	}
+	if !almost(vol, 8*b.Half*b.Half*b.Half, 1e-12) {
+		t.Fatalf("children volume %v", vol)
+	}
+}
+
+func TestWellSeparatedAndAdjacent(t *testing.T) {
+	a := Box{Center: Vec3{}, Half: 1}
+	near := Box{Center: Vec3{X: 2}, Half: 1}    // touching
+	far := Box{Center: Vec3{X: 4.001}, Half: 1} // beyond 2*max+eps along X
+	diag := Box{Center: Vec3{2, 2, 2}, Half: 1} // diagonal neighbor
+	if WellSeparated(a, near) {
+		t.Fatal("touching boxes reported separated")
+	}
+	if !WellSeparated(a, far) {
+		t.Fatal("distant boxes not separated")
+	}
+	if WellSeparated(a, diag) {
+		t.Fatal("diagonal neighbor reported separated")
+	}
+	if !Adjacent(a, near) || !Adjacent(a, diag) {
+		t.Fatal("neighbors not adjacent")
+	}
+	if Adjacent(a, far) {
+		t.Fatal("distant boxes adjacent")
+	}
+}
+
+func TestBoundingCubeContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100) + 1
+		pts := make([]Vec3, n)
+		for i := range pts {
+			pts[i] = Vec3{
+				X: rng.NormFloat64() * 100,
+				Y: rng.NormFloat64(),
+				Z: rng.NormFloat64() * 0.01,
+			}
+		}
+		b := BoundingCube(pts)
+		for _, p := range pts {
+			if !b.Contains(p) {
+				t.Fatalf("bounding cube %+v misses %v", b, p)
+			}
+		}
+	}
+	// Degenerate inputs.
+	if b := BoundingCube(nil); b.Half <= 0 {
+		t.Fatal("empty bounding cube has nonpositive half")
+	}
+	one := []Vec3{{X: 5, Y: 5, Z: 5}}
+	if b := BoundingCube(one); !b.Contains(one[0]) {
+		t.Fatal("single-point cube misses its point")
+	}
+}

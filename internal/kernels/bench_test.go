@@ -1,0 +1,50 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"afmm/internal/geom"
+)
+
+func randBodies(n int, seed int64) ([]geom.Vec3, []float64, []geom.Vec3) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]geom.Vec3, n)
+	mass := make([]float64, n)
+	f := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		mass[i] = 1
+		f[i] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+	}
+	return pos, mass, f
+}
+
+// BenchmarkGravityP2P reports the direct-kernel throughput in
+// interactions/second (the quantity the device model is calibrated in).
+func BenchmarkGravityP2P(b *testing.B) {
+	const n = 512
+	pos, mass, _ := randBodies(n, 1)
+	phi := make([]float64, n)
+	acc := make([]geom.Vec3, n)
+	k := Gravity{G: 1, Softening: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.P2P(pos, phi, acc, pos, mass)
+	}
+	b.ReportMetric(float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9,
+		"Ginteractions/s")
+}
+
+func BenchmarkStokesletP2P(b *testing.B) {
+	const n = 512
+	pos, _, f := randBodies(n, 2)
+	vel := make([]geom.Vec3, n)
+	k := Stokeslet{Mu: 1, Eps: 1e-3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.P2P(pos, vel, pos, f)
+	}
+	b.ReportMetric(float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9,
+		"Ginteractions/s")
+}

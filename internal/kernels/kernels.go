@@ -1,0 +1,144 @@
+// Package kernels implements the direct (P2P) pairwise interaction kernels:
+// the Laplace/gravity kernel used by the paper's gravitational test problem
+// and the regularized Stokeslet kernel of Cortez used by its fluid-dynamics
+// problem.
+package kernels
+
+import (
+	"math"
+
+	"afmm/internal/geom"
+)
+
+// Gravity is the softened Laplace kernel. With Softening = 0 it is the pure
+// 1/r potential used by the far-field expansions; a small softening is
+// conventional for collisional N-body time integration.
+type Gravity struct {
+	// G is the gravitational constant. The induced acceleration on a
+	// target at x from a source of mass m at y is -G m (x-y)/|x-y|^3.
+	G float64
+	// Softening is the Plummer softening length eps; the effective
+	// distance is sqrt(r^2 + eps^2).
+	Softening float64
+}
+
+// Accumulate adds the potential and acceleration at target x due to a
+// source of mass m at y. A self-pair (zero distance) contributes nothing.
+func (k Gravity) Accumulate(x, y geom.Vec3, m float64) (phi float64, acc geom.Vec3) {
+	d := x.Sub(y)
+	if d.Norm2() == 0 {
+		return 0, geom.Vec3{} // self pair (or exact coincidence): no force
+	}
+	r2 := d.Norm2() + k.Softening*k.Softening
+	inv := 1 / math.Sqrt(r2)
+	inv3 := inv * inv * inv
+	return -k.G * m * inv, d.Scale(-k.G * m * inv3)
+}
+
+// P2P computes the mutual interactions of targets (positions xt) against
+// sources (positions ys, masses ms), accumulating potential into phi and
+// acceleration into acc (parallel to xt). It is the reference CPU kernel;
+// the virtual GPU executes the numerically identical computation.
+func (k Gravity) P2P(xt []geom.Vec3, phi []float64, acc []geom.Vec3, ys []geom.Vec3, ms []float64) {
+	eps2 := k.Softening * k.Softening
+	for i := range xt {
+		p := phi[i]
+		a := acc[i]
+		xi := xt[i]
+		for j := range ys {
+			d := xi.Sub(ys[j])
+			r2 := d.Norm2()
+			if r2 == 0 {
+				continue // self pair or exact coincidence
+			}
+			r2 += eps2
+			inv := 1 / math.Sqrt(r2)
+			gm := k.G * ms[j]
+			p -= gm * inv
+			f := gm * inv * inv * inv
+			a.X -= f * d.X
+			a.Y -= f * d.Y
+			a.Z -= f * d.Z
+		}
+		phi[i] = p
+		acc[i] = a
+	}
+}
+
+// Stokeslet is the regularized Stokeslet kernel of Cortez (2001/2005). A
+// point force f at y induces a fluid velocity at x:
+//
+//	u(x) = (1 / 8 pi mu) [ f (r^2 + 2 eps^2) / (r^2 + eps^2)^{3/2}
+//	                      + (f . d) d / (r^2 + eps^2)^{3/2} ]
+//
+// with d = x - y, r = |d| and blob parameter eps. As eps -> 0 this reduces
+// to the singular Stokeslet (Oseen tensor).
+type Stokeslet struct {
+	Mu  float64 // dynamic viscosity
+	Eps float64 // regularization (blob) parameter
+}
+
+// Velocity returns the induced velocity at x from a regularized point force
+// f located at y.
+func (k Stokeslet) Velocity(x, y geom.Vec3, f geom.Vec3) geom.Vec3 {
+	d := x.Sub(y)
+	r2 := d.Norm2()
+	e2 := k.Eps * k.Eps
+	den := math.Pow(r2+e2, 1.5)
+	if den == 0 {
+		return geom.Vec3{}
+	}
+	c := 1 / (8 * math.Pi * k.Mu * den)
+	h1 := (r2 + 2*e2) * c
+	h2 := d.Dot(f) * c
+	return f.Scale(h1).Add(d.Scale(h2))
+}
+
+// SingularVelocity returns the velocity induced by a singular Stokeslet —
+// the eps -> 0 limit, used to validate the far-field harmonic
+// decomposition.
+func (k Stokeslet) SingularVelocity(x, y geom.Vec3, f geom.Vec3) geom.Vec3 {
+	d := x.Sub(y)
+	r := d.Norm()
+	if r == 0 {
+		return geom.Vec3{}
+	}
+	c := 1 / (8 * math.Pi * k.Mu)
+	return f.Scale(c / r).Add(d.Scale(c * d.Dot(f) / (r * r * r)))
+}
+
+// P2P accumulates regularized Stokeslet velocities at targets xt due to
+// point forces fs at ys into vel.
+func (k Stokeslet) P2P(xt []geom.Vec3, vel []geom.Vec3, ys []geom.Vec3, fs []geom.Vec3) {
+	e2 := k.Eps * k.Eps
+	c0 := 1 / (8 * math.Pi * k.Mu)
+	for i := range xt {
+		v := vel[i]
+		xi := xt[i]
+		for j := range ys {
+			d := xi.Sub(ys[j])
+			r2 := d.Norm2()
+			den := r2 + e2
+			den15 := den * math.Sqrt(den)
+			if den15 == 0 {
+				continue
+			}
+			c := c0 / den15
+			f := fs[j]
+			h1 := (r2 + 2*e2) * c
+			h2 := d.Dot(f) * c
+			v.X += f.X*h1 + d.X*h2
+			v.Y += f.Y*h1 + d.Y*h2
+			v.Z += f.Z*h1 + d.Z*h2
+		}
+		vel[i] = v
+	}
+}
+
+// FlopsPerGravityInteraction is the approximate floating-point cost of one
+// gravity P2P pair, used by the device cost models.
+const FlopsPerGravityInteraction = 20
+
+// FlopsPerStokesletInteraction is the approximate cost of one regularized
+// Stokeslet pair.
+const FlopsPerStokesletInteraction = 34

@@ -1,0 +1,160 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"afmm/internal/geom"
+)
+
+func TestGravityAccumulateBasics(t *testing.T) {
+	k := Gravity{G: 2}
+	x := geom.Vec3{X: 3}
+	y := geom.Vec3{}
+	phi, acc := k.Accumulate(x, y, 5)
+	if math.Abs(phi-(-2*5/3.0)) > 1e-15 {
+		t.Fatalf("phi = %v", phi)
+	}
+	// Acceleration points from x toward y with magnitude G m / r^2.
+	want := geom.Vec3{X: -2 * 5 / 9.0}
+	if acc.Sub(want).Norm() > 1e-15 {
+		t.Fatalf("acc = %v want %v", acc, want)
+	}
+	// Self pair contributes nothing even with softening.
+	ks := Gravity{G: 1, Softening: 0.1}
+	if p, a := ks.Accumulate(x, x, 1); p != 0 || a != (geom.Vec3{}) {
+		t.Fatal("self pair not skipped")
+	}
+}
+
+func TestGravityP2PMatchesAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := Gravity{G: 1.5, Softening: 0.01}
+	const nt, ns = 17, 23
+	xt := make([]geom.Vec3, nt)
+	ys := make([]geom.Vec3, ns)
+	ms := make([]float64, ns)
+	for i := range xt {
+		xt[i] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+	}
+	for j := range ys {
+		ys[j] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		ms[j] = rng.Float64() + 0.1
+	}
+	phi := make([]float64, nt)
+	acc := make([]geom.Vec3, nt)
+	k.P2P(xt, phi, acc, ys, ms)
+	for i := range xt {
+		var wantPhi float64
+		var wantAcc geom.Vec3
+		for j := range ys {
+			p, a := k.Accumulate(xt[i], ys[j], ms[j])
+			wantPhi += p
+			wantAcc = wantAcc.Add(a)
+		}
+		if math.Abs(phi[i]-wantPhi) > 1e-12*math.Abs(wantPhi) {
+			t.Fatalf("phi[%d] = %v want %v", i, phi[i], wantPhi)
+		}
+		if acc[i].Sub(wantAcc).Norm() > 1e-12*wantAcc.Norm() {
+			t.Fatalf("acc[%d] = %v want %v", i, acc[i], wantAcc)
+		}
+	}
+}
+
+func TestGravityNewtonThirdLaw(t *testing.T) {
+	k := Gravity{G: 1, Softening: 0.05}
+	a := geom.Vec3{X: 1, Y: 2, Z: -1}
+	b := geom.Vec3{X: -0.5, Y: 0.3, Z: 2}
+	_, fab := k.Accumulate(a, b, 1)
+	_, fba := k.Accumulate(b, a, 1)
+	if fab.Add(fba).Norm() > 1e-15 {
+		t.Fatalf("forces not antisymmetric: %v vs %v", fab, fba)
+	}
+}
+
+func TestStokesletReducesToSingular(t *testing.T) {
+	x := geom.Vec3{X: 2, Y: 1, Z: -0.5}
+	y := geom.Vec3{X: -1}
+	f := geom.Vec3{X: 0.3, Y: -0.7, Z: 1.1}
+	sing := Stokeslet{Mu: 1.3}.SingularVelocity(x, y, f)
+	for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+		u := Stokeslet{Mu: 1.3, Eps: eps}.Velocity(x, y, f)
+		if u.Sub(sing).Norm() > 10*eps*eps*sing.Norm()+1e-14 {
+			t.Fatalf("eps=%v: %v vs singular %v", eps, u, sing)
+		}
+	}
+}
+
+func TestStokesletSelfVelocityFinite(t *testing.T) {
+	// The regularized kernel has a finite self-induced velocity
+	// u(0) = f / (4 pi mu eps) — the defining property of the method.
+	k := Stokeslet{Mu: 2, Eps: 0.1}
+	f := geom.Vec3{Z: 1}
+	u := k.Velocity(geom.Vec3{}, geom.Vec3{}, f)
+	want := f.Scale(2 * 0.1 * 0.1 / (8 * math.Pi * 2 * math.Pow(0.1, 3)))
+	if u.Sub(want).Norm() > 1e-14 {
+		t.Fatalf("self velocity %v want %v", u, want)
+	}
+}
+
+func TestStokesletP2PMatchesVelocity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := Stokeslet{Mu: 0.8, Eps: 0.02}
+	const nt, ns = 9, 13
+	xt := make([]geom.Vec3, nt)
+	ys := make([]geom.Vec3, ns)
+	fs := make([]geom.Vec3, ns)
+	for i := range xt {
+		xt[i] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+	}
+	for j := range ys {
+		ys[j] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		fs[j] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+	}
+	vel := make([]geom.Vec3, nt)
+	k.P2P(xt, vel, ys, fs)
+	for i := range xt {
+		var want geom.Vec3
+		for j := range ys {
+			want = want.Add(k.Velocity(xt[i], ys[j], fs[j]))
+		}
+		if vel[i].Sub(want).Norm() > 1e-12*(1+want.Norm()) {
+			t.Fatalf("vel[%d] = %v want %v", i, vel[i], want)
+		}
+	}
+}
+
+func TestStokesFlowIncompressibilityNumerically(t *testing.T) {
+	// div u = 0 for the singular Stokeslet away from the source.
+	k := Stokeslet{Mu: 1}
+	y := geom.Vec3{}
+	f := geom.Vec3{X: 1, Y: 0.5, Z: -0.2}
+	x := geom.Vec3{X: 1.2, Y: -0.7, Z: 0.4}
+	const h = 1e-5
+	div := 0.0
+	for axis := 0; axis < 3; axis++ {
+		var d geom.Vec3
+		switch axis {
+		case 0:
+			d = geom.Vec3{X: h}
+		case 1:
+			d = geom.Vec3{Y: h}
+		default:
+			d = geom.Vec3{Z: h}
+		}
+		up := k.SingularVelocity(x.Add(d), y, f)
+		dn := k.SingularVelocity(x.Sub(d), y, f)
+		switch axis {
+		case 0:
+			div += (up.X - dn.X) / (2 * h)
+		case 1:
+			div += (up.Y - dn.Y) / (2 * h)
+		default:
+			div += (up.Z - dn.Z) / (2 * h)
+		}
+	}
+	if math.Abs(div) > 1e-6 {
+		t.Fatalf("div u = %v, want 0", div)
+	}
+}

@@ -1,0 +1,82 @@
+package octree
+
+import (
+	"testing"
+
+	"afmm/internal/distrib"
+)
+
+func BenchmarkBuildPlummer(b *testing.B) {
+	for _, n := range []int{10000, 50000} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			sys := distrib.Plummer(n, 1, 1, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Build(sys, Config{S: 64})
+			}
+		})
+	}
+}
+
+func BenchmarkRebuild(b *testing.B) {
+	sys := distrib.Plummer(20000, 1, 1, 42)
+	t := Build(sys, Config{S: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Rebuild(64)
+	}
+}
+
+func BenchmarkRefill(b *testing.B) {
+	sys := distrib.Plummer(20000, 1, 1, 42)
+	t := Build(sys, Config{S: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Refill()
+	}
+}
+
+func BenchmarkBuildLists(b *testing.B) {
+	for _, s := range []int{16, 64, 256} {
+		b.Run(sizeName(s), func(b *testing.B) {
+			sys := distrib.Plummer(20000, 1, 1, 42)
+			t := Build(sys, Config{S: s})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.BuildLists()
+			}
+		})
+	}
+}
+
+func BenchmarkEnforceS(b *testing.B) {
+	sys := distrib.Plummer(20000, 1, 1, 42)
+	t := Build(sys, Config{S: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.EnforceS()
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000 && n%1000 == 0:
+		return itoa(n/1000) + "k"
+	default:
+		return itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,74 @@
+package octree
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"afmm/internal/geom"
+	"afmm/internal/particle"
+)
+
+// FuzzBuildRefillEnforce feeds arbitrary byte strings as body positions
+// and balancer-style mutations, checking that the tree never violates its
+// structural invariants. Run with `go test -fuzz FuzzBuildRefillEnforce`;
+// the seed corpus below executes as a normal test.
+func FuzzBuildRefillEnforce(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(4))
+	f.Add(make([]byte, 97), uint8(1))
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 128, 64, 32, 16, 8, 4, 2, 1}, uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, sRaw uint8) {
+		if len(data) < 6 {
+			return
+		}
+		// Decode positions: 6 bytes -> one body (3 x uint16 scaled).
+		n := len(data) / 6
+		if n > 300 {
+			n = 300
+		}
+		sys := particle.New(n)
+		for i := 0; i < n; i++ {
+			b := data[i*6:]
+			u := func(k int) float64 {
+				return (float64(binary.LittleEndian.Uint16(b[k*2:]))/65535 - 0.5) * 20
+			}
+			sys.Pos[i] = geom.Vec3{X: u(0), Y: u(1), Z: u(2)}
+		}
+		s := int(sRaw)%40 + 1
+		tr := Build(sys, Config{S: s})
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		tr.BuildLists()
+		ops := tr.CountOps()
+		if ops.P2M != int64(n) || ops.L2P != int64(n) {
+			t.Fatalf("endpoint counts wrong: %+v (n=%d)", ops, n)
+		}
+		// Every body-body pair appears at least once as near-field or
+		// is separated; the exact-once property is checked exhaustively
+		// for small systems.
+		if n <= 40 {
+			if err := tr.ValidateLists(); err != nil {
+				t.Fatalf("lists: %v", err)
+			}
+		}
+		// Perturb positions deterministically from the data and refill.
+		for i := 0; i < n; i++ {
+			d := float64(data[(i*7)%len(data)])/255 - 0.5
+			sys.Pos[i] = sys.Pos[i].Add(geom.Vec3{X: d, Y: -d / 2, Z: d / 3})
+		}
+		tr.Refill()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("refill: %v", err)
+		}
+		tr.EnforceS()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("enforce: %v", err)
+		}
+		// Interaction counts stay finite and nonnegative.
+		tr.BuildLists()
+		ops = tr.CountOps()
+		if ops.P2P < int64(n) || ops.P2P > int64(n)*int64(n) {
+			t.Fatalf("P2P count %d outside [n, n^2]", ops.P2P)
+		}
+	})
+}

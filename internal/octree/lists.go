@@ -1,0 +1,221 @@
+package octree
+
+import (
+	"fmt"
+	"math"
+)
+
+// sqrt3 is the half-diagonal factor of a cube: the bounding-sphere radius
+// of a cell with half-width h is sqrt(3)*h.
+var sqrt3 = math.Sqrt(3)
+
+// BuildLists computes the interaction lists of the current visible tree by
+// dual traversal: for every ordered pair of visible nodes reached from
+// (root, root), a well-separated pair contributes the source to the
+// target's V list (consumed by M2L in the down sweep); a pair of adjacent
+// visible leaves contributes to the target's U list (consumed by P2P on
+// the device). The larger node of a non-separated pair is expanded, so
+// M2L pairs may join nodes of different levels — the adaptive analogue of
+// the classical V list.
+//
+// Separation uses the multipole acceptance criterion
+//
+//	MAC * dist(centers) > sqrt(3) * (halfA + halfB)
+//
+// which bounds the expansion convergence ratio by MAC/(2-MAC) in the worst
+// corner case, uniformly over unequal-size pairs (unlike the classical
+// same-level adjacency rule, which is only safe for equal cells).
+func (t *Tree) BuildLists() {
+	// Reset lists, keeping capacity.
+	for i := range t.Nodes {
+		t.Nodes[i].U = t.Nodes[i].U[:0]
+		t.Nodes[i].V = t.Nodes[i].V[:0]
+	}
+	root := &t.Nodes[t.Root]
+	if root.Count() == 0 {
+		return
+	}
+	// The traversal only ever appends to the *target* node's lists, so
+	// splitting on the target side yields disjoint writes: the top-level
+	// target subtrees can run as parallel tasks (the paper's "parallel in
+	// space" construction applied to list building).
+	if pool := t.Cfg.Pool; pool != nil && !root.IsVisibleLeaf() &&
+		root.Count() >= t.Cfg.ParallelCutoff {
+		g := pool.NewGroup()
+		for _, ci := range root.Children {
+			if ci != NilNode && t.Nodes[ci].Count() > 0 {
+				ci := ci
+				g.Spawn(func() { t.dual(ci, t.Root) })
+			}
+		}
+		g.Wait()
+		return
+	}
+	t.dual(t.Root, t.Root)
+}
+
+// accepted reports whether the pair satisfies the MAC.
+func (t *Tree) accepted(na, nb *Node) bool {
+	d := na.Box.Center.Sub(nb.Box.Center).Norm()
+	return t.Cfg.MAC*d > sqrt3*(na.Box.Half+nb.Box.Half)
+}
+
+// dual records interactions with a as target and b as source.
+func (t *Tree) dual(a, b int32) {
+	na := &t.Nodes[a]
+	nb := &t.Nodes[b]
+	if na.Count() == 0 || nb.Count() == 0 {
+		return
+	}
+	if a != b && t.accepted(na, nb) {
+		na.V = append(na.V, b)
+		return
+	}
+	aLeaf := na.IsVisibleLeaf()
+	bLeaf := nb.IsVisibleLeaf()
+	if aLeaf && bLeaf {
+		na.U = append(na.U, b)
+		return
+	}
+	// Expand the larger node; prefer expanding the target on ties so
+	// both directed orders are generated symmetrically.
+	if !aLeaf && (bLeaf || na.Box.Half >= nb.Box.Half) {
+		for _, ci := range na.Children {
+			if ci != NilNode {
+				t.dual(ci, b)
+			}
+		}
+		return
+	}
+	for _, ci := range nb.Children {
+		if ci != NilNode {
+			t.dual(a, ci)
+		}
+	}
+}
+
+// OpCounts tallies how many times each FMM operation will be applied on
+// the current visible tree and lists, in the units of the paper's cost
+// model: P2M and L2P per body, M2M and L2L per parent-child translation,
+// M2L per translation pair, P2P per body-body interaction.
+type OpCounts struct {
+	P2M  int64
+	M2M  int64
+	M2L  int64
+	L2L  int64
+	L2P  int64
+	P2P  int64 // body-body interactions
+	P2PN int64 // P2P node-pair count (kernel bookkeeping)
+}
+
+// CountOps requires BuildLists to have been called.
+func (t *Tree) CountOps() OpCounts {
+	var c OpCounts
+	t.WalkVisible(func(ni int32) {
+		n := &t.Nodes[ni]
+		c.M2L += int64(len(n.V))
+		if n.IsVisibleLeaf() {
+			c.P2M += int64(n.Count())
+			c.L2P += int64(n.Count())
+			for _, si := range n.U {
+				c.P2P += int64(n.Count()) * int64(t.Nodes[si].Count())
+				c.P2PN++
+			}
+			return
+		}
+		for _, ci := range n.Children {
+			if ci != NilNode && t.Nodes[ci].Count() > 0 {
+				c.M2M++
+				c.L2L++
+			}
+		}
+	})
+	return c
+}
+
+// LeafInteractions returns, for each visible leaf (in DFS order), the
+// number of direct interactions it participates in as a target:
+// Interactions(t) = n_t * sum_{s in U(t)} n_s — the quantity the paper
+// uses to divide near-field work across GPUs.
+func (t *Tree) LeafInteractions() (leaves []int32, inter []int64) {
+	t.WalkVisible(func(ni int32) {
+		n := &t.Nodes[ni]
+		if !n.IsVisibleLeaf() {
+			return
+		}
+		var srcs int64
+		for _, si := range n.U {
+			srcs += int64(t.Nodes[si].Count())
+		}
+		leaves = append(leaves, ni)
+		inter = append(inter, int64(n.Count())*srcs)
+	})
+	return leaves, inter
+}
+
+// ValidateLists checks that for every pair of bodies (i, j) the interaction
+// is accounted exactly once: either j's leaf is in i's U list, or some
+// ancestor-pair is connected through a V-list edge. It is O(N^2 log N) and
+// intended for tests on small systems.
+func (t *Tree) ValidateLists() error {
+	n := t.Sys.Len()
+	if n == 0 {
+		return nil
+	}
+	// Map each body to its visible leaf.
+	leafOf := make([]int32, n)
+	t.WalkVisible(func(ni int32) {
+		nd := &t.Nodes[ni]
+		if nd.IsVisibleLeaf() {
+			for i := nd.Start; i < nd.End; i++ {
+				leafOf[i] = ni
+			}
+		}
+	})
+	// For each node, the chain of visible ancestors (inclusive).
+	ancestors := func(ni int32) []int32 {
+		var chain []int32
+		for ni != NilNode {
+			chain = append(chain, ni)
+			ni = t.Nodes[ni].Parent
+		}
+		return chain
+	}
+	inU := func(target, src int32) bool {
+		for _, s := range t.Nodes[target].U {
+			if s == src {
+				return true
+			}
+		}
+		return false
+	}
+	inV := func(target, src int32) bool {
+		for _, s := range t.Nodes[target].V {
+			if s == src {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ti, sj := leafOf[i], leafOf[j]
+			count := 0
+			if inU(ti, sj) {
+				count++
+			}
+			for _, ta := range ancestors(ti) {
+				for _, sa := range ancestors(sj) {
+					if inV(ta, sa) {
+						count++
+					}
+				}
+			}
+			if count != 1 {
+				return fmt.Errorf("octree: body pair (%d,%d) covered %d times (leaves %d,%d)",
+					i, j, count, ti, sj)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package octree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render returns a compact ASCII summary of the visible tree: per-level
+// node/leaf/occupancy statistics plus an occupancy histogram — the view a
+// user wants when debugging why a decomposition is slow.
+func (t *Tree) Render() string {
+	type levelStat struct {
+		nodes, leaves, bodies, maxOcc int
+	}
+	levels := map[int]*levelStat{}
+	var occ []int
+	t.WalkVisible(func(ni int32) {
+		n := &t.Nodes[ni]
+		ls := levels[int(n.Level)]
+		if ls == nil {
+			ls = &levelStat{}
+			levels[int(n.Level)] = ls
+		}
+		ls.nodes++
+		if n.IsVisibleLeaf() {
+			ls.leaves++
+			ls.bodies += n.Count()
+			if n.Count() > ls.maxOcc {
+				ls.maxOcc = n.Count()
+			}
+			occ = append(occ, n.Count())
+		}
+	})
+	var b strings.Builder
+	st := t.ComputeStats()
+	fmt.Fprintf(&b, "octree: %d bodies, S=%d, %d visible nodes, %d leaves, depth %d\n",
+		t.Sys.Len(), t.Cfg.S, st.VisibleNodes, st.VisibleLeaves, st.MaxDepth)
+	var lvls []int
+	for l := range levels {
+		lvls = append(lvls, l)
+	}
+	sort.Ints(lvls)
+	fmt.Fprintf(&b, "%6s %8s %8s %10s %8s\n", "level", "nodes", "leaves", "bodies", "maxocc")
+	for _, l := range lvls {
+		ls := levels[l]
+		fmt.Fprintf(&b, "%6d %8d %8d %10d %8d\n", l, ls.nodes, ls.leaves, ls.bodies, ls.maxOcc)
+	}
+	// Occupancy histogram in powers of two up to 2*S.
+	if len(occ) > 0 {
+		fmt.Fprintf(&b, "leaf occupancy:\n")
+		buckets := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+		counts := make([]int, len(buckets)+1)
+		for _, c := range occ {
+			placed := false
+			for i, hi := range buckets {
+				if c <= hi {
+					counts[i]++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				counts[len(buckets)]++
+			}
+		}
+		maxC := 1
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			label := fmt.Sprintf("<=%d", buckets[min(i, len(buckets)-1)])
+			if i == len(buckets) {
+				label = fmt.Sprintf(">%d", buckets[len(buckets)-1])
+			}
+			bar := strings.Repeat("#", 1+c*40/maxC)
+			fmt.Fprintf(&b, "%8s %6d %s\n", label, c, bar)
+		}
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

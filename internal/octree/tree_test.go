@@ -1,0 +1,437 @@
+package octree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"afmm/internal/distrib"
+	"afmm/internal/geom"
+	"afmm/internal/particle"
+	"afmm/internal/sched"
+)
+
+func buildPlummer(t *testing.T, n, s int) *Tree {
+	t.Helper()
+	sys := distrib.Plummer(n, 1, 1, 42)
+	tr := Build(sys, Config{S: s})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	return tr
+}
+
+func TestBuildInvariants(t *testing.T) {
+	for _, s := range []int{1, 4, 16, 64, 1000} {
+		tr := buildPlummer(t, 2000, s)
+		st := tr.ComputeStats()
+		if st.VisibleLeaves == 0 {
+			t.Fatalf("S=%d: no leaves", s)
+		}
+		// Every visible leaf obeys the capacity bound (up to MaxDepth).
+		tr.WalkVisible(func(ni int32) {
+			n := &tr.Nodes[ni]
+			if n.IsVisibleLeaf() && n.Count() > s && int(n.Level) < tr.Cfg.MaxDepth {
+				t.Errorf("S=%d: leaf %d holds %d bodies", s, ni, n.Count())
+			}
+		})
+	}
+}
+
+func TestBodiesInsideLeafBoxes(t *testing.T) {
+	tr := buildPlummer(t, 1000, 8)
+	tr.WalkVisible(func(ni int32) {
+		n := &tr.Nodes[ni]
+		if !n.IsVisibleLeaf() {
+			return
+		}
+		for i := n.Start; i < n.End; i++ {
+			if !n.Box.Contains(tr.Sys.Pos[i]) {
+				t.Errorf("body %d outside its leaf box", i)
+			}
+		}
+	})
+}
+
+func TestCollapsePushDownRoundTrip(t *testing.T) {
+	tr := buildPlummer(t, 500, 8)
+	// Find a twig (internal node whose children are all visible leaves).
+	var twig int32 = NilNode
+	tr.WalkVisible(func(ni int32) {
+		if twig != NilNode {
+			return
+		}
+		n := &tr.Nodes[ni]
+		if n.IsVisibleLeaf() {
+			return
+		}
+		for _, ci := range n.Children {
+			if ci == NilNode || !tr.Nodes[ci].IsVisibleLeaf() {
+				return
+			}
+		}
+		twig = ni
+	})
+	if twig == NilNode {
+		t.Skip("no twig found")
+	}
+	before := tr.ComputeStats()
+	if !tr.Collapse(twig) {
+		t.Fatal("collapse failed on twig")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after collapse: %v", err)
+	}
+	if !tr.Nodes[twig].IsVisibleLeaf() {
+		t.Fatal("collapsed node not a visible leaf")
+	}
+	if !tr.PushDown(twig) {
+		t.Fatal("pushdown failed on collapsed node")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after pushdown: %v", err)
+	}
+	after := tr.ComputeStats()
+	if before.VisibleLeaves != after.VisibleLeaves {
+		t.Fatalf("leaf count changed across round trip: %d -> %d",
+			before.VisibleLeaves, after.VisibleLeaves)
+	}
+}
+
+func TestPushDownStructuralLeaf(t *testing.T) {
+	tr := buildPlummer(t, 300, 64)
+	var leaf int32 = NilNode
+	tr.WalkVisible(func(ni int32) {
+		n := &tr.Nodes[ni]
+		if leaf == NilNode && n.IsVisibleLeaf() && n.Count() > 1 {
+			leaf = ni
+		}
+	})
+	if leaf == NilNode {
+		t.Skip("no splittable leaf")
+	}
+	if !tr.PushDown(leaf) {
+		t.Fatal("pushdown failed")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after pushdown: %v", err)
+	}
+	if tr.Nodes[leaf].IsVisibleLeaf() {
+		t.Fatal("pushed-down node still a leaf")
+	}
+}
+
+func TestEnforceSAfterMovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := buildPlummer(t, 2000, 16)
+	// Contract all bodies toward the center, creating overfull central
+	// leaves and underfull outer twigs.
+	for i := range tr.Sys.Pos {
+		tr.Sys.Pos[i] = tr.Sys.Pos[i].Scale(0.2 + 0.05*rng.Float64())
+	}
+	tr.Refill()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	c, p := tr.EnforceS()
+	if c+p == 0 {
+		t.Fatal("EnforceS made no changes after heavy movement")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after EnforceS: %v", err)
+	}
+	tr.WalkVisible(func(ni int32) {
+		n := &tr.Nodes[ni]
+		if n.IsVisibleLeaf() && n.Count() > tr.Cfg.S && int(n.Level) < tr.Cfg.MaxDepth {
+			t.Errorf("leaf %d overfull after EnforceS: %d > %d", ni, n.Count(), tr.Cfg.S)
+		}
+	})
+}
+
+func TestRefillPreservesBodies(t *testing.T) {
+	tr := buildPlummer(t, 1000, 16)
+	rng := rand.New(rand.NewSource(3))
+	sum := geom.Vec3{}
+	for i := range tr.Sys.Pos {
+		tr.Sys.Pos[i] = tr.Sys.Pos[i].Add(geom.Vec3{
+			X: 0.1 * rng.NormFloat64(),
+			Y: 0.1 * rng.NormFloat64(),
+			Z: 0.1 * rng.NormFloat64(),
+		})
+		sum = sum.Add(tr.Sys.Pos[i])
+	}
+	tr.Refill()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	sum2 := geom.Vec3{}
+	for _, p := range tr.Sys.Pos {
+		sum2 = sum2.Add(p)
+	}
+	if sum.Sub(sum2).Norm() > 1e-9 {
+		t.Fatal("refill lost or duplicated bodies")
+	}
+}
+
+func TestUniformModeFixedDepth(t *testing.T) {
+	sys := distrib.UniformCube(4096, 1, 1)
+	tr := Build(sys, Config{S: 8, Mode: Uniform})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := tr.UniformDepth
+	tr.WalkVisible(func(ni int32) {
+		n := &tr.Nodes[ni]
+		if n.IsVisibleLeaf() && n.Count() > 0 && int(n.Level) != want {
+			// Cells holding a single body may terminate early only when
+			// shouldSplit stops at count <= 1? Uniform mode splits any
+			// occupied cell, so every occupied leaf sits at the target.
+			t.Errorf("uniform leaf at level %d, want %d", n.Level, want)
+		}
+	})
+	// ceil(log8(4096/8)) = ceil(log8(512)) = 3.
+	if want != 3 {
+		t.Fatalf("uniform depth = %d, want 3", want)
+	}
+}
+
+func TestInteractionListsCoverAllPairsOnce(t *testing.T) {
+	for _, tc := range []struct {
+		n, s int
+		seed int64
+	}{
+		{60, 4, 1},
+		{200, 8, 2},
+		{120, 1, 3},
+	} {
+		sys := distrib.Plummer(tc.n, 1, 1, tc.seed)
+		tr := Build(sys, Config{S: tc.s})
+		tr.BuildLists()
+		if err := tr.ValidateLists(); err != nil {
+			t.Fatalf("n=%d s=%d: %v", tc.n, tc.s, err)
+		}
+	}
+}
+
+func TestInteractionListsCoverAfterModifications(t *testing.T) {
+	sys := distrib.Plummer(300, 1, 1, 9)
+	tr := Build(sys, Config{S: 8})
+	// Collapse some twigs, push down some leaves, then re-check coverage.
+	var twigs, leaves []int32
+	tr.WalkVisible(func(ni int32) {
+		n := &tr.Nodes[ni]
+		if n.IsVisibleLeaf() {
+			if n.Count() > 1 {
+				leaves = append(leaves, ni)
+			}
+			return
+		}
+		ok := true
+		for _, ci := range n.Children {
+			if ci == NilNode || !tr.Nodes[ci].IsVisibleLeaf() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			twigs = append(twigs, ni)
+		}
+	})
+	for i, ni := range twigs {
+		if i%2 == 0 {
+			tr.Collapse(ni)
+		}
+	}
+	for i, ni := range leaves {
+		if i%3 == 0 && tr.Nodes[ni].IsVisibleLeaf() {
+			tr.PushDown(ni)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.BuildLists()
+	if err := tr.ValidateLists(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountOpsConsistency(t *testing.T) {
+	tr := buildPlummer(t, 1000, 16)
+	tr.BuildLists()
+	c := tr.CountOps()
+	if c.P2M != 1000 || c.L2P != 1000 {
+		t.Fatalf("P2M/L2P = %d/%d, want 1000", c.P2M, c.L2P)
+	}
+	if c.M2M != c.L2L {
+		t.Fatalf("M2M=%d L2L=%d should match", c.M2M, c.L2L)
+	}
+	if c.P2P <= 0 || c.M2L <= 0 {
+		t.Fatalf("degenerate counts: %+v", c)
+	}
+	// P2P must include at least each leaf's self interactions.
+	var self int64
+	tr.WalkVisible(func(ni int32) {
+		n := &tr.Nodes[ni]
+		if n.IsVisibleLeaf() {
+			self += int64(n.Count()) * int64(n.Count())
+		}
+	})
+	if c.P2P < self {
+		t.Fatalf("P2P=%d below self-interaction floor %d", c.P2P, self)
+	}
+}
+
+func TestLeafInteractionsMatchCountOps(t *testing.T) {
+	tr := buildPlummer(t, 800, 8)
+	tr.BuildLists()
+	c := tr.CountOps()
+	_, inter := tr.LeafInteractions()
+	var sum int64
+	for _, v := range inter {
+		sum += v
+	}
+	if sum != c.P2P {
+		t.Fatalf("leaf interactions sum %d != CountOps P2P %d", sum, c.P2P)
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	sysA := distrib.Plummer(5000, 1, 1, 11)
+	sysB := sysA.Clone()
+	trA := Build(sysA, Config{S: 32})
+	trB := Build(sysB, Config{S: 32, Pool: sched.NewPool(4), ParallelCutoff: 64})
+	if err := trB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := trA.ComputeStats(), trB.ComputeStats()
+	if sa != sb {
+		t.Fatalf("parallel build stats differ: %+v vs %+v", sa, sb)
+	}
+	for i := range sysA.Pos {
+		if sysA.Pos[i] != sysB.Pos[i] || sysA.Index[i] != sysB.Index[i] {
+			t.Fatalf("body order diverged at %d", i)
+		}
+	}
+}
+
+// Property: building a tree over arbitrary bounded point sets always yields
+// a valid structure whose leaves partition the bodies.
+func TestQuickBuildAlwaysValid(t *testing.T) {
+	f := func(seed int64, sRaw uint8, nRaw uint16) bool {
+		n := int(nRaw)%400 + 1
+		s := int(sRaw)%50 + 1
+		sys := distrib.UniformCube(n, 10, seed)
+		tr := Build(sys, Config{S: s})
+		if err := tr.Validate(); err != nil {
+			t.Logf("n=%d s=%d: %v", n, s, err)
+			return false
+		}
+		tr.BuildLists()
+		c := tr.CountOps()
+		return c.P2M == int64(n) && c.L2P == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Refill after arbitrary drift keeps the tree valid and keeps
+// every body accounted for exactly once.
+func TestQuickRefillValid(t *testing.T) {
+	f := func(seed int64, drift uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := distrib.Plummer(300, 1, 1, seed)
+		tr := Build(sys, Config{S: 8})
+		d := float64(drift) / 64
+		for i := range sys.Pos {
+			sys.Pos[i] = sys.Pos[i].Add(geom.Vec3{
+				X: d * rng.NormFloat64(),
+				Y: d * rng.NormFloat64(),
+				Z: d * rng.NormFloat64(),
+			})
+		}
+		tr.Refill()
+		if err := tr.Validate(); err != nil {
+			t.Logf("drift %v: %v", d, err)
+			return false
+		}
+		tr.EnforceS()
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBodyAndEmpty(t *testing.T) {
+	one := particle.New(1)
+	tr := Build(one, Config{S: 4})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.BuildLists()
+	c := tr.CountOps()
+	if c.P2P != 1 {
+		t.Fatalf("single body should self-interact once, got %d", c.P2P)
+	}
+
+	empty := particle.New(0)
+	tre := Build(empty, Config{S: 4})
+	if err := tre.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tre.BuildLists()
+}
+
+func TestParallelListsMatchSequential(t *testing.T) {
+	sysA := distrib.Plummer(4000, 1, 1, 31)
+	sysB := sysA.Clone()
+	seq := Build(sysA, Config{S: 16})
+	par := Build(sysB, Config{S: 16, Pool: sched.NewPool(4), ParallelCutoff: 64})
+	seq.BuildLists()
+	par.BuildLists()
+	if len(seq.Nodes) != len(par.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(seq.Nodes), len(par.Nodes))
+	}
+	asSet := func(s []int32) map[int32]bool {
+		m := make(map[int32]bool, len(s))
+		for _, v := range s {
+			m[v] = true
+		}
+		return m
+	}
+	for i := range seq.Nodes {
+		us, up := asSet(seq.Nodes[i].U), asSet(par.Nodes[i].U)
+		vs, vp := asSet(seq.Nodes[i].V), asSet(par.Nodes[i].V)
+		if len(us) != len(up) || len(vs) != len(vp) {
+			t.Fatalf("node %d list sizes differ: U %d/%d V %d/%d",
+				i, len(us), len(up), len(vs), len(vp))
+		}
+		for k := range us {
+			if !up[k] {
+				t.Fatalf("node %d: U entry %d missing in parallel lists", i, k)
+			}
+		}
+		for k := range vs {
+			if !vp[k] {
+				t.Fatalf("node %d: V entry %d missing in parallel lists", i, k)
+			}
+		}
+	}
+	if seq.CountOps() != par.CountOps() {
+		t.Fatal("op counts differ between sequential and parallel lists")
+	}
+}
+
+func TestRenderSummarizesTree(t *testing.T) {
+	tr := buildPlummer(t, 2000, 16)
+	out := tr.Render()
+	if !strings.Contains(out, "2000 bodies") || !strings.Contains(out, "leaf occupancy") {
+		t.Fatalf("render output missing sections:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("render too short")
+	}
+}

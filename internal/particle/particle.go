@@ -1,0 +1,151 @@
+// Package particle stores the bodies of an N-body system in
+// structure-of-arrays layout. The octree reorders bodies for locality; the
+// permutation is tracked so callers can map results back to input order.
+package particle
+
+import (
+	"fmt"
+
+	"afmm/internal/geom"
+)
+
+// System holds N bodies. Pos, Vel and Mass always have length N.
+// Phi and Acc are accumulation targets for a solve; they are (re)sized and
+// zeroed by ResetAccumulators.
+//
+// Index holds, for each storage slot i, the original (input-order) id of
+// the body now stored there. A freshly created System has Index[i] = i.
+type System struct {
+	Pos  []geom.Vec3
+	Vel  []geom.Vec3
+	Mass []float64
+
+	// Phi accumulates potential, Acc accumulates acceleration (or, for
+	// Stokes problems, velocity). Both are in storage order.
+	Phi []float64
+	Acc []geom.Vec3
+
+	// Aux is a per-body vector that permutes with the bodies; Stokes
+	// problems store the point forces here.
+	Aux []geom.Vec3
+
+	Index []int
+}
+
+// New creates a System of n bodies with unit masses and identity index.
+func New(n int) *System {
+	s := &System{
+		Pos:   make([]geom.Vec3, n),
+		Vel:   make([]geom.Vec3, n),
+		Mass:  make([]float64, n),
+		Phi:   make([]float64, n),
+		Acc:   make([]geom.Vec3, n),
+		Aux:   make([]geom.Vec3, n),
+		Index: make([]int, n),
+	}
+	for i := range s.Mass {
+		s.Mass[i] = 1
+		s.Index[i] = i
+	}
+	return s
+}
+
+// Len returns the number of bodies.
+func (s *System) Len() int { return len(s.Pos) }
+
+// ResetAccumulators zeroes Phi and Acc ahead of a solve.
+func (s *System) ResetAccumulators() {
+	for i := range s.Phi {
+		s.Phi[i] = 0
+		s.Acc[i] = geom.Vec3{}
+	}
+}
+
+// Swap exchanges bodies i and j in every per-body array.
+func (s *System) Swap(i, j int) {
+	s.Pos[i], s.Pos[j] = s.Pos[j], s.Pos[i]
+	s.Vel[i], s.Vel[j] = s.Vel[j], s.Vel[i]
+	s.Mass[i], s.Mass[j] = s.Mass[j], s.Mass[i]
+	s.Phi[i], s.Phi[j] = s.Phi[j], s.Phi[i]
+	s.Acc[i], s.Acc[j] = s.Acc[j], s.Acc[i]
+	s.Aux[i], s.Aux[j] = s.Aux[j], s.Aux[i]
+	s.Index[i], s.Index[j] = s.Index[j], s.Index[i]
+}
+
+// Validate checks internal consistency of the slice lengths and that Index
+// is a permutation of 0..n-1.
+func (s *System) Validate() error {
+	n := len(s.Pos)
+	if len(s.Vel) != n || len(s.Mass) != n || len(s.Phi) != n ||
+		len(s.Acc) != n || len(s.Aux) != n || len(s.Index) != n {
+		return fmt.Errorf("particle: inconsistent array lengths (n=%d)", n)
+	}
+	seen := make([]bool, n)
+	for _, id := range s.Index {
+		if id < 0 || id >= n {
+			return fmt.Errorf("particle: index %d out of range [0,%d)", id, n)
+		}
+		if seen[id] {
+			return fmt.Errorf("particle: duplicate index %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// AccInInputOrder returns a copy of Acc permuted back to the original
+// input order of the bodies.
+func (s *System) AccInInputOrder() []geom.Vec3 {
+	out := make([]geom.Vec3, len(s.Acc))
+	for i, id := range s.Index {
+		out[id] = s.Acc[i]
+	}
+	return out
+}
+
+// PhiInInputOrder returns a copy of Phi permuted back to input order.
+func (s *System) PhiInInputOrder() []float64 {
+	out := make([]float64, len(s.Phi))
+	for i, id := range s.Index {
+		out[id] = s.Phi[i]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the system.
+func (s *System) Clone() *System {
+	c := &System{
+		Pos:   append([]geom.Vec3(nil), s.Pos...),
+		Vel:   append([]geom.Vec3(nil), s.Vel...),
+		Mass:  append([]float64(nil), s.Mass...),
+		Phi:   append([]float64(nil), s.Phi...),
+		Acc:   append([]geom.Vec3(nil), s.Acc...),
+		Aux:   append([]geom.Vec3(nil), s.Aux...),
+		Index: append([]int(nil), s.Index...),
+	}
+	return c
+}
+
+// TotalMass returns the sum of body masses.
+func (s *System) TotalMass() float64 {
+	var m float64
+	for _, mi := range s.Mass {
+		m += mi
+	}
+	return m
+}
+
+// CenterOfMass returns the mass-weighted mean position. It returns the
+// origin for an empty or massless system.
+func (s *System) CenterOfMass() geom.Vec3 {
+	var c geom.Vec3
+	var m float64
+	for i, p := range s.Pos {
+		c = c.Add(p.Scale(s.Mass[i]))
+		m += s.Mass[i]
+	}
+	if m == 0 {
+		return geom.Vec3{}
+	}
+	return c.Scale(1 / m)
+}

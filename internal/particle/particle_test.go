@@ -1,0 +1,177 @@
+package particle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"afmm/internal/geom"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	s := New(5)
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if s.Mass[i] != 1 || s.Index[i] != i {
+			t.Fatalf("defaults wrong at %d: mass=%v index=%v", i, s.Mass[i], s.Index[i])
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapKeepsValidity(t *testing.T) {
+	s := New(10)
+	for i := range s.Pos {
+		s.Pos[i] = geom.Vec3{X: float64(i)}
+		s.Aux[i] = geom.Vec3{Y: float64(i)}
+	}
+	s.Swap(2, 7)
+	if s.Pos[2].X != 7 || s.Pos[7].X != 2 {
+		t.Fatal("positions not swapped")
+	}
+	if s.Aux[2].Y != 7 || s.Aux[7].Y != 2 {
+		t.Fatal("aux not swapped")
+	}
+	if s.Index[2] != 7 || s.Index[7] != 2 {
+		t.Fatal("index not swapped")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	s := New(4)
+	s.Index[0] = 2 // duplicate of Index[2]
+	if err := s.Validate(); err == nil {
+		t.Fatal("duplicate index not detected")
+	}
+	s = New(4)
+	s.Index[3] = 9
+	if err := s.Validate(); err == nil {
+		t.Fatal("out-of-range index not detected")
+	}
+	s = New(4)
+	s.Phi = s.Phi[:2]
+	if err := s.Validate(); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestInputOrderRoundTrip(t *testing.T) {
+	// After arbitrary swaps, AccInInputOrder must undo the permutation.
+	f := func(swaps []uint8) bool {
+		s := New(16)
+		for i := range s.Acc {
+			s.Acc[i] = geom.Vec3{X: float64(i)}
+			s.Phi[i] = float64(i)
+		}
+		for k := 0; k+1 < len(swaps) && k < 40; k += 2 {
+			s.Swap(int(swaps[k])%16, int(swaps[k+1])%16)
+		}
+		acc := s.AccInInputOrder()
+		phi := s.PhiInInputOrder()
+		for id := 0; id < 16; id++ {
+			if acc[id].X != float64(id) || phi[id] != float64(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New(3)
+	c := s.Clone()
+	c.Pos[0].X = 42
+	c.Mass[1] = 9
+	if s.Pos[0].X == 42 || s.Mass[1] == 9 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestCenterOfMassAndTotals(t *testing.T) {
+	s := New(2)
+	s.Pos[0] = geom.Vec3{X: -1}
+	s.Pos[1] = geom.Vec3{X: 3}
+	s.Mass[0] = 1
+	s.Mass[1] = 3
+	if got := s.TotalMass(); got != 4 {
+		t.Fatalf("total mass %v", got)
+	}
+	com := s.CenterOfMass()
+	if com.Sub(geom.Vec3{X: 2}).Norm() > 1e-15 {
+		t.Fatalf("com %v", com)
+	}
+	empty := New(0)
+	if empty.CenterOfMass() != (geom.Vec3{}) {
+		t.Fatal("empty com not origin")
+	}
+}
+
+func TestResetAccumulators(t *testing.T) {
+	s := New(3)
+	s.Phi[1] = 5
+	s.Acc[2] = geom.Vec3{X: 1}
+	s.ResetAccumulators()
+	for i := range s.Phi {
+		if s.Phi[i] != 0 || s.Acc[i] != (geom.Vec3{}) {
+			t.Fatal("accumulators not reset")
+		}
+	}
+}
+
+func TestXYZRoundTrip(t *testing.T) {
+	s := New(5)
+	for i := range s.Pos {
+		s.Pos[i] = geom.Vec3{X: float64(i) * 1.5, Y: -float64(i), Z: 0.25}
+		s.Vel[i] = geom.Vec3{X: 1e-17 * float64(i), Y: 2, Z: 3}
+		s.Mass[i] = float64(i) + 0.5
+	}
+	s.Swap(0, 4) // storage order differs from input order
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, s, "test snapshot\nwith newline"); err != nil {
+		t.Fatal(err)
+	}
+	got, comment, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comment != "test snapshot with newline" {
+		t.Fatalf("comment %q", comment)
+	}
+	// Compare in input order.
+	orig := make(map[int][3]float64)
+	for storage, id := range s.Index {
+		orig[id] = [3]float64{s.Pos[storage].X, s.Pos[storage].Y, s.Pos[storage].Z}
+	}
+	for id := 0; id < 5; id++ {
+		want := orig[id]
+		if got.Pos[id].X != want[0] || got.Pos[id].Y != want[1] || got.Pos[id].Z != want[2] {
+			t.Fatalf("body %d position mismatch", id)
+		}
+	}
+}
+
+func TestReadXYZRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"abc\ncomment\n",
+		"2\ncomment\n1 2 3 4 5 6 7\n",    // truncated
+		"1\ncomment\n1 2 3 4 5 6\n",      // missing field
+		"1\ncomment\n1 2 3 nope 5 6 7\n", // bad float
+	}
+	for i, c := range cases {
+		if _, _, err := ReadXYZ(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package particle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"afmm/internal/geom"
+)
+
+// WriteXYZ writes the system in extended-XYZ form (count line, comment
+// line, then "mass x y z vx vy vz" per body, in input order) — the
+// interchange format molecular/N-body tools expect.
+func WriteXYZ(w io.Writer, s *System, comment string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n%s\n", s.Len(), strings.ReplaceAll(comment, "\n", " ")); err != nil {
+		return err
+	}
+	// Emit in input order for stable interchange.
+	loc := make([]int, s.Len())
+	for storage, id := range s.Index {
+		loc[id] = storage
+	}
+	for id := 0; id < s.Len(); id++ {
+		i := loc[id]
+		if _, err := fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g %.17g %.17g\n",
+			s.Mass[i], s.Pos[i].X, s.Pos[i].Y, s.Pos[i].Z,
+			s.Vel[i].X, s.Vel[i].Y, s.Vel[i].Z); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadXYZ parses the format written by WriteXYZ.
+func ReadXYZ(r io.Reader) (*System, string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, "", fmt.Errorf("particle: missing count line")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil || n < 0 {
+		return nil, "", fmt.Errorf("particle: bad count line %q", sc.Text())
+	}
+	if !sc.Scan() {
+		return nil, "", fmt.Errorf("particle: missing comment line")
+	}
+	comment := sc.Text()
+	// Parse incrementally: a hostile count line must not drive a huge
+	// up-front allocation — the body lines have to actually be there.
+	type row struct {
+		mass     float64
+		pos, vel geom.Vec3
+	}
+	var rows []row
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, "", fmt.Errorf("particle: truncated at body %d of %d", i, n)
+		}
+		f := strings.Fields(sc.Text())
+		if len(f) != 7 {
+			return nil, "", fmt.Errorf("particle: body %d has %d fields, want 7", i, len(f))
+		}
+		var v [7]float64
+		for k, tok := range f {
+			v[k], err = strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("particle: body %d field %d: %w", i, k, err)
+			}
+		}
+		rows = append(rows, row{
+			mass: v[0],
+			pos:  geom.Vec3{X: v[1], Y: v[2], Z: v[3]},
+			vel:  geom.Vec3{X: v[4], Y: v[5], Z: v[6]},
+		})
+	}
+	s := New(len(rows))
+	for i, r := range rows {
+		s.Mass[i] = r.mass
+		s.Pos[i] = r.pos
+		s.Vel[i] = r.vel
+	}
+	return s, comment, sc.Err()
+}

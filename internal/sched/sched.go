@@ -1,0 +1,113 @@
+// Package sched provides the CPU task-parallel runtime used for the
+// far-field phases, mirroring the paper's OpenMP tasking pattern: a
+// recursive function spawns one task per octree child and waits for the
+// spawned tasks to finish (task/taskwait). Go's runtime supplies the
+// work-stealing; the pool bounds the number of concurrently executing
+// tasks to a fixed worker count, falling back to inline execution when all
+// workers are busy (the standard depth-cutoff-free OpenMP-style pattern).
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded task executor. The zero value is not usable; create
+// one with NewPool.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+
+	spawned atomic.Int64
+	inlined atomic.Int64
+}
+
+// NewPool creates a pool that allows up to workers tasks to run
+// concurrently. workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// SpawnedTasks returns how many tasks ran on their own goroutine since the
+// pool was created; InlinedTasks how many ran inline because all workers
+// were busy.
+func (p *Pool) SpawnedTasks() int64 { return p.spawned.Load() }
+
+// InlinedTasks returns the count of tasks executed inline.
+func (p *Pool) InlinedTasks() int64 { return p.inlined.Load() }
+
+// Group tracks a set of spawned tasks, the analogue of the implicit set
+// awaited by "#pragma omp taskwait". Groups may nest freely.
+type Group struct {
+	pool *Pool
+	wg   sync.WaitGroup
+}
+
+// NewGroup returns a task group bound to the pool.
+func (p *Pool) NewGroup() *Group { return &Group{pool: p} }
+
+// Spawn runs f as a task: on a fresh goroutine when a worker slot is free,
+// otherwise inline in the caller (which preserves progress and bounds
+// parallelism without deadlock, as in help-first task runtimes).
+func (g *Group) Spawn(f func()) {
+	select {
+	case g.pool.sem <- struct{}{}:
+		g.pool.spawned.Add(1)
+		g.wg.Add(1)
+		go func() {
+			defer func() {
+				<-g.pool.sem
+				g.wg.Done()
+			}()
+			f()
+		}()
+	default:
+		g.pool.inlined.Add(1)
+		f()
+	}
+}
+
+// Wait blocks until every task spawned on the group has completed
+// (taskwait).
+func (g *Group) Wait() { g.wg.Wait() }
+
+// ParallelRange splits [0, n) into roughly equal chunks and processes them
+// concurrently, at most pool.Workers() at a time.
+func (p *Pool) ParallelRange(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := p.workers * 4
+	if chunks > n {
+		chunks = n
+	}
+	g := p.NewGroup()
+	size := (n + chunks - 1) / chunks
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		g.Spawn(func() { f(lo, hi) })
+	}
+	g.Wait()
+}
+
+// Timer measures wall-clock spans; used to report real (host) times next
+// to the virtual-machine times.
+type Timer struct{ start time.Time }
+
+// StartTimer begins a measurement.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the wall-clock duration since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSpawnWaitRunsEverything(t *testing.T) {
+	p := NewPool(4)
+	g := p.NewGroup()
+	var count atomic.Int64
+	for i := 0; i < 1000; i++ {
+		g.Spawn(func() { count.Add(1) })
+	}
+	g.Wait()
+	if count.Load() != 1000 {
+		t.Fatalf("ran %d tasks", count.Load())
+	}
+	if p.SpawnedTasks()+p.InlinedTasks() != 1000 {
+		t.Fatalf("accounting: %d spawned + %d inlined",
+			p.SpawnedTasks(), p.InlinedTasks())
+	}
+}
+
+func TestNestedRecursionLikeOpenMPTasks(t *testing.T) {
+	// The paper's pattern: recursive spawn per child + taskwait. Sum a
+	// binary tree of depth 14 and verify the result.
+	p := NewPool(3)
+	var rec func(depth int) int64
+	rec = func(depth int) int64 {
+		if depth == 0 {
+			return 1
+		}
+		var l, r int64
+		g := p.NewGroup()
+		g.Spawn(func() { l = rec(depth - 1) })
+		g.Spawn(func() { r = rec(depth - 1) })
+		g.Wait()
+		return l + r
+	}
+	if got := rec(14); got != 1<<14 {
+		t.Fatalf("tree sum = %d, want %d", got, 1<<14)
+	}
+}
+
+func TestParallelRangeCoversAll(t *testing.T) {
+	p := NewPool(4)
+	const n = 10000
+	hits := make([]int32, n)
+	p.ParallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	// Degenerate sizes.
+	p.ParallelRange(0, func(lo, hi int) { t.Fatal("called for n=0") })
+	var one atomic.Int64
+	p.ParallelRange(1, func(lo, hi int) { one.Add(int64(hi - lo)) })
+	if one.Load() != 1 {
+		t.Fatal("n=1 range wrong")
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() < 1 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+}

@@ -1,0 +1,233 @@
+// Package sim drives time-dependent simulations: a symplectic integrator
+// for the gravitational problem, an overdamped marker update for the
+// Stokes problem, per-step refills of the decomposition, and the paper's
+// three load-balancing strategies with full per-step records (the data
+// behind Figures 8-10 and Table II).
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"afmm/internal/balance"
+	"afmm/internal/core"
+	"afmm/internal/geom"
+	"afmm/internal/particle"
+	"afmm/internal/stokes"
+)
+
+// Config controls a run.
+type Config struct {
+	Dt      float64
+	Steps   int
+	Balance balance.Config
+	// Trace, when non-nil, receives one JSON line per step (timings, S,
+	// balancer state and events) — machine-readable observability for
+	// long runs.
+	Trace io.Writer
+}
+
+// traceLine is the JSON schema of one trace record.
+type traceLine struct {
+	Step    int      `json:"step"`
+	S       int      `json:"s"`
+	CPU     float64  `json:"cpu"`
+	GPU     float64  `json:"gpu"`
+	Compute float64  `json:"compute"`
+	LB      float64  `json:"lb"`
+	Total   float64  `json:"total"`
+	State   string   `json:"state"`
+	Events  []string `json:"events,omitempty"`
+}
+
+func emitTrace(w io.Writer, rec StepRecord, events []string) {
+	if w == nil {
+		return
+	}
+	b, err := json.Marshal(traceLine{
+		Step: rec.Step, S: rec.S, CPU: rec.CPUTime, GPU: rec.GPUTime,
+		Compute: rec.Compute, LB: rec.LBTime, Total: rec.Total,
+		State: rec.State, Events: events,
+	})
+	if err == nil {
+		b = append(b, 0x0a)
+		w.Write(b)
+	}
+}
+
+// StepRecord captures one time step.
+type StepRecord struct {
+	Step    int
+	S       int
+	CPUTime float64
+	GPUTime float64
+	Compute float64
+	LBTime  float64
+	Refill  float64
+	Total   float64
+	State   string
+}
+
+// Result aggregates a run.
+type Result struct {
+	Records      []StepRecord
+	TotalCompute float64
+	TotalLB      float64
+	TotalRefill  float64
+	TotalTime    float64
+}
+
+// LBPercent returns total LB time as a percentage of total compute time
+// (the Table II metric).
+func (r Result) LBPercent() float64 {
+	if r.TotalCompute == 0 {
+		return 0
+	}
+	return 100 * r.TotalLB / r.TotalCompute
+}
+
+// MeanTotalPerStep returns the average per-step total time.
+func (r Result) MeanTotalPerStep() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	return r.TotalTime / float64(len(r.Records))
+}
+
+// WriteCSV emits the records as CSV.
+func (r Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "step,S,cpu,gpu,compute,lb,refill,total,state"); err != nil {
+		return err
+	}
+	for _, rec := range r.Records {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%s\n",
+			rec.Step, rec.S, rec.CPUTime, rec.GPUTime, rec.Compute,
+			rec.LBTime, rec.Refill, rec.Total, rec.State); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunGravity advances the gravitational system for cfg.Steps steps with
+// the given balancing strategy. Each step: solve (compute time), kick-drift
+// integrate, refill the tree, then let the balancer act for the next step.
+func RunGravity(s *core.Solver, cfg Config) Result {
+	bal := balance.New(cfg.Balance, s.Sys.Len())
+	var res Result
+	for step := 0; step < cfg.Steps; step++ {
+		st := s.Solve()
+		KickDrift(s.Sys, cfg.Dt)
+		s.Refill()
+		refill := bal.Cfg.Costs.RefillCost(s)
+		rep := bal.AfterStep(s, balance.StepTimes{CPU: st.CPUTime, GPU: st.GPUTime})
+		rec := StepRecord{
+			Step:    step,
+			S:       rep.NewS,
+			CPUTime: st.CPUTime,
+			GPUTime: st.GPUTime,
+			Compute: st.Compute,
+			LBTime:  rep.LBTime,
+			Refill:  refill,
+			Total:   st.Compute + rep.LBTime + refill,
+			State:   rep.State.String(),
+		}
+		emitTrace(cfg.Trace, rec, rep.Events)
+		res.Records = append(res.Records, rec)
+		res.TotalCompute += rec.Compute
+		res.TotalLB += rec.LBTime
+		res.TotalRefill += rec.Refill
+		res.TotalTime += rec.Total
+	}
+	return res
+}
+
+// RunStokes advances an overdamped Stokes simulation: boundary forces are
+// evaluated, the Stokes solve yields marker velocities, markers move with
+// the flow, and the balancer acts between steps.
+func RunStokes(s *stokes.Solver, boundaries []stokes.Boundary, cfg Config) Result {
+	bal := balance.New(cfg.Balance, s.Sys.Len())
+	var res Result
+	for step := 0; step < cfg.Steps; step++ {
+		stokes.ClearForces(s.Sys)
+		for _, b := range boundaries {
+			b.AccumulateForces(s.Sys)
+		}
+		st := s.Solve()
+		for i := range s.Sys.Pos {
+			s.Sys.Pos[i] = s.Sys.Pos[i].Add(s.Sys.Acc[i].Scale(cfg.Dt))
+		}
+		s.Refill()
+		refill := bal.Cfg.Costs.RefillCost(s)
+		rep := bal.AfterStep(s, balance.StepTimes{CPU: st.CPUTime, GPU: st.GPUTime})
+		rec := StepRecord{
+			Step:    step,
+			S:       rep.NewS,
+			CPUTime: st.CPUTime,
+			GPUTime: st.GPUTime,
+			Compute: st.Compute,
+			LBTime:  rep.LBTime,
+			Refill:  refill,
+			Total:   st.Compute + rep.LBTime + refill,
+			State:   rep.State.String(),
+		}
+		emitTrace(cfg.Trace, rec, rep.Events)
+		res.Records = append(res.Records, rec)
+		res.TotalCompute += rec.Compute
+		res.TotalLB += rec.LBTime
+		res.TotalRefill += rec.Refill
+		res.TotalTime += rec.Total
+	}
+	return res
+}
+
+// KickDrift advances velocities then positions (symplectic Euler), using
+// the accelerations of the last solve.
+func KickDrift(sys *particle.System, dt float64) {
+	for i := range sys.Pos {
+		sys.Vel[i] = sys.Vel[i].Add(sys.Acc[i].Scale(dt))
+		sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(dt))
+	}
+}
+
+// SuggestDt returns an adaptive time step: eta * min_i sqrt(eps / |a_i|),
+// the standard softened-N-body criterion, clamped to [dtMin, dtMax]. Use
+// after a Solve so sys.Acc is current.
+func SuggestDt(sys *particle.System, eps, eta, dtMin, dtMax float64) float64 {
+	best := dtMax
+	for i := range sys.Acc {
+		a := sys.Acc[i].Norm()
+		if a <= 0 {
+			continue
+		}
+		dt := eta * math.Sqrt(eps/a)
+		if dt < best {
+			best = dt
+		}
+	}
+	if best < dtMin {
+		best = dtMin
+	}
+	return best
+}
+
+// Energies returns the kinetic and potential energy of the system using
+// the potentials of the last solve (pot = 1/2 sum m_i phi_i).
+func Energies(sys *particle.System) (kin, pot float64) {
+	for i := range sys.Pos {
+		kin += 0.5 * sys.Mass[i] * sys.Vel[i].Norm2()
+		pot += 0.5 * sys.Mass[i] * sys.Phi[i]
+	}
+	return kin, pot
+}
+
+// AngularMomentum returns the total angular momentum about the origin.
+func AngularMomentum(sys *particle.System) geom.Vec3 {
+	var l geom.Vec3
+	for i := range sys.Pos {
+		l = l.Add(sys.Pos[i].Cross(sys.Vel[i]).Scale(sys.Mass[i]))
+	}
+	return l
+}

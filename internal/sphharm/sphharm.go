@@ -1,0 +1,168 @@
+// Package sphharm provides the spherical-harmonic machinery underlying the
+// FMM expansions: factorial tables, the A(n,m) translation constants from
+// Greengard's translation theorems, and evaluation of the harmonics
+//
+//	Y_n^m(theta, phi) = sqrt((n-|m|)!/(n+|m|)!) P_n^{|m|}(cos theta) e^{i m phi}
+//
+// in the normalization of Greengard & Rokhlin, for which the addition
+// theorem reads P_n(cos gamma) = sum_m Y_n^{-m}(a) Y_n^m(b).
+//
+// Only m >= 0 coefficients are stored; Y_n^{-m} = conj(Y_n^m).
+package sphharm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// MaxOrder is the largest supported expansion order p. Factorials up to
+// (2*MaxOrder)! must stay within float64 range; 170! is the limit, so
+// orders up to 40 are safe (2*40+... uses 80! ~ 7e118).
+const MaxOrder = 40
+
+// Idx returns the packed index of coefficient (n, m) with 0 <= m <= n:
+// the triangular layout n(n+1)/2 + m.
+func Idx(n, m int) int { return n*(n+1)/2 + m }
+
+// PackedLen returns the number of packed (n, m>=0) coefficients for an
+// expansion of order p (degrees 0..p inclusive).
+func PackedLen(p int) int { return (p + 1) * (p + 2) / 2 }
+
+// Tables caches the constant tables needed for order-p expansions. M2L
+// requires harmonics and A coefficients up to degree 2p.
+type Tables struct {
+	P    int
+	Fact []float64 // Fact[k] = k!
+	A    []float64 // packed A[Idx(n,m)] for n <= 2p, m >= 0 (A is m-symmetric)
+}
+
+var (
+	tableMu    sync.Mutex
+	tableCache = map[int]*Tables{}
+)
+
+// NewTables builds (or returns a cached copy of) the tables for order p.
+// It is safe for concurrent use: workspaces are created lazily on worker
+// goroutines.
+func NewTables(p int) *Tables {
+	if p < 0 || p > MaxOrder {
+		panic(fmt.Sprintf("sphharm: order %d out of range [0,%d]", p, MaxOrder))
+	}
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if t, ok := tableCache[p]; ok {
+		return t
+	}
+	t := &Tables{P: p}
+	t.Fact = make([]float64, 4*p+3)
+	t.Fact[0] = 1
+	for k := 1; k < len(t.Fact); k++ {
+		t.Fact[k] = t.Fact[k-1] * float64(k)
+	}
+	t.A = make([]float64, PackedLen(2*p))
+	for n := 0; n <= 2*p; n++ {
+		sign := 1.0
+		if n%2 == 1 {
+			sign = -1.0
+		}
+		for m := 0; m <= n; m++ {
+			t.A[Idx(n, m)] = sign / math.Sqrt(t.Fact[n-m]*t.Fact[n+m])
+		}
+	}
+	tableCache[p] = t
+	return t
+}
+
+// Anm returns A_n^m = (-1)^n / sqrt((n-m)!(n+m)!); m may be negative
+// (A is symmetric in m).
+func (t *Tables) Anm(n, m int) float64 {
+	if m < 0 {
+		m = -m
+	}
+	return t.A[Idx(n, m)]
+}
+
+// IPow returns i^e for integer e as a complex128. In the translation
+// theorems the exponent is always even, so the result is real, but the
+// general case is handled for robustness.
+func IPow(e int) complex128 {
+	// Normalize e to 0..3.
+	e %= 4
+	if e < 0 {
+		e += 4
+	}
+	switch e {
+	case 0:
+		return 1
+	case 1:
+		return complex(0, 1)
+	case 2:
+		return -1
+	default:
+		return complex(0, -1)
+	}
+}
+
+// EvalY fills out with Y_n^m(theta, phi) for 0 <= m <= n <= deg in packed
+// layout. out must have length >= PackedLen(deg).
+//
+// The associated Legendre functions are computed without the
+// Condon-Shortley phase: P_m^m = (2m-1)!! (sin theta)^m.
+func EvalY(deg int, theta, phi float64, out []complex128) {
+	u := math.Cos(theta)
+	s := math.Sin(theta)
+	// Associated Legendre values for the current m column.
+	// pmm: P_m^m, computed incrementally.
+	pmm := 1.0
+	for m := 0; m <= deg; m++ {
+		em := cmplx.Exp(complex(0, float64(m)*phi))
+		// norm(n, m) = sqrt((n-m)!/(n+m)!) applied per entry below.
+		// Column recurrence in n for fixed m:
+		// P_{m}^m = pmm
+		// P_{m+1}^m = u (2m+1) P_m^m
+		// (n-m) P_n^m = (2n-1) u P_{n-1}^m - (n+m-1) P_{n-2}^m
+		pnm := pmm
+		var pn1m float64 // P_{n-1}^m
+		for n := m; n <= deg; n++ {
+			var pcur float64
+			switch n {
+			case m:
+				pcur = pmm
+			case m + 1:
+				pcur = u * float64(2*m+1) * pmm
+			default:
+				pcur = (u*float64(2*n-1)*pnm - float64(n+m-1)*pn1m) / float64(n-m)
+			}
+			pn1m, pnm = pnm, pcur
+			norm := normFactor(n, m)
+			out[Idx(n, m)] = complex(norm*pcur, 0) * em
+		}
+		// Advance P_{m+1}^{m+1} = (2m+1) s P_m^m.
+		pmm *= float64(2*m+1) * s
+	}
+}
+
+// normFactor returns sqrt((n-m)!/(n+m)!) without building big factorials
+// for every call: the ratio is prod_{k=n-m+1}^{n+m} 1/k.
+func normFactor(n, m int) float64 {
+	r := 1.0
+	for k := n - m + 1; k <= n+m; k++ {
+		r /= float64(k)
+	}
+	return math.Sqrt(r)
+}
+
+// Legendre returns P_n(u), the Legendre polynomial, used in tests of the
+// addition theorem.
+func Legendre(n int, u float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	p0, p1 := 1.0, u
+	for k := 2; k <= n; k++ {
+		p0, p1 = p1, (float64(2*k-1)*u*p1-float64(k-1)*p0)/float64(k)
+	}
+	return p1
+}

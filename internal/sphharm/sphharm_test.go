@@ -1,0 +1,133 @@
+package sphharm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestIdxPackedLayout(t *testing.T) {
+	// Idx must enumerate the (n, m<=n) triangle densely.
+	k := 0
+	for n := 0; n <= 10; n++ {
+		for m := 0; m <= n; m++ {
+			if Idx(n, m) != k {
+				t.Fatalf("Idx(%d,%d) = %d, want %d", n, m, Idx(n, m), k)
+			}
+			k++
+		}
+	}
+	if PackedLen(10) != k {
+		t.Fatalf("PackedLen(10) = %d, want %d", PackedLen(10), k)
+	}
+}
+
+func TestLowOrderHarmonics(t *testing.T) {
+	// Closed forms in the Greengard normalization
+	// Y_0^0 = 1, Y_1^0 = cos(th), Y_1^1 = sin(th) e^{i phi}/sqrt(2),
+	// Y_2^0 = (3cos^2 th - 1)/2.
+	rng := rand.New(rand.NewSource(1))
+	out := make([]complex128, PackedLen(2))
+	for i := 0; i < 50; i++ {
+		th := rng.Float64() * math.Pi
+		ph := (rng.Float64() - 0.5) * 2 * math.Pi
+		EvalY(2, th, ph, out)
+		checks := []struct {
+			n, m int
+			want complex128
+		}{
+			{0, 0, 1},
+			{1, 0, complex(math.Cos(th), 0)},
+			{1, 1, complex(math.Sin(th)/math.Sqrt2, 0) * cmplx.Exp(complex(0, ph))},
+			{2, 0, complex((3*math.Cos(th)*math.Cos(th)-1)/2, 0)},
+		}
+		for _, c := range checks {
+			got := out[Idx(c.n, c.m)]
+			if cmplx.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("Y_%d^%d(%v,%v) = %v, want %v", c.n, c.m, th, ph, got, c.want)
+			}
+		}
+	}
+}
+
+func TestAdditionTheorem(t *testing.T) {
+	// P_n(cos gamma) = sum_m Y_n^{-m}(a) Y_n^m(b), the identity that
+	// pins the normalization used by the translation theorems.
+	rng := rand.New(rand.NewSource(2))
+	const deg = 10
+	ya := make([]complex128, PackedLen(deg))
+	yb := make([]complex128, PackedLen(deg))
+	for trial := 0; trial < 30; trial++ {
+		t1, p1 := rng.Float64()*math.Pi, rng.Float64()*2*math.Pi
+		t2, p2 := rng.Float64()*math.Pi, rng.Float64()*2*math.Pi
+		EvalY(deg, t1, p1, ya)
+		EvalY(deg, t2, p2, yb)
+		cosg := math.Sin(t1)*math.Sin(t2)*math.Cos(p1-p2) + math.Cos(t1)*math.Cos(t2)
+		for n := 0; n <= deg; n++ {
+			sum := real(ya[Idx(n, 0)]) * real(yb[Idx(n, 0)])
+			for m := 1; m <= n; m++ {
+				a := ya[Idx(n, m)]
+				b := yb[Idx(n, m)]
+				// Y^{-m}(a) Y^m(b) + Y^m(a) Y^{-m}(b) = 2 Re(conj(a) b).
+				sum += 2 * (real(a)*real(b) + imag(a)*imag(b))
+			}
+			want := Legendre(n, cosg)
+			if math.Abs(sum-want) > 1e-10 {
+				t.Fatalf("addition theorem n=%d: %v vs %v", n, sum, want)
+			}
+		}
+	}
+}
+
+func TestAnmValues(t *testing.T) {
+	tab := NewTables(4)
+	// A_0^0 = 1, A_1^0 = -1, A_1^1 = -1/sqrt(2)... wait: A_n^m =
+	// (-1)^n / sqrt((n-m)!(n+m)!): A_1^1 = -1/sqrt(0!*2!) = -1/sqrt(2).
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{0, 0, 1},
+		{1, 0, -1},
+		{1, 1, -1 / math.Sqrt2},
+		{1, -1, -1 / math.Sqrt2},
+		{2, 0, 0.5},
+		{2, 2, 1 / math.Sqrt(24)},
+	}
+	for _, c := range cases {
+		if got := tab.Anm(c.n, c.m); math.Abs(got-c.want) > 1e-14 {
+			t.Fatalf("A_%d^%d = %v, want %v", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestIPow(t *testing.T) {
+	want := []complex128{1, 1i, -1, -1i}
+	for e := -8; e <= 8; e++ {
+		idx := ((e % 4) + 4) % 4
+		if IPow(e) != want[idx] {
+			t.Fatalf("IPow(%d) = %v", e, IPow(e))
+		}
+	}
+}
+
+func TestTablesCached(t *testing.T) {
+	a := NewTables(6)
+	b := NewTables(6)
+	if a != b {
+		t.Fatal("tables not cached")
+	}
+}
+
+func TestLegendreRecurrence(t *testing.T) {
+	// P_2(x) = (3x^2-1)/2, P_3(x) = (5x^3-3x)/2.
+	for _, x := range []float64{-1, -0.3, 0, 0.7, 1} {
+		if got, want := Legendre(2, x), (3*x*x-1)/2; math.Abs(got-want) > 1e-14 {
+			t.Fatalf("P2(%v) = %v want %v", x, got, want)
+		}
+		if got, want := Legendre(3, x), (5*x*x*x-3*x)/2; math.Abs(got-want) > 1e-14 {
+			t.Fatalf("P3(%v) = %v want %v", x, got, want)
+		}
+	}
+}

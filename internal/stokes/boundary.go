@@ -1,0 +1,176 @@
+package stokes
+
+import (
+	"math"
+
+	"afmm/internal/geom"
+	"afmm/internal/particle"
+)
+
+// Boundary is an immersed flexible structure discretized into regularized
+// Stokeslet markers: a set of body indices connected by elastic links. The
+// markers' elastic forces drive the fluid; the fluid velocity moves the
+// markers (the method of regularized Stokeslets for fluid-structure
+// interaction, paper ref. [15]).
+type Boundary struct {
+	// Links connect marker storage ids (input-order body ids) with
+	// linear springs.
+	Links []Link
+	// BendTriples, when non-empty, adds discrete curvature penalties.
+	BendTriples []Triple
+	// Stiffness is the spring constant of the links.
+	Stiffness float64
+	// BendStiffness penalizes curvature at the triples.
+	BendStiffness float64
+}
+
+// Link is a spring between input-order body ids a and b with rest length.
+type Link struct {
+	A, B int
+	Rest float64
+}
+
+// Triple penalizes the angle at B formed by A-B-C.
+type Triple struct{ A, B, C int }
+
+// Ring builds a closed elastic ring of n markers with radius r centered at
+// c in the plane with normal approximately along axis (0=x,1=y,2=z),
+// appending its markers starting at body id base. It returns the boundary
+// description; positions are written into sys.
+func Ring(sys *particle.System, base, n int, c geom.Vec3, r float64, axis int, stiffness float64) Boundary {
+	b := Boundary{Stiffness: stiffness}
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		var p geom.Vec3
+		switch axis {
+		case 0:
+			p = geom.Vec3{Y: r * math.Cos(th), Z: r * math.Sin(th)}
+		case 1:
+			p = geom.Vec3{X: r * math.Cos(th), Z: r * math.Sin(th)}
+		default:
+			p = geom.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th)}
+		}
+		sys.Pos[base+i] = c.Add(p)
+	}
+	rest := 2 * r * math.Sin(math.Pi/float64(n))
+	for i := 0; i < n; i++ {
+		b.Links = append(b.Links, Link{A: base + i, B: base + (i+1)%n, Rest: rest})
+		b.BendTriples = append(b.BendTriples, Triple{
+			A: base + i, B: base + (i+1)%n, C: base + (i+2)%n,
+		})
+	}
+	b.BendStiffness = stiffness * rest * rest / 8
+	return b
+}
+
+// Fiber builds an open elastic fiber of n markers from p0 to p1.
+func Fiber(sys *particle.System, base, n int, p0, p1 geom.Vec3, stiffness float64) Boundary {
+	b := Boundary{Stiffness: stiffness}
+	d := p1.Sub(p0)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		sys.Pos[base+i] = p0.Add(d.Scale(f))
+	}
+	rest := d.Norm() / float64(n-1)
+	for i := 0; i+1 < n; i++ {
+		b.Links = append(b.Links, Link{A: base + i, B: base + i + 1, Rest: rest})
+	}
+	for i := 0; i+2 < n; i++ {
+		b.BendTriples = append(b.BendTriples, Triple{A: base + i, B: base + i + 1, C: base + i + 2})
+	}
+	b.BendStiffness = stiffness * rest * rest / 8
+	return b
+}
+
+// AccumulateForces writes the elastic marker forces of the boundary into
+// sys.Aux (accumulating; call ClearForces first for a fresh evaluation).
+// Body ids in the links are input-order ids; the current storage position
+// is resolved through sys.Index.
+func (b Boundary) AccumulateForces(sys *particle.System) {
+	// Build the input-order -> storage map once.
+	loc := make([]int, sys.Len())
+	for storage, id := range sys.Index {
+		loc[id] = storage
+	}
+	for _, l := range b.Links {
+		i, j := loc[l.A], loc[l.B]
+		d := sys.Pos[j].Sub(sys.Pos[i])
+		r := d.Norm()
+		if r == 0 {
+			continue
+		}
+		f := d.Scale(b.Stiffness * (r - l.Rest) / r)
+		sys.Aux[i] = sys.Aux[i].Add(f)
+		sys.Aux[j] = sys.Aux[j].Sub(f)
+	}
+	for _, tr := range b.BendTriples {
+		a, m, c := loc[tr.A], loc[tr.B], loc[tr.C]
+		// Discrete curvature force: pull the middle marker toward the
+		// midpoint of its neighbors; equal-and-opposite halves on the
+		// neighbors keep the total force zero.
+		mid := sys.Pos[a].Add(sys.Pos[c]).Scale(0.5)
+		f := mid.Sub(sys.Pos[m]).Scale(b.BendStiffness)
+		sys.Aux[m] = sys.Aux[m].Add(f)
+		sys.Aux[a] = sys.Aux[a].Sub(f.Scale(0.5))
+		sys.Aux[c] = sys.Aux[c].Sub(f.Scale(0.5))
+	}
+}
+
+// ClearForces zeroes sys.Aux.
+func ClearForces(sys *particle.System) {
+	for i := range sys.Aux {
+		sys.Aux[i] = geom.Vec3{}
+	}
+}
+
+// Helix builds a helical fiber of n markers with the given radius, pitch
+// (axial advance per turn), number of turns and handedness (+1 right,
+// -1 left), centered at c with its axis along z — the geometry of the
+// helical-swimming application in the paper's ref. [15].
+func Helix(sys *particle.System, base, n int, c geom.Vec3, radius, pitch float64, turns float64, handedness int, stiffness float64) Boundary {
+	h := 1.0
+	if handedness < 0 {
+		h = -1
+	}
+	b := Boundary{Stiffness: stiffness}
+	total := 2 * math.Pi * turns
+	for i := 0; i < n; i++ {
+		th := total * float64(i) / float64(n-1)
+		sys.Pos[base+i] = c.Add(geom.Vec3{
+			X: radius * math.Cos(h*th),
+			Y: radius * math.Sin(h*th),
+			Z: pitch * th / (2 * math.Pi),
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		rest := sys.Pos[base+i+1].Sub(sys.Pos[base+i]).Norm()
+		b.Links = append(b.Links, Link{A: base + i, B: base + i + 1, Rest: rest})
+	}
+	for i := 0; i+2 < n; i++ {
+		b.BendTriples = append(b.BendTriples, Triple{A: base + i, B: base + i + 1, C: base + i + 2})
+	}
+	if len(b.Links) > 0 {
+		b.BendStiffness = stiffness * b.Links[0].Rest * b.Links[0].Rest / 8
+	}
+	return b
+}
+
+// RotletForces writes tangential ("rotation about z") driving forces of
+// magnitude f into sys.Aux for the markers [base, base+n) — the simplest
+// model of a rotated rigid helix driving fluid (accumulating).
+func RotletForces(sys *particle.System, base, n int, axis geom.Vec3, f float64) {
+	// Resolve storage locations of the driven markers.
+	loc := make([]int, sys.Len())
+	for storage, id := range sys.Index {
+		loc[id] = storage
+	}
+	for i := base; i < base+n; i++ {
+		j := loc[i]
+		r := sys.Pos[j]
+		// Tangential direction: axis x r (component perpendicular to axis).
+		tang := axis.Cross(r)
+		if nrm := tang.Norm(); nrm > 1e-12 {
+			sys.Aux[j] = sys.Aux[j].Add(tang.Scale(f / nrm))
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package stokes implements the paper's fluid-dynamics test problem: the
+// method of regularized Stokeslets (Cortez) accelerated by the AFMM.
+//
+// The near field uses the regularized Stokeslet kernel directly. The far
+// field uses the classical four-harmonic decomposition of the (singular)
+// Stokeslet, valid when the blob parameter is far smaller than the cell
+// separation: with Phi_j the harmonic potential of charges f_j (j = x,y,z)
+// and Psi the harmonic potential of charges f·y,
+//
+//	8 pi mu u_i(x) = Phi_i(x) - x_j d_i Phi_j(x) + d_i Psi(x)
+//
+// so one Stokes solve runs four Laplace FMM passes over the same tree —
+// which is why the per-pair M2L cost of this problem is ~4x the
+// gravitational one (§IX.B), the property Figure 10 exploits.
+package stokes
+
+import (
+	"math"
+	"sync"
+
+	"afmm/internal/costmodel"
+	"afmm/internal/expansion"
+	"afmm/internal/geom"
+	"afmm/internal/kernels"
+	"afmm/internal/octree"
+	"afmm/internal/particle"
+	"afmm/internal/sched"
+	"afmm/internal/sphharm"
+	"afmm/internal/vcpu"
+	"afmm/internal/vgpu"
+)
+
+// passes is the number of harmonic far-field passes per Stokes solve.
+const passes = 4
+
+// Config assembles a Stokes solver.
+type Config struct {
+	P        int
+	S        int
+	MAC      float64
+	Mode     octree.Mode
+	MaxDepth int
+	Kernel   kernels.Stokeslet
+	Pool     *sched.Pool
+	CPU      vcpu.Spec
+	NumGPUs  int
+	GPUSpec  vgpu.Spec
+	// SkipFarField disables far-field numerics (timing-only harnesses).
+	SkipFarField bool
+	// UseRotatedTranslations switches to the O(p^3) rotation-accelerated
+	// translation operators (numerically equivalent; faster for P >= ~6).
+	UseRotatedTranslations bool
+}
+
+func (c *Config) setDefaults() {
+	if c.P <= 0 {
+		c.P = 8
+	}
+	if c.S <= 0 {
+		c.S = 64
+	}
+	if c.Pool == nil {
+		c.Pool = sched.NewPool(0)
+	}
+	c.CPU = c.CPU.Normalized()
+	if c.NumGPUs > 0 && c.GPUSpec.SMs == 0 {
+		c.GPUSpec = vgpu.DefaultSpec()
+		// The Stokeslet pair costs more flops than the gravity pair;
+		// derate the device's interaction rate accordingly.
+		c.GPUSpec.InteractionsPerSecPerSM *= float64(kernels.FlopsPerGravityInteraction) /
+			float64(kernels.FlopsPerStokesletInteraction)
+	}
+	if c.Kernel.Mu == 0 {
+		c.Kernel.Mu = 1
+	}
+	if c.Kernel.Eps == 0 {
+		c.Kernel.Eps = 1e-3
+	}
+}
+
+// Solver evaluates regularized-Stokeslet velocities with the AFMM. Body
+// forces live in Sys.Aux (they permute with the tree); the resulting fluid
+// velocities are accumulated into Sys.Acc.
+type Solver struct {
+	Cfg   Config
+	Sys   *particle.System
+	Tree  *octree.Tree
+	Cl    *vgpu.Cluster
+	Model *costmodel.Model
+
+	packedLen  int
+	multipoles [passes][]complex128
+	locals     [passes][]complex128
+	wsPool     sync.Pool
+}
+
+// NewSolver builds the decomposition for the body positions.
+func NewSolver(sys *particle.System, cfg Config) *Solver {
+	cfg.setDefaults()
+	s := &Solver{Cfg: cfg, Sys: sys, packedLen: sphharm.PackedLen(cfg.P)}
+	s.wsPool.New = func() interface{} { return expansion.NewWorkspace(cfg.P) }
+	s.Tree = octree.Build(sys, octree.Config{
+		S:        cfg.S,
+		MaxDepth: cfg.MaxDepth,
+		Mode:     cfg.Mode,
+		MAC:      cfg.MAC,
+		Pool:     cfg.Pool,
+	})
+	if cfg.NumGPUs > 0 {
+		s.Cl = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
+	}
+	s.Model = costmodel.NewModel(s.prior())
+	return s
+}
+
+func (s *Solver) prior() costmodel.Coefficients {
+	var c costmodel.Coefficients
+	k := math.Max(1, float64(s.Cfg.CPU.Cores))
+	for op := costmodel.P2M; op <= costmodel.L2P; op++ {
+		c[op] = s.Cfg.CPU.Base[op] * passes / k
+	}
+	factor := float64(kernels.FlopsPerStokesletInteraction) / float64(kernels.FlopsPerGravityInteraction)
+	if s.Cfg.NumGPUs > 0 {
+		rate := s.Cfg.GPUSpec.InteractionsPerSecPerSM * float64(s.Cfg.GPUSpec.SMs) * float64(s.Cfg.NumGPUs)
+		c[costmodel.P2P] = 1 / rate
+	} else {
+		c[costmodel.P2P] = s.Cfg.CPU.Base[costmodel.P2P] * factor / k
+	}
+	return c
+}
+
+// balance.Target implementation.
+
+// S returns the leaf capacity parameter.
+func (s *Solver) S() int { return s.Tree.Cfg.S }
+
+// Rebuild reconstructs the tree with a new S.
+func (s *Solver) Rebuild(newS int) { s.Tree.Rebuild(newS) }
+
+// Refill re-bins moved bodies.
+func (s *Solver) Refill() { s.Tree.Refill() }
+
+// EnforceS restores the capacity invariant.
+func (s *Solver) EnforceS() (int, int) { return s.Tree.EnforceS() }
+
+// Octree exposes the decomposition.
+func (s *Solver) Octree() *octree.Tree { return s.Tree }
+
+// System exposes the bodies.
+func (s *Solver) System() *particle.System { return s.Sys }
+
+// Cores returns the virtual core count.
+func (s *Solver) Cores() int { return s.Cfg.CPU.Cores }
+
+// Predict estimates CPU/GPU times for the current tree from observed
+// coefficients.
+func (s *Solver) Predict() (cpu, gpu float64) {
+	s.Tree.BuildLists()
+	counts := costmodel.FromTree(s.Tree.CountOps())
+	return s.Model.PredictCPU(counts), s.Model.PredictGPU(counts)
+}
+
+// StepTimes mirrors core.StepTimes for the Stokes problem.
+type StepTimes struct {
+	CPUTime float64
+	GPUTime float64
+	Compute float64
+	Counts  costmodel.Counts
+}
+
+// Solve computes velocities (into Sys.Acc) from the forces in Sys.Aux and
+// returns the virtual step timing.
+func (s *Solver) Solve() StepTimes {
+	t := s.Tree
+	t.BuildLists()
+	s.Sys.ResetAccumulators()
+	s.ensureSlabs()
+
+	var gpuTime float64
+	if s.Cl != nil {
+		s.Cl.Partition(t)
+		gpuTime = s.Cl.ExecuteParallel(t, s.p2pPair, s.Cfg.Pool)
+	} else {
+		s.runCPUNearField()
+	}
+	if !s.Cfg.SkipFarField {
+		s.upSweep()
+		s.downSweep()
+	}
+
+	counts := costmodel.FromTree(t.CountOps())
+	graph := vcpu.BuildFMMGraph(t, s.Cfg.CPU.Base, vcpu.FMMGraphOptions{
+		IncludeP2P:     s.Cl == nil,
+		FarFieldPasses: passes,
+		P2PCostFactor: float64(kernels.FlopsPerStokesletInteraction) /
+			float64(kernels.FlopsPerGravityInteraction),
+	})
+	res := s.Cfg.CPU.Simulate(graph)
+
+	st := StepTimes{CPUTime: res.Makespan, GPUTime: gpuTime, Counts: counts}
+	st.Compute = math.Max(st.CPUTime, st.GPUTime)
+
+	var obs costmodel.Observation
+	obs.Counts = counts
+	var opBusy float64
+	for op := costmodel.Op(0); op < costmodel.NumOps; op++ {
+		opBusy += res.BusyTime[op]
+	}
+	if opBusy > 0 {
+		for op := costmodel.P2M; op <= costmodel.L2P; op++ {
+			obs.Time[op] = res.Makespan * res.BusyTime[op] / opBusy
+		}
+		if s.Cl == nil {
+			obs.Time[costmodel.P2P] = res.Makespan * res.BusyTime[costmodel.P2P] / opBusy
+		}
+	}
+	if s.Cl != nil {
+		obs.Time[costmodel.P2P] = gpuTime
+	}
+	s.Model.Observe(obs)
+	return st
+}
+
+func (s *Solver) ensureSlabs() {
+	need := len(s.Tree.Nodes) * s.packedLen
+	for k := 0; k < passes; k++ {
+		if cap(s.multipoles[k]) < need {
+			s.multipoles[k] = make([]complex128, need)
+			s.locals[k] = make([]complex128, need)
+		}
+		s.multipoles[k] = s.multipoles[k][:need]
+		s.locals[k] = s.locals[k][:need]
+		for i := range s.multipoles[k] {
+			s.multipoles[k][i] = 0
+			s.locals[k][i] = 0
+		}
+	}
+}
+
+func (s *Solver) mpole(k int, ni int32) expansion.Expansion {
+	off := int(ni) * s.packedLen
+	return expansion.Expansion{P: s.Cfg.P, C: s.multipoles[k][off : off+s.packedLen]}
+}
+
+func (s *Solver) local(k int, ni int32) expansion.Expansion {
+	off := int(ni) * s.packedLen
+	return expansion.Expansion{P: s.Cfg.P, C: s.locals[k][off : off+s.packedLen]}
+}
+
+// charge returns the pass-k harmonic charge of body i: f_x, f_y, f_z, f·y.
+func (s *Solver) charge(k int, i int32) float64 {
+	f := s.Sys.Aux[i]
+	switch k {
+	case 0:
+		return f.X
+	case 1:
+		return f.Y
+	case 2:
+		return f.Z
+	default:
+		return f.Dot(s.Sys.Pos[i])
+	}
+}
+
+func (s *Solver) p2pPair(target, source int32) {
+	t := s.Tree
+	sys := s.Sys
+	tn := &t.Nodes[target]
+	sn := &t.Nodes[source]
+	s.Cfg.Kernel.P2P(
+		sys.Pos[tn.Start:tn.End],
+		sys.Acc[tn.Start:tn.End],
+		sys.Pos[sn.Start:sn.End],
+		sys.Aux[sn.Start:sn.End],
+	)
+}
+
+func (s *Solver) runCPUNearField() {
+	t := s.Tree
+	leaves := t.VisibleLeaves()
+	g := s.Cfg.Pool.NewGroup()
+	for _, li := range leaves {
+		li := li
+		g.Spawn(func() {
+			for _, si := range t.Nodes[li].U {
+				s.p2pPair(li, si)
+			}
+		})
+	}
+	g.Wait()
+}
+
+func (s *Solver) getWS() *expansion.Workspace  { return s.wsPool.Get().(*expansion.Workspace) }
+func (s *Solver) putWS(w *expansion.Workspace) { s.wsPool.Put(w) }
+
+func (s *Solver) upSweep() {
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		t := s.Tree
+		n := &t.Nodes[ni]
+		if n.IsVisibleLeaf() {
+			w := s.getWS()
+			for k := 0; k < passes; k++ {
+				m := s.mpole(k, ni)
+				for i := n.Start; i < n.End; i++ {
+					w.P2M(m, n.Box.Center, s.Sys.Pos[i], s.charge(k, i))
+				}
+			}
+			s.putWS(w)
+			return
+		}
+		g := s.Cfg.Pool.NewGroup()
+		for _, ci := range n.Children {
+			if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+				ci := ci
+				g.Spawn(func() { rec(ci) })
+			}
+		}
+		g.Wait()
+		w := s.getWS()
+		for k := 0; k < passes; k++ {
+			m := s.mpole(k, ni)
+			for _, ci := range n.Children {
+				if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+					if s.Cfg.UseRotatedTranslations {
+						w.M2MRotated(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
+					} else {
+						w.M2M(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
+					}
+				}
+			}
+		}
+		s.putWS(w)
+	}
+	if s.Tree.Nodes[s.Tree.Root].Count() > 0 {
+		rec(s.Tree.Root)
+	}
+}
+
+func (s *Solver) downSweep() {
+	c0 := 1 / (8 * math.Pi * s.Cfg.Kernel.Mu)
+	var rec func(ni, parent int32)
+	rec = func(ni, parent int32) {
+		t := s.Tree
+		n := &t.Nodes[ni]
+		w := s.getWS()
+		for k := 0; k < passes; k++ {
+			l := s.local(k, ni)
+			if parent != octree.NilNode {
+				if s.Cfg.UseRotatedTranslations {
+					w.L2LRotated(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
+				} else {
+					w.L2L(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
+				}
+			}
+			for _, vi := range n.V {
+				if s.Cfg.UseRotatedTranslations {
+					w.M2LRotated(l, n.Box.Center, s.mpole(k, vi), t.Nodes[vi].Box.Center)
+				} else {
+					w.M2L(l, n.Box.Center, s.mpole(k, vi), t.Nodes[vi].Box.Center)
+				}
+			}
+		}
+		if n.IsVisibleLeaf() {
+			for i := n.Start; i < n.End; i++ {
+				x := s.Sys.Pos[i]
+				p0, g0 := w.L2P(s.local(0, ni), n.Box.Center, x)
+				p1, g1 := w.L2P(s.local(1, ni), n.Box.Center, x)
+				p2, g2 := w.L2P(s.local(2, ni), n.Box.Center, x)
+				_, gp := w.L2P(s.local(3, ni), n.Box.Center, x)
+				u := geom.Vec3{
+					X: p0 - (x.X*g0.X + x.Y*g1.X + x.Z*g2.X) + gp.X,
+					Y: p1 - (x.X*g0.Y + x.Y*g1.Y + x.Z*g2.Y) + gp.Y,
+					Z: p2 - (x.X*g0.Z + x.Y*g1.Z + x.Z*g2.Z) + gp.Z,
+				}
+				s.Sys.Acc[i] = s.Sys.Acc[i].Add(u.Scale(c0))
+			}
+			s.putWS(w)
+			return
+		}
+		s.putWS(w)
+		grp := s.Cfg.Pool.NewGroup()
+		for _, ci := range n.Children {
+			if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+				ci := ci
+				grp.Spawn(func() { rec(ci, ni) })
+			}
+		}
+		grp.Wait()
+	}
+	if s.Tree.Nodes[s.Tree.Root].Count() > 0 {
+		rec(s.Tree.Root, octree.NilNode)
+	}
+}
+
+// DirectVelocities computes exact regularized-Stokeslet velocities by
+// direct summation (in storage order), the correctness baseline.
+func DirectVelocities(sys *particle.System, k kernels.Stokeslet) []geom.Vec3 {
+	n := sys.Len()
+	out := make([]geom.Vec3, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i] = out[i].Add(k.Velocity(sys.Pos[i], sys.Pos[j], sys.Aux[j]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package vcpu
+
+import (
+	"testing"
+
+	"afmm/internal/distrib"
+	"afmm/internal/octree"
+)
+
+func BenchmarkSimulateFMMGraph(b *testing.B) {
+	sys := distrib.Plummer(50000, 1, 1, 42)
+	tree := octree.Build(sys, octree.Config{S: 32})
+	tree.BuildLists()
+	spec := DefaultSpec()
+	graph := BuildFMMGraph(tree, spec.Base, FMMGraphOptions{IncludeP2P: true})
+	spec.Cores = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Simulate(graph)
+	}
+	b.ReportMetric(float64(graph.Len()), "tasks")
+}
+
+func BenchmarkBuildFMMGraph(b *testing.B) {
+	sys := distrib.Plummer(50000, 1, 1, 42)
+	tree := octree.Build(sys, octree.Config{S: 32})
+	tree.BuildLists()
+	spec := DefaultSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFMMGraph(tree, spec.Base, FMMGraphOptions{})
+	}
+}

@@ -1,0 +1,206 @@
+package vgpu
+
+import (
+	"math"
+	"testing"
+
+	"afmm/internal/distrib"
+	"afmm/internal/octree"
+	"afmm/internal/sched"
+)
+
+func buildTree(n, s int, seed int64) *octree.Tree {
+	sys := distrib.Plummer(n, 1, 1, seed)
+	t := octree.Build(sys, octree.Config{S: s})
+	t.BuildLists()
+	return t
+}
+
+func TestPartitionCoversEveryLeafOnce(t *testing.T) {
+	tree := buildTree(5000, 32, 1)
+	for _, ng := range []int{1, 2, 3, 4, 7} {
+		c := NewCluster(ng, DefaultSpec())
+		c.Partition(tree)
+		seen := map[int32]int{}
+		for _, d := range c.Devices {
+			for _, leaf := range d.Targets {
+				seen[leaf]++
+			}
+		}
+		leaves, _ := tree.LeafInteractions()
+		if len(seen) != len(leaves) {
+			t.Fatalf("ng=%d: %d leaves assigned, want %d", ng, len(seen), len(leaves))
+		}
+		for leaf, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("ng=%d: leaf %d assigned %d times", ng, leaf, cnt)
+			}
+		}
+	}
+}
+
+func TestPartitionBalancesInteractions(t *testing.T) {
+	tree := buildTree(8000, 64, 2)
+	c := NewCluster(4, DefaultSpec())
+	c.Partition(tree)
+	c.Execute(tree, nil)
+	var min, max int64 = math.MaxInt64, 0
+	for _, d := range c.Devices {
+		if d.Interactions < min {
+			min = d.Interactions
+		}
+		if d.Interactions > max {
+			max = d.Interactions
+		}
+	}
+	if min == 0 {
+		t.Fatal("a device got no work")
+	}
+	// The greedy walk should produce shares within ~2x of each other for
+	// a tree with many leaves.
+	if float64(max)/float64(min) > 2.5 {
+		t.Fatalf("imbalanced shares: min=%d max=%d", min, max)
+	}
+}
+
+func TestExecuteCountsMatchTree(t *testing.T) {
+	tree := buildTree(3000, 16, 3)
+	c := NewCluster(2, DefaultSpec())
+	c.Partition(tree)
+	c.Execute(tree, nil)
+	ops := tree.CountOps()
+	if got := c.TotalInteractions(); got != ops.P2P {
+		t.Fatalf("device interactions %d != tree count %d", got, ops.P2P)
+	}
+}
+
+func TestKernelTimeDecreasesWithDevices(t *testing.T) {
+	tree := buildTree(10000, 64, 4)
+	var prev float64 = math.Inf(1)
+	for _, ng := range []int{1, 2, 4} {
+		c := NewCluster(ng, DefaultSpec())
+		c.Partition(tree)
+		kt := c.Execute(tree, nil)
+		if kt <= 0 {
+			t.Fatalf("ng=%d: zero kernel time", ng)
+		}
+		if kt >= prev {
+			t.Fatalf("ng=%d: kernel time %v did not improve on %v", ng, kt, prev)
+		}
+		prev = kt
+	}
+}
+
+func TestIdleLanesPenalizeTinyLeaves(t *testing.T) {
+	// Same total interactions spread over tiny leaves must cost more
+	// device time than over full-warp leaves — the §III.C inefficiency.
+	small := buildTree(4000, 4, 5)
+	big := buildTree(4000, 256, 5)
+	cs := NewCluster(1, DefaultSpec())
+	cb := NewCluster(1, DefaultSpec())
+	cs.Partition(small)
+	cb.Partition(big)
+	cs.Execute(small, nil)
+	cb.Execute(big, nil)
+	effSmall := cs.Devices[0].Efficiency()
+	effBig := cb.Devices[0].Efficiency()
+	if effSmall >= effBig {
+		t.Fatalf("tiny leaves efficiency %v >= big leaves %v", effSmall, effBig)
+	}
+}
+
+func TestExecuteRunsNumericCallback(t *testing.T) {
+	tree := buildTree(500, 8, 6)
+	c := NewCluster(2, DefaultSpec())
+	c.Partition(tree)
+	var pairs int64
+	c.Execute(tree, func(target, source int32) { pairs++ })
+	if pairs != tree.CountOps().P2PN {
+		t.Fatalf("callback pairs %d != tree pairs %d", pairs, tree.CountOps().P2PN)
+	}
+}
+
+func TestGreedyMakespan(t *testing.T) {
+	if m := greedyMakespan(nil, 4); m != 0 {
+		t.Fatalf("empty makespan %v", m)
+	}
+	jobs := []float64{3, 3, 3, 3}
+	if m := greedyMakespan(jobs, 2); math.Abs(m-6) > 1e-12 {
+		t.Fatalf("makespan %v, want 6", m)
+	}
+	if m := greedyMakespan(jobs, 4); math.Abs(m-3) > 1e-12 {
+		t.Fatalf("makespan %v, want 3", m)
+	}
+	if m := greedyMakespan([]float64{5}, 0); m != 5 {
+		t.Fatalf("m<1 machines: %v", m)
+	}
+}
+
+func TestScaledSpec(t *testing.T) {
+	s := ScaledSpec(0.25)
+	d := DefaultSpec()
+	if math.Abs(s.InteractionsPerSecPerSM-0.25*d.InteractionsPerSecPerSM) > 1 {
+		t.Fatal("rate not scaled")
+	}
+}
+
+func TestEmptyCluster(t *testing.T) {
+	tree := buildTree(100, 8, 7)
+	c := &Cluster{}
+	c.Partition(tree)
+	if kt := c.Execute(tree, nil); kt != 0 {
+		t.Fatalf("empty cluster time %v", kt)
+	}
+}
+
+func TestPartitionLPTBalancesBetterOrEqual(t *testing.T) {
+	tree := buildTree(8000, 64, 21)
+	imb := func(c *Cluster) float64 {
+		c.Execute(tree, nil)
+		var sum, max float64
+		for _, d := range c.Devices {
+			sum += d.KernelTime
+			if d.KernelTime > max {
+				max = d.KernelTime
+			}
+		}
+		return max / (sum / float64(len(c.Devices)))
+	}
+	walk := NewCluster(4, DefaultSpec())
+	walk.Partition(tree)
+	lpt := NewCluster(4, DefaultSpec())
+	lpt.PartitionLPT(tree)
+	// LPT must cover every leaf exactly once too.
+	seen := map[int32]bool{}
+	for _, d := range lpt.Devices {
+		for _, leaf := range d.Targets {
+			if seen[leaf] {
+				t.Fatalf("leaf %d assigned twice", leaf)
+			}
+			seen[leaf] = true
+		}
+	}
+	leaves, _ := tree.LeafInteractions()
+	if len(seen) != len(leaves) {
+		t.Fatalf("LPT covered %d of %d leaves", len(seen), len(leaves))
+	}
+	if imb(lpt) > imb(walk)*1.02 {
+		t.Fatalf("LPT imbalance %v worse than walk %v", imb(lpt), imb(walk))
+	}
+}
+
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	tree := buildTree(3000, 32, 22)
+	seq := NewCluster(4, DefaultSpec())
+	par := NewCluster(4, DefaultSpec())
+	seq.Partition(tree)
+	par.Partition(tree)
+	ktSeq := seq.Execute(tree, nil)
+	ktPar := par.ExecuteParallel(tree, nil, sched.NewPool(4))
+	if ktSeq != ktPar {
+		t.Fatalf("parallel execute changed timing: %v vs %v", ktSeq, ktPar)
+	}
+	if seq.TotalInteractions() != par.TotalInteractions() {
+		t.Fatal("interaction counts differ")
+	}
+}
