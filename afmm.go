@@ -116,6 +116,17 @@ type (
 	StokesSolver = stokes.Solver
 	// Boundary is an immersed flexible structure (fiber or ring).
 	Boundary = stokes.Boundary
+	// SweepMode selects the host execution of the far-field sweeps.
+	SweepMode = core.SweepMode
+)
+
+// Sweep modes for GravityConfig.SweepMode / StokesConfig.SweepMode.
+const (
+	// SweepLevelSync (the default) runs flat level-synchronous sweeps
+	// with batched rotation-accelerated M2L.
+	SweepLevelSync = core.SweepLevelSync
+	// SweepRecursive is the legacy task-per-node recursive traversal.
+	SweepRecursive = core.SweepRecursive
 )
 
 // NewGravitySolver builds the AFMM over the system's bodies.

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +33,15 @@ func main() {
 	flag.Float64Var(&p.Dt, "dt", 0, "time step size (0 = default)")
 	csv := flag.Bool("csv", false, "emit raw CSV instead of tables")
 	flag.Parse()
+	pSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "p" {
+			pSet = true
+		}
+	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -47,7 +54,8 @@ func main() {
 	}
 	known := map[string]bool{"fig3": true, "fig4": true, "fig6": true,
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
-		"table2": true, "fig10": true, "cluster": true, "all": true}
+		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
+		"all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -82,6 +90,44 @@ func main() {
 		fmt.Println("==== CLUSTER (distributed-memory extension, strong scaling) ====")
 		runCluster(p)
 	}
+	if which == "sweeps" { // host wall-clock benchmark; not part of "all"
+		fmt.Println("==== SWEEPS (host far-field sweeps, level-sync vs recursive) ====")
+		runSweeps(p, pSet)
+	}
+}
+
+// runSweeps benchmarks the actual host numerics (wall clock, not the
+// virtual machine) and writes the machine-readable BENCH_sweeps.json.
+func runSweeps(p experiments.Params, pSet bool) {
+	if !pSet {
+		// The -p default (4) targets the virtual cost model; the host sweep
+		// benchmark defaults to the accuracy-grade order the rotation-
+		// accelerated M2L is built for.
+		p.P = 8
+	}
+	var sizes []int
+	if p.N > 0 {
+		sizes = []int{p.N}
+	}
+	res := experiments.Sweeps(p, sizes)
+	fmt.Printf("%8s %-10s %12s %12s %12s %12s\n",
+		"N", "mode", "up[ms]", "down[ms]", "far[ms]", "near[ms]")
+	for _, r := range res.Rows {
+		fmt.Printf("%8d %-10s %12.2f %12.2f %12.2f %12.2f\n",
+			r.N, r.Mode, float64(r.UpNs)/1e6, float64(r.DownNs)/1e6,
+			float64(r.UpNs+r.DownNs)/1e6, float64(r.NearNs)/1e6)
+	}
+	fmt.Printf("far-field speedup (level-sync vs recursive) at N=%d: %.2fx\n",
+		res.Rows[len(res.Rows)-1].N, res.FarFieldSpeedup)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_sweeps.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_sweeps.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_sweeps.json")
 }
 
 func runCluster(p experiments.Params) {

@@ -8,7 +8,6 @@ package core
 
 import (
 	"math"
-	"sync"
 	"time"
 
 	"afmm/internal/costmodel"
@@ -43,6 +42,26 @@ func StokesProfile() Profile {
 	}
 }
 
+// SweepMode selects how the far-field phases execute on the host.
+type SweepMode int
+
+const (
+	// SweepLevelSync (the default) executes the sweeps as flat,
+	// level-synchronous parallel ranges over Tree.LevelOrder: one barrier
+	// per level instead of a task per node, interaction-weighted chunking,
+	// long-lived per-worker workspaces, and each node's V list applied
+	// through the batched rotation-accelerated M2L (Workspace.M2LBatch),
+	// whose per-direction setup is cached across nodes. M2M/L2L still
+	// follow UseRotatedTranslations; the M2L results agree with the direct
+	// operators to rounding.
+	SweepLevelSync SweepMode = iota
+	// SweepRecursive is the legacy task-recursive execution mirroring the
+	// paper's OpenMP pattern (a task per octree child, taskwait at the
+	// parent), kept for A/B comparison and as the schedule the virtual
+	// CPU model replays.
+	SweepRecursive
+)
+
 // Config assembles a solver.
 type Config struct {
 	// P is the number of retained expansion terms (order); default 8.
@@ -75,6 +94,11 @@ type Config struct {
 	// device timing model still runs. With both Skip flags set a Solve
 	// is a pure timing dry run (no forces are produced).
 	SkipNearField bool
+	// SweepMode selects the host execution of the far field:
+	// level-synchronous flat sweeps (default) or the legacy task
+	// recursion. Both modes compute the same expansions; results agree to
+	// rounding. The virtual-machine timing model is mode-independent.
+	SweepMode SweepMode
 	// UseRotatedTranslations switches M2M/M2L/L2L to the O(p^3)
 	// rotation-accelerated ("point and shoot") operators. Numerically
 	// equivalent to the direct O(p^4) operators up to rounding; faster
@@ -137,7 +161,12 @@ type Solver struct {
 	packedLen  int
 	multipoles []complex128
 	locals     []complex128
-	wsPool     sync.Pool
+	// wsFree is a free-list of long-lived operator workspaces, one per
+	// concurrently executing chunk. Unlike a sync.Pool it never discards
+	// entries, so the M2L geometry caches inside the workspaces survive
+	// across levels and across solves.
+	wsFree    chan *expansion.Workspace
+	weightBuf []int64
 }
 
 // NewSolver builds the decomposition and the device cluster.
@@ -148,7 +177,7 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 		Sys:       sys,
 		packedLen: sphharm.PackedLen(cfg.P),
 	}
-	s.wsPool.New = func() interface{} { return expansion.NewWorkspace(cfg.P) }
+	s.wsFree = make(chan *expansion.Workspace, cfg.Pool.Workers()+8)
 	s.Tree = octree.Build(sys, octree.Config{
 		S:        cfg.S,
 		MaxDepth: cfg.MaxDepth,
@@ -292,6 +321,25 @@ func (s *Solver) Solve() StepTimes {
 	return st
 }
 
+// SweepBench executes the far-field sweeps and one CPU near-field pass on
+// the current tree under the configured SweepMode, returning host
+// wall-clock durations per phase. It resets accumulators and expansion
+// slabs first, so repeated calls are independent; cmd/afmm-bench uses it
+// for the old-vs-new sweep report.
+func (s *Solver) SweepBench() (up, down, near time.Duration) {
+	s.Tree.BuildLists()
+	s.Sys.ResetAccumulators()
+	s.ensureSlabs()
+	t0 := time.Now()
+	s.upSweep()
+	t1 := time.Now()
+	s.downSweep()
+	t2 := time.Now()
+	s.runCPUNearField()
+	t3 := time.Now()
+	return t1.Sub(t0), t2.Sub(t1), t3.Sub(t2)
+}
+
 // Predict estimates the compute time of the *current* tree shape without
 // solving (§IV.D): it rebuilds the interaction lists, counts operations,
 // and applies the observed coefficients.
@@ -334,8 +382,21 @@ func (s *Solver) local(ni int32) expansion.Expansion {
 	return expansion.Expansion{P: s.Cfg.P, C: s.locals[off : off+s.packedLen]}
 }
 
-func (s *Solver) getWS() *expansion.Workspace  { return s.wsPool.Get().(*expansion.Workspace) }
-func (s *Solver) putWS(w *expansion.Workspace) { s.wsPool.Put(w) }
+func (s *Solver) getWS() *expansion.Workspace {
+	select {
+	case w := <-s.wsFree:
+		return w
+	default:
+		return expansion.NewWorkspace(s.Cfg.P)
+	}
+}
+
+func (s *Solver) putWS(w *expansion.Workspace) {
+	select {
+	case s.wsFree <- w:
+	default:
+	}
+}
 
 // p2pPair executes the direct interaction of one target/source leaf pair
 // (the numeric work the simulated device performs).
@@ -354,25 +415,189 @@ func (s *Solver) p2pPair(target, source int32) {
 }
 
 // runCPUNearField executes all U-list work on the host pool (CPU-only
-// configurations).
+// configurations). The default mode partitions the leaves into
+// interaction-count-weighted chunks so a few heavy leaves cannot
+// serialize the tail; the legacy mode chunks leaves evenly (still one
+// task per chunk, never one per leaf).
 func (s *Solver) runCPUNearField() {
 	t := s.Tree
-	leaves := t.VisibleLeaves()
-	g := s.Cfg.Pool.NewGroup()
-	for _, li := range leaves {
-		li := li
-		g.Spawn(func() {
+	if s.Cfg.SweepMode == SweepRecursive {
+		leaves := t.VisibleLeaves()
+		s.Cfg.Pool.ParallelRange(len(leaves), func(lo, hi int) {
+			for _, li := range leaves[lo:hi] {
+				for _, si := range t.Nodes[li].U {
+					s.p2pPair(li, si)
+				}
+			}
+		})
+		return
+	}
+	leaves, inter := t.LeafInteractions()
+	s.Cfg.Pool.ParallelRangeWeighted(inter, func(lo, hi int) {
+		for _, li := range leaves[lo:hi] {
 			for _, si := range t.Nodes[li].U {
 				s.p2pPair(li, si)
 			}
-		})
-	}
-	g.Wait()
+		}
+	})
 }
 
-// upSweep computes multipoles bottom-up with the paper's recursive task
-// pattern: spawn a task per child, taskwait, then combine (head recursion).
+// upSweep computes multipoles bottom-up; downSweep propagates locals
+// top-down. Both dispatch on Config.SweepMode.
 func (s *Solver) upSweep() {
+	if s.Cfg.SweepMode == SweepRecursive {
+		s.upSweepRecursive()
+		return
+	}
+	s.upSweepLevels()
+}
+
+func (s *Solver) downSweep() {
+	if s.Cfg.SweepMode == SweepRecursive {
+		s.downSweepRecursive()
+		return
+	}
+	s.downSweepLevels()
+}
+
+// upSweepLevels walks the level index bottom-up: within a level every
+// node's multipole depends only on the level below, so the nodes form one
+// flat parallel range (weighted by per-node work) with a barrier per level
+// instead of a task per node.
+func (s *Solver) upSweepLevels() {
+	t := s.Tree
+	levels := t.LevelOrder()
+	for lv := len(levels) - 1; lv >= 0; lv-- {
+		nodes := levels[lv]
+		if len(nodes) == 0 {
+			continue
+		}
+		weights := s.levelWeights(nodes, upWeight)
+		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+			w := s.getWS()
+			for _, ni := range nodes[lo:hi] {
+				s.upNode(w, ni)
+			}
+			s.putWS(w)
+		})
+	}
+}
+
+func (s *Solver) upNode(w *expansion.Workspace, ni int32) {
+	t := s.Tree
+	n := &t.Nodes[ni]
+	m := s.mpole(ni)
+	if n.IsVisibleLeaf() {
+		for i := n.Start; i < n.End; i++ {
+			w.P2M(m, n.Box.Center, s.Sys.Pos[i], s.Sys.Mass[i])
+		}
+		return
+	}
+	for _, ci := range n.Children {
+		if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+			if s.Cfg.UseRotatedTranslations {
+				w.M2MRotated(m, n.Box.Center, s.mpole(ci), t.Nodes[ci].Box.Center)
+			} else {
+				w.M2M(m, n.Box.Center, s.mpole(ci), t.Nodes[ci].Box.Center)
+			}
+		}
+	}
+}
+
+// downSweepLevels walks the level index top-down: a node's local depends
+// on its parent (previous level) and on V-list multipoles (finalized by
+// the up sweep), so each level is one flat weighted parallel range. The
+// V list is applied through the batched M2L, whose per-direction setup is
+// cached in the chunk's workspace across nodes.
+func (s *Solver) downSweepLevels() {
+	t := s.Tree
+	levels := t.LevelOrder()
+	for lv := 0; lv < len(levels); lv++ {
+		nodes := levels[lv]
+		if len(nodes) == 0 {
+			continue
+		}
+		weights := s.levelWeights(nodes, downWeight)
+		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+			w := s.getWS()
+			var srcs []expansion.M2LSource
+			for _, ni := range nodes[lo:hi] {
+				srcs = s.downNode(w, ni, srcs)
+			}
+			s.putWS(w)
+		})
+	}
+}
+
+// downNode applies L2L from the parent, batched M2L over the V list, and
+// (on leaves) L2P. srcs is chunk-local scratch, returned for reuse.
+func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2LSource) []expansion.M2LSource {
+	t := s.Tree
+	n := &t.Nodes[ni]
+	l := s.local(ni)
+	if parent := n.Parent; parent != octree.NilNode {
+		if s.Cfg.UseRotatedTranslations {
+			w.L2LRotated(l, n.Box.Center, s.local(parent), t.Nodes[parent].Box.Center)
+		} else {
+			w.L2L(l, n.Box.Center, s.local(parent), t.Nodes[parent].Box.Center)
+		}
+	}
+	if len(n.V) > 0 {
+		srcs = srcs[:0]
+		for _, vi := range n.V {
+			srcs = append(srcs, expansion.M2LSource{M: s.mpole(vi), From: t.Nodes[vi].Box.Center})
+		}
+		w.M2LBatch(l, n.Box.Center, srcs)
+	}
+	if n.IsVisibleLeaf() {
+		g := s.Cfg.Kernel.G
+		for i := n.Start; i < n.End; i++ {
+			phi, grad := w.L2P(l, n.Box.Center, s.Sys.Pos[i])
+			s.Sys.Phi[i] += -g * phi
+			s.Sys.Acc[i] = s.Sys.Acc[i].Add(grad.Scale(g))
+		}
+	}
+	return srcs
+}
+
+// Rough per-node work weights for chunking a level. The constants only
+// steer chunk boundaries; they need no calibration against the cost model.
+const (
+	m2lWeight = 12 // one M2L translation ~ this many per-body endpoint ops
+	m2mWeight = 4  // one M2M/L2L translation
+)
+
+func upWeight(n *octree.Node) int64 {
+	if n.IsVisibleLeaf() {
+		return int64(n.Count()) + 1
+	}
+	return 8*m2mWeight + 1
+}
+
+func downWeight(n *octree.Node) int64 {
+	w := int64(len(n.V))*m2lWeight + m2mWeight + 1
+	if n.IsVisibleLeaf() {
+		w += int64(n.Count())
+	}
+	return w
+}
+
+// levelWeights fills the solver's scratch weight buffer for one level.
+func (s *Solver) levelWeights(nodes []int32, weight func(*octree.Node) int64) []int64 {
+	if cap(s.weightBuf) < len(nodes) {
+		s.weightBuf = make([]int64, len(nodes))
+	}
+	buf := s.weightBuf[:len(nodes)]
+	for i, ni := range nodes {
+		buf[i] = weight(&s.Tree.Nodes[ni])
+	}
+	return buf
+}
+
+// upSweepRecursive computes multipoles bottom-up with the paper's
+// recursive task pattern: spawn a task per child, taskwait, then combine
+// (head recursion).
+func (s *Solver) upSweepRecursive() {
 	var rec func(ni int32)
 	rec = func(ni int32) {
 		t := s.Tree
@@ -412,9 +637,10 @@ func (s *Solver) upSweep() {
 	}
 }
 
-// downSweep propagates locals top-down: per node, L2L from the parent and
-// M2L from the V list, then a task per child; leaves evaluate L2P.
-func (s *Solver) downSweep() {
+// downSweepRecursive propagates locals top-down: per node, L2L from the
+// parent and M2L from the V list, then a task per child; leaves evaluate
+// L2P.
+func (s *Solver) downSweepRecursive() {
 	g := s.Cfg.Kernel.G
 	var rec func(ni, parent int32)
 	rec = func(ni, parent int32) {

@@ -1,0 +1,131 @@
+package expansion
+
+import (
+	"math/cmplx"
+
+	"afmm/internal/geom"
+	"afmm/internal/sphharm"
+)
+
+// Batched M2L: the level-synchronous sweeps apply a target's whole V list
+// in one call, which lets the per-pair setup of the rotation-accelerated
+// translation — the Wigner stack for the rotation angle theta, the radial
+// powers 1/rho^k, and the azimuthal phases e^{i m phi} — be hoisted out of
+// the inner loop and cached per translation vector. On the uniform part of
+// a tree the V-list offsets of all same-level cells repeat from a set of
+// at most 189 directions, so after the first few targets of a level every
+// translation runs setup-free: only the two O(p^3) rotations and the
+// O(p^2) axial translation remain.
+
+// M2LSource pairs a source multipole expansion with its center for a
+// batched translation. The source order must equal the target order.
+type M2LSource struct {
+	M    Expansion
+	From geom.Vec3
+}
+
+// m2lGeom is the hoisted per-direction setup of one rotated M2L
+// translation vector d = from - to.
+type m2lGeom struct {
+	stack [][]float64  // Wigner d^l(theta), l = 0..p
+	rpow  []float64    // 1/rho^{k+1}, k = 0..2p
+	zph   []complex128 // e^{i m phi}, m = 0..p
+}
+
+// geomCacheMax bounds the per-workspace direction cache. Uniform trees
+// need at most 189 directions per level; adaptive trees add cross-level
+// pairs, still far below this. On overflow the cache is reset wholesale
+// (no LRU bookkeeping on the hot path).
+const geomCacheMax = 2048
+
+// m2lGeomFor returns the cached setup for translation vector d, computing
+// and caching it on a miss.
+func (w *Workspace) m2lGeomFor(d geom.Vec3) *m2lGeom {
+	if g, ok := w.geomCache[d]; ok {
+		return g
+	}
+	p := w.p
+	rho, theta, phi := d.Spherical()
+	g := &m2lGeom{
+		stack: make([][]float64, p+1),
+		rpow:  make([]float64, 2*p+2),
+		zph:   make([]complex128, p+1),
+	}
+	for l := 0; l <= p; l++ {
+		g.stack[l] = make([]float64, (2*l+1)*(2*l+1))
+	}
+	WignerStackInto(g.stack, p, theta)
+	inv := 1 / rho
+	g.rpow[0] = inv
+	for i := 1; i < len(g.rpow); i++ {
+		g.rpow[i] = g.rpow[i-1] * inv
+	}
+	for m := 0; m <= p; m++ {
+		g.zph[m] = cmplx.Exp(complex(0, float64(m)*phi))
+	}
+	if w.geomCache == nil || len(w.geomCache) >= geomCacheMax {
+		w.geomCache = make(map[geom.Vec3]*m2lGeom, 256)
+	}
+	w.geomCache[d] = g
+	return g
+}
+
+// rotateZCached multiplies coefficient (n, m) by ph[m] (or its conjugate),
+// the cached-phase equivalent of rotateZ(p, e, ±phi).
+func rotateZCached(p int, e []complex128, ph []complex128, conj bool) {
+	for m := 1; m <= p; m++ {
+		f := ph[m]
+		if conj {
+			f = complex(real(f), -imag(f))
+		}
+		for n := m; n <= p; n++ {
+			e[sphharm.Idx(n, m)] *= f
+		}
+	}
+}
+
+// M2LBatch accumulates into l the local expansions at `to` of every source
+// multipole in srcs, equivalent to calling M2LRotated once per source but
+// with the per-direction setup shared through the workspace cache. All
+// sources must have order l.P (the solver's V lists always do).
+func (w *Workspace) M2LBatch(l Expansion, to geom.Vec3, srcs []M2LSource) {
+	p := l.P
+	r := w.rot
+	t := w.t
+	for _, s := range srcs {
+		g := w.m2lGeomFor(s.From.Sub(to))
+
+		// Forward frame change: phase e^{im phi}, transposed Wigner stack.
+		copy(r.buf1, s.M.C)
+		rotateZCached(p, r.buf1, g.zph, false)
+		rotateY(p, r.buf2, r.buf1, g.stack, true)
+
+		// Axial M2L along +z (same kernel as M2LRotated, cached powers).
+		for j := 0; j <= p; j++ {
+			sj := 1.0
+			if j%2 == 1 {
+				sj = -1
+			}
+			for k := 0; k <= j; k++ {
+				sk := sj
+				if k%2 == 1 {
+					sk = -sk
+				}
+				ajk := t.Anm(j, k)
+				var acc complex128
+				for n := k; n <= p; n++ {
+					c := sk * t.Anm(n, k) * ajk * t.Fact[j+n] * g.rpow[j+n]
+					acc += complex(c, 0) * r.buf2[sphharm.Idx(n, k)]
+				}
+				r.buf1[sphharm.Idx(j, k)] = acc
+			}
+		}
+
+		// Back rotation: untransposed stack, conjugate phases; accumulate.
+		rotateY(p, r.buf2, r.buf1, g.stack, false)
+		rotateZCached(p, r.buf2, g.zph, true)
+		for i := range l.C {
+			l.C[i] += r.buf2[i]
+		}
+	}
+}

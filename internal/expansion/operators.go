@@ -47,6 +47,10 @@ type Workspace struct {
 	tmp  []complex128 // generic degree-p buffer
 	rpow []float64
 	rot  *rotWorkspace // buffers for the rotation-accelerated operators
+
+	// geomCache memoizes the per-direction setup of batched M2L
+	// translations (see M2LBatch); allocated lazily on first use.
+	geomCache map[geom.Vec3]*m2lGeom
 }
 
 // NewWorkspace creates scratch space for order-p operators.

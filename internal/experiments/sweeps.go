@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"time"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/kernels"
+)
+
+// SweepBenchRow is one (size, mode) wall-clock measurement of the host
+// sweep phases: nanoseconds for one full phase over the whole tree, best
+// of the repetitions.
+type SweepBenchRow struct {
+	N      int    `json:"n"`
+	Mode   string `json:"mode"`
+	UpNs   int64  `json:"up_ns"`
+	DownNs int64  `json:"down_ns"`
+	NearNs int64  `json:"near_ns"`
+}
+
+// SweepBenchResult is the machine-readable payload of the "sweeps"
+// benchmark (written to BENCH_sweeps.json by afmm-bench).
+type SweepBenchResult struct {
+	P    int             `json:"p"`
+	S    int             `json:"s"`
+	Rows []SweepBenchRow `json:"rows"`
+	// FarFieldSpeedup is the recursive over level-synchronous far-field
+	// (up + down sweep) time ratio at the largest problem size.
+	FarFieldSpeedup float64 `json:"far_field_speedup"`
+}
+
+// Sweeps measures real host wall-clock time — not virtual-machine time —
+// of the far-field sweeps and the CPU near field, comparing the
+// level-synchronous mode against the legacy recursive mode on Plummer
+// spheres. Unlike the figure experiments this exercises the actual
+// numerics, so it is the benchmark backing the sweep-mode default.
+func Sweeps(p Params, sizes []int) SweepBenchResult {
+	p.setDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{20000, 100000}
+	}
+	const s = 64
+	const reps = 3
+	res := SweepBenchResult{P: p.P, S: s}
+	var recFar, lvlFar int64
+	for _, n := range sizes {
+		sys := distrib.Plummer(n, 1, 1, p.Seed)
+		for _, mode := range []struct {
+			name string
+			m    core.SweepMode
+		}{
+			{"levelsync", core.SweepLevelSync},
+			{"recursive", core.SweepRecursive},
+		} {
+			sv := core.NewSolver(sys.Clone(), core.Config{
+				P:         p.P,
+				S:         s,
+				Kernel:    kernels.Gravity{G: 1},
+				SweepMode: mode.m,
+			})
+			row := SweepBenchRow{N: n, Mode: mode.name}
+			for r := 0; r < reps; r++ {
+				up, down, near := sv.SweepBench()
+				row.UpNs = minNs(row.UpNs, up)
+				row.DownNs = minNs(row.DownNs, down)
+				row.NearNs = minNs(row.NearNs, near)
+			}
+			res.Rows = append(res.Rows, row)
+			far := row.UpNs + row.DownNs
+			if mode.m == core.SweepRecursive {
+				recFar = far
+			} else {
+				lvlFar = far
+			}
+		}
+	}
+	if lvlFar > 0 {
+		res.FarFieldSpeedup = float64(recFar) / float64(lvlFar)
+	}
+	return res
+}
+
+func minNs(prev int64, d time.Duration) int64 {
+	if prev == 0 || int64(d) < prev {
+		return int64(d)
+	}
+	return prev
+}

@@ -38,6 +38,29 @@ func FuzzBuildRefillEnforce(f *testing.F) {
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("build: %v", err)
 		}
+		checkLevels := func(stage string) {
+			seen := map[int32]bool{}
+			for lv, nodes := range tr.LevelOrder() {
+				for _, ni := range nodes {
+					if int(tr.Nodes[ni].Level) != lv || seen[ni] {
+						t.Fatalf("%s: LevelOrder corrupt at node %d (level %d, dup %v)",
+							stage, ni, lv, seen[ni])
+					}
+					seen[ni] = true
+				}
+			}
+			visible := 0
+			tr.WalkVisible(func(ni int32) {
+				visible++
+				if !seen[ni] {
+					t.Fatalf("%s: visible node %d missing from LevelOrder", stage, ni)
+				}
+			})
+			if visible != len(seen) {
+				t.Fatalf("%s: LevelOrder size %d != visible %d", stage, len(seen), visible)
+			}
+		}
+		checkLevels("build")
 		tr.BuildLists()
 		ops := tr.CountOps()
 		if ops.P2M != int64(n) || ops.L2P != int64(n) {
@@ -60,10 +83,12 @@ func FuzzBuildRefillEnforce(f *testing.F) {
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("refill: %v", err)
 		}
+		checkLevels("refill")
 		tr.EnforceS()
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("enforce: %v", err)
 		}
+		checkLevels("enforce")
 		// Interaction counts stay finite and nonnegative.
 		tr.BuildLists()
 		ops = tr.CountOps()

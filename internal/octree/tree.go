@@ -111,6 +111,12 @@ type Tree struct {
 	permC  []float64
 	permD  []int
 	permE  []geom.Vec3
+
+	// levels caches LevelOrder's grouping of visible nodes by level; any
+	// edit that changes the visible node set (structure or occupancy)
+	// invalidates it.
+	levels   [][]int32
+	levelsOK bool
 }
 
 // Build constructs a tree over sys with the given configuration.
@@ -163,6 +169,7 @@ func (t *Tree) Rebuild(s int) {
 	}
 	t.Cfg.S = s
 	t.ensureScratch()
+	t.invalidateLevels()
 	t.Nodes = t.Nodes[:0]
 	box := geom.BoundingCube(t.Sys.Pos)
 	t.Root = t.alloc(box, NilNode, 0, 0, int32(t.Sys.Len()))
@@ -340,6 +347,7 @@ func (t *Tree) Collapse(ni int32) bool {
 		}
 	}
 	n.Collapsed = true
+	t.invalidateLevels()
 	return true
 }
 
@@ -352,6 +360,7 @@ func (t *Tree) PushDown(ni int32) bool {
 	if !n.IsVisibleLeaf() || n.Count() <= 1 || int(n.Level) >= t.Cfg.MaxDepth {
 		return false
 	}
+	t.invalidateLevels()
 	if n.Collapsed {
 		// Reclaim hidden children: re-partition since bodies may have
 		// moved while hidden.
@@ -426,6 +435,7 @@ func (t *Tree) EnforceS() (collapses, pushdowns int) {
 // kernels). Structure is untouched; occupancy changes.
 func (t *Tree) Refill() {
 	t.ensureScratch()
+	t.invalidateLevels()
 	s := t.Sys
 	n := s.Len()
 	// Identify visible leaves in DFS order and give each a slot.
@@ -544,6 +554,38 @@ func clampIntoBox(p geom.Vec3, b geom.Box) geom.Vec3 {
 		Z: clampAxis(p.Z, lo.Z, hi.Z),
 	}
 }
+
+// LevelOrder returns the visible nodes grouped by level: element l holds
+// the node indices with Node.Level == l, in DFS order, covering exactly
+// the nodes WalkVisible reaches. The index is the backbone of the
+// level-synchronous far-field sweeps (all nodes of one level are
+// data-independent given the adjacent levels) and is cached until a
+// structural or occupancy edit — Rebuild, Collapse, PushDown, EnforceS,
+// Refill — invalidates it. The returned slices are owned by the tree and
+// valid until the next invalidation.
+func (t *Tree) LevelOrder() [][]int32 {
+	if t.levelsOK {
+		return t.levels
+	}
+	for i := range t.levels {
+		t.levels[i] = t.levels[i][:0]
+	}
+	t.WalkVisible(func(ni int32) {
+		lv := int(t.Nodes[ni].Level)
+		for len(t.levels) <= lv {
+			t.levels = append(t.levels, nil)
+		}
+		t.levels[lv] = append(t.levels[lv], ni)
+	})
+	for len(t.levels) > 0 && len(t.levels[len(t.levels)-1]) == 0 {
+		t.levels = t.levels[:len(t.levels)-1]
+	}
+	t.levelsOK = true
+	return t.levels
+}
+
+// invalidateLevels marks the cached level index stale.
+func (t *Tree) invalidateLevels() { t.levelsOK = false }
 
 // VisibleLeaves returns the indices of the visible leaves in DFS order.
 func (t *Tree) VisibleLeaves() []int32 {

@@ -435,3 +435,120 @@ func TestRenderSummarizesTree(t *testing.T) {
 		t.Fatal("render too short")
 	}
 }
+
+// checkLevelOrder asserts the LevelOrder invariants: every visible node
+// appears exactly once, in the slice matching its Node.Level, and the
+// grouping covers exactly the WalkVisible set.
+func checkLevelOrder(t *testing.T, tr *Tree) {
+	t.Helper()
+	levels := tr.LevelOrder()
+	seen := make(map[int32]int)
+	for lv, nodes := range levels {
+		for _, ni := range nodes {
+			if got := int(tr.Nodes[ni].Level); got != lv {
+				t.Fatalf("node %d grouped at level %d but has Level %d", ni, lv, got)
+			}
+			seen[ni]++
+		}
+	}
+	visible := 0
+	tr.WalkVisible(func(ni int32) {
+		visible++
+		if seen[ni] != 1 {
+			t.Fatalf("visible node %d appears %d times in LevelOrder", ni, seen[ni])
+		}
+	})
+	if visible != len(seen) {
+		t.Fatalf("LevelOrder holds %d nodes, WalkVisible reaches %d", len(seen), visible)
+	}
+	if len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+		t.Fatal("LevelOrder has an empty trailing level")
+	}
+}
+
+func TestLevelOrderMatchesWalkVisible(t *testing.T) {
+	for _, s := range []int{1, 8, 64, 1000} {
+		tr := buildPlummer(t, 3000, s)
+		checkLevelOrder(t, tr)
+	}
+}
+
+func TestLevelOrderTracksTreeEdits(t *testing.T) {
+	tr := buildPlummer(t, 2000, 16)
+	checkLevelOrder(t, tr)
+
+	// Collapse every collapsible twig and re-check.
+	var twigs []int32
+	tr.WalkVisible(func(ni int32) {
+		n := &tr.Nodes[ni]
+		if n.IsVisibleLeaf() {
+			return
+		}
+		for _, ci := range n.Children {
+			if ci != NilNode && !tr.Nodes[ci].IsVisibleLeaf() {
+				return
+			}
+		}
+		twigs = append(twigs, ni)
+	})
+	collapsed := 0
+	for _, ni := range twigs {
+		if tr.Collapse(ni) {
+			collapsed++
+		}
+	}
+	if collapsed == 0 {
+		t.Fatal("no twig collapsed")
+	}
+	checkLevelOrder(t, tr)
+
+	// Push one collapsed node back down.
+	for _, ni := range twigs {
+		if tr.Nodes[ni].Collapsed && tr.PushDown(ni) {
+			break
+		}
+	}
+	checkLevelOrder(t, tr)
+
+	// EnforceS after an S change must refresh the index.
+	tr.Cfg.S = 64
+	tr.EnforceS()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkLevelOrder(t, tr)
+
+	// Refill after motion changes occupancy (empty leaves drop out of the
+	// visible set).
+	rng := rand.New(rand.NewSource(7))
+	for i := range tr.Sys.Pos {
+		tr.Sys.Pos[i] = tr.Sys.Pos[i].Add(geom.Vec3{
+			X: rng.NormFloat64() * 0.1,
+			Y: rng.NormFloat64() * 0.1,
+			Z: rng.NormFloat64() * 0.1,
+		})
+	}
+	tr.Refill()
+	checkLevelOrder(t, tr)
+
+	// Rebuild resets the index entirely.
+	tr.Rebuild(32)
+	checkLevelOrder(t, tr)
+}
+
+func TestLevelOrderCachedUntilEdit(t *testing.T) {
+	tr := buildPlummer(t, 500, 8)
+	a := tr.LevelOrder()
+	b := tr.LevelOrder()
+	if len(a) != len(b) {
+		t.Fatal("repeated LevelOrder calls disagree")
+	}
+	for lv := range a {
+		if len(a[lv]) == 0 {
+			continue
+		}
+		if &a[lv][0] != &b[lv][0] {
+			t.Fatal("LevelOrder rebuilt without an intervening edit")
+		}
+	}
+}

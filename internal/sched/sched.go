@@ -102,6 +102,52 @@ func (p *Pool) ParallelRange(n int, f func(lo, hi int)) {
 	g.Wait()
 }
 
+// ParallelRangeWeighted splits [0, len(weights)) into contiguous chunks of
+// roughly equal total weight and processes them concurrently, at most
+// pool.Workers() at a time. Item i carries weights[i] units of work
+// (negative weights count as zero); a single item heavier than the chunk
+// target forms its own chunk, so a few heavy items cannot serialize the
+// tail behind one task. With all-zero weights it degrades to ParallelRange.
+func (p *Pool) ParallelRangeWeighted(weights []int64, f func(lo, hi int)) {
+	n := len(weights)
+	if n == 0 {
+		return
+	}
+	var total int64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		p.ParallelRange(n, f)
+		return
+	}
+	chunks := p.workers * 4
+	if chunks > n {
+		chunks = n
+	}
+	target := (total + int64(chunks) - 1) / int64(chunks)
+	if target < 1 {
+		target = 1
+	}
+	g := p.NewGroup()
+	lo := 0
+	var acc int64
+	for i := 0; i < n; i++ {
+		if w := weights[i]; w > 0 {
+			acc += w
+		}
+		if acc >= target || i == n-1 {
+			clo, chi := lo, i+1
+			g.Spawn(func() { f(clo, chi) })
+			acc = 0
+			lo = i + 1
+		}
+	}
+	g.Wait()
+}
+
 // Timer measures wall-clock spans; used to report real (host) times next
 // to the virtual-machine times.
 type Timer struct{ start time.Time }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -70,5 +71,166 @@ func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
 	p := NewPool(0)
 	if p.Workers() < 1 {
 		t.Fatalf("workers = %d", p.Workers())
+	}
+}
+
+func TestNestedGroupSpawn(t *testing.T) {
+	// Groups created inside running tasks must compose without deadlock and
+	// without losing work: an outer group fans out tasks that each run an
+	// inner group.
+	p := NewPool(2)
+	var count atomic.Int64
+	outer := p.NewGroup()
+	for i := 0; i < 50; i++ {
+		outer.Spawn(func() {
+			inner := p.NewGroup()
+			for j := 0; j < 20; j++ {
+				inner.Spawn(func() { count.Add(1) })
+			}
+			inner.Wait()
+			count.Add(1)
+		})
+	}
+	outer.Wait()
+	if got := count.Load(); got != 50*21 {
+		t.Fatalf("nested groups ran %d tasks, want %d", got, 50*21)
+	}
+}
+
+func TestSpawnInlinesWhenSemaphoreFull(t *testing.T) {
+	// Occupy every worker slot, then Spawn: the task must execute inline in
+	// the caller (progress guarantee), visible in the inline counter.
+	p := NewPool(2)
+	block := make(chan struct{})
+	g := p.NewGroup()
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		g.Spawn(func() {
+			started <- struct{}{}
+			<-block
+		})
+	}
+	<-started
+	<-started // both workers are now parked holding semaphore slots
+	inlinedBefore := p.InlinedTasks()
+	ran := false
+	g2 := p.NewGroup()
+	g2.Spawn(func() { ran = true })
+	// Spawn returned, so an inline execution has already completed; no
+	// Wait needed (and g2.Wait must also return immediately).
+	g2.Wait()
+	if !ran {
+		t.Fatal("task did not run inline with a full semaphore")
+	}
+	if p.InlinedTasks() != inlinedBefore+1 {
+		t.Fatalf("inline counter did not advance: %d -> %d",
+			inlinedBefore, p.InlinedTasks())
+	}
+	close(block)
+	g.Wait()
+}
+
+func TestParallelRangeEdgeCases(t *testing.T) {
+	p := NewPool(8)
+	// n = 0: the callback must never fire.
+	p.ParallelRange(0, func(lo, hi int) { t.Fatal("called for n=0") })
+	// n < workers: chunks are clamped to n, every index exactly once.
+	for _, n := range []int{1, 3, 7} {
+		hits := make([]int32, n)
+		p.ParallelRange(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelRangeWeightedCoversAllContiguously(t *testing.T) {
+	p := NewPool(4)
+	const n = 500
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = int64(i % 17)
+	}
+	hits := make([]int32, n)
+	p.ParallelRangeWeighted(weights, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelRangeWeightedIsolatesHeavyItems(t *testing.T) {
+	// One item dominating the total weight must not drag neighbors into its
+	// chunk: the chunk holding the heavy item should be small.
+	p := NewPool(4)
+	weights := make([]int64, 100)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[50] = 1_000_000
+	var mu sync.Mutex
+	var heavyChunk int
+	p.ParallelRangeWeighted(weights, func(lo, hi int) {
+		if lo <= 50 && 50 < hi {
+			mu.Lock()
+			heavyChunk = hi - lo
+			mu.Unlock()
+		}
+	})
+	if heavyChunk == 0 || heavyChunk > 52 {
+		t.Fatalf("heavy item chunk size %d", heavyChunk)
+	}
+	// In fact the heavy item's weight exceeds the chunk target on its own,
+	// so everything after it must land in later chunks.
+	var after atomic.Int64
+	p.ParallelRangeWeighted(weights, func(lo, hi int) {
+		if lo <= 50 && 50 < hi {
+			after.Store(int64(hi - 51))
+		}
+	})
+	if after.Load() != 0 {
+		t.Fatalf("heavy chunk extends %d items past the heavy item", after.Load())
+	}
+}
+
+func TestParallelRangeWeightedDegenerateInputs(t *testing.T) {
+	p := NewPool(4)
+	// Empty weights: no calls.
+	p.ParallelRangeWeighted(nil, func(lo, hi int) { t.Fatal("called for empty weights") })
+	// All-zero and negative weights fall back to even chunking.
+	weights := []int64{0, -5, 0, 0, -1}
+	hits := make([]int32, len(weights))
+	p.ParallelRangeWeighted(weights, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("zero-weight fallback: index %d visited %d times", i, h)
+		}
+	}
+	// Single item.
+	var one atomic.Int64
+	p.ParallelRangeWeighted([]int64{42}, func(lo, hi int) { one.Add(int64(hi - lo)) })
+	if one.Load() != 1 {
+		t.Fatal("single-item weighted range wrong")
 	}
 }

@@ -16,8 +16,8 @@ package stokes
 
 import (
 	"math"
-	"sync"
 
+	"afmm/internal/core"
 	"afmm/internal/costmodel"
 	"afmm/internal/expansion"
 	"afmm/internal/geom"
@@ -47,6 +47,12 @@ type Config struct {
 	GPUSpec  vgpu.Spec
 	// SkipFarField disables far-field numerics (timing-only harnesses).
 	SkipFarField bool
+	// SweepMode selects the host execution of the four far-field passes:
+	// level-synchronous flat sweeps with batched M2L (default) or the
+	// legacy task recursion (core.SweepRecursive). The four passes share
+	// one tree, so in level-sync mode every M2L direction's hoisted setup
+	// is reused across all four harmonic passes.
+	SweepMode core.SweepMode
 	// UseRotatedTranslations switches to the O(p^3) rotation-accelerated
 	// translation operators (numerically equivalent; faster for P >= ~6).
 	UseRotatedTranslations bool
@@ -91,14 +97,17 @@ type Solver struct {
 	packedLen  int
 	multipoles [passes][]complex128
 	locals     [passes][]complex128
-	wsPool     sync.Pool
+	// wsFree is a free-list of long-lived operator workspaces (the M2L
+	// geometry caches inside survive across levels, passes, and solves).
+	wsFree    chan *expansion.Workspace
+	weightBuf []int64
 }
 
 // NewSolver builds the decomposition for the body positions.
 func NewSolver(sys *particle.System, cfg Config) *Solver {
 	cfg.setDefaults()
 	s := &Solver{Cfg: cfg, Sys: sys, packedLen: sphharm.PackedLen(cfg.P)}
-	s.wsPool.New = func() interface{} { return expansion.NewWorkspace(cfg.P) }
+	s.wsFree = make(chan *expansion.Workspace, cfg.Pool.Workers()+8)
 	s.Tree = octree.Build(sys, octree.Config{
 		S:        cfg.S,
 		MaxDepth: cfg.MaxDepth,
@@ -277,23 +286,196 @@ func (s *Solver) p2pPair(target, source int32) {
 
 func (s *Solver) runCPUNearField() {
 	t := s.Tree
-	leaves := t.VisibleLeaves()
-	g := s.Cfg.Pool.NewGroup()
-	for _, li := range leaves {
-		li := li
-		g.Spawn(func() {
+	if s.Cfg.SweepMode == core.SweepRecursive {
+		leaves := t.VisibleLeaves()
+		s.Cfg.Pool.ParallelRange(len(leaves), func(lo, hi int) {
+			for _, li := range leaves[lo:hi] {
+				for _, si := range t.Nodes[li].U {
+					s.p2pPair(li, si)
+				}
+			}
+		})
+		return
+	}
+	leaves, inter := t.LeafInteractions()
+	s.Cfg.Pool.ParallelRangeWeighted(inter, func(lo, hi int) {
+		for _, li := range leaves[lo:hi] {
 			for _, si := range t.Nodes[li].U {
 				s.p2pPair(li, si)
 			}
-		})
-	}
-	g.Wait()
+		}
+	})
 }
 
-func (s *Solver) getWS() *expansion.Workspace  { return s.wsPool.Get().(*expansion.Workspace) }
-func (s *Solver) putWS(w *expansion.Workspace) { s.wsPool.Put(w) }
+func (s *Solver) getWS() *expansion.Workspace {
+	select {
+	case w := <-s.wsFree:
+		return w
+	default:
+		return expansion.NewWorkspace(s.Cfg.P)
+	}
+}
+
+func (s *Solver) putWS(w *expansion.Workspace) {
+	select {
+	case s.wsFree <- w:
+	default:
+	}
+}
 
 func (s *Solver) upSweep() {
+	if s.Cfg.SweepMode == core.SweepRecursive {
+		s.upSweepRecursive()
+		return
+	}
+	s.upSweepLevels()
+}
+
+func (s *Solver) downSweep() {
+	if s.Cfg.SweepMode == core.SweepRecursive {
+		s.downSweepRecursive()
+		return
+	}
+	s.downSweepLevels()
+}
+
+// upSweepLevels / downSweepLevels are the level-synchronous sweeps of
+// core, run for all four harmonic passes of the Stokeslet decomposition.
+// Each level is one flat parallel range weighted by per-node work; the
+// batched M2L shares its per-direction setup across the passes (the four
+// passes translate over identical geometry).
+func (s *Solver) upSweepLevels() {
+	t := s.Tree
+	levels := t.LevelOrder()
+	for lv := len(levels) - 1; lv >= 0; lv-- {
+		nodes := levels[lv]
+		if len(nodes) == 0 {
+			continue
+		}
+		weights := s.levelWeights(nodes, true)
+		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+			w := s.getWS()
+			for _, ni := range nodes[lo:hi] {
+				s.upNode(w, ni)
+			}
+			s.putWS(w)
+		})
+	}
+}
+
+func (s *Solver) upNode(w *expansion.Workspace, ni int32) {
+	t := s.Tree
+	n := &t.Nodes[ni]
+	if n.IsVisibleLeaf() {
+		for k := 0; k < passes; k++ {
+			m := s.mpole(k, ni)
+			for i := n.Start; i < n.End; i++ {
+				w.P2M(m, n.Box.Center, s.Sys.Pos[i], s.charge(k, i))
+			}
+		}
+		return
+	}
+	for k := 0; k < passes; k++ {
+		m := s.mpole(k, ni)
+		for _, ci := range n.Children {
+			if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+				if s.Cfg.UseRotatedTranslations {
+					w.M2MRotated(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
+				} else {
+					w.M2M(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
+				}
+			}
+		}
+	}
+}
+
+func (s *Solver) downSweepLevels() {
+	t := s.Tree
+	levels := t.LevelOrder()
+	for lv := 0; lv < len(levels); lv++ {
+		nodes := levels[lv]
+		if len(nodes) == 0 {
+			continue
+		}
+		weights := s.levelWeights(nodes, false)
+		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+			w := s.getWS()
+			var srcs []expansion.M2LSource
+			for _, ni := range nodes[lo:hi] {
+				srcs = s.downNode(w, ni, srcs)
+			}
+			s.putWS(w)
+		})
+	}
+}
+
+func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2LSource) []expansion.M2LSource {
+	t := s.Tree
+	n := &t.Nodes[ni]
+	parent := n.Parent
+	for k := 0; k < passes; k++ {
+		l := s.local(k, ni)
+		if parent != octree.NilNode {
+			if s.Cfg.UseRotatedTranslations {
+				w.L2LRotated(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
+			} else {
+				w.L2L(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
+			}
+		}
+		if len(n.V) > 0 {
+			srcs = srcs[:0]
+			for _, vi := range n.V {
+				srcs = append(srcs, expansion.M2LSource{M: s.mpole(k, vi), From: t.Nodes[vi].Box.Center})
+			}
+			w.M2LBatch(l, n.Box.Center, srcs)
+		}
+	}
+	if n.IsVisibleLeaf() {
+		c0 := 1 / (8 * math.Pi * s.Cfg.Kernel.Mu)
+		for i := n.Start; i < n.End; i++ {
+			x := s.Sys.Pos[i]
+			p0, g0 := w.L2P(s.local(0, ni), n.Box.Center, x)
+			p1, g1 := w.L2P(s.local(1, ni), n.Box.Center, x)
+			p2, g2 := w.L2P(s.local(2, ni), n.Box.Center, x)
+			_, gp := w.L2P(s.local(3, ni), n.Box.Center, x)
+			u := geom.Vec3{
+				X: p0 - (x.X*g0.X + x.Y*g1.X + x.Z*g2.X) + gp.X,
+				Y: p1 - (x.X*g0.Y + x.Y*g1.Y + x.Z*g2.Y) + gp.Y,
+				Z: p2 - (x.X*g0.Z + x.Y*g1.Z + x.Z*g2.Z) + gp.Z,
+			}
+			s.Sys.Acc[i] = s.Sys.Acc[i].Add(u.Scale(c0))
+		}
+	}
+	return srcs
+}
+
+// levelWeights fills the scratch weight buffer for one level (up sweeps
+// weigh leaf bodies, down sweeps weigh V-list translations; all four
+// passes scale every node equally so the constant factor drops out).
+func (s *Solver) levelWeights(nodes []int32, up bool) []int64 {
+	if cap(s.weightBuf) < len(nodes) {
+		s.weightBuf = make([]int64, len(nodes))
+	}
+	buf := s.weightBuf[:len(nodes)]
+	for i, ni := range nodes {
+		n := &s.Tree.Nodes[ni]
+		if up {
+			if n.IsVisibleLeaf() {
+				buf[i] = int64(n.Count()) + 1
+			} else {
+				buf[i] = 33
+			}
+		} else {
+			buf[i] = int64(len(n.V))*12 + 5
+			if n.IsVisibleLeaf() {
+				buf[i] += int64(n.Count())
+			}
+		}
+	}
+	return buf
+}
+
+func (s *Solver) upSweepRecursive() {
 	var rec func(ni int32)
 	rec = func(ni int32) {
 		t := s.Tree
@@ -337,7 +519,7 @@ func (s *Solver) upSweep() {
 	}
 }
 
-func (s *Solver) downSweep() {
+func (s *Solver) downSweepRecursive() {
 	c0 := 1 / (8 * math.Pi * s.Cfg.Kernel.Mu)
 	var rec func(ni, parent int32)
 	rec = func(ni, parent int32) {

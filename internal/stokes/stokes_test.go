@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"afmm/internal/core"
 	"afmm/internal/distrib"
 	"afmm/internal/geom"
 	"afmm/internal/kernels"
@@ -261,5 +262,50 @@ func TestRigidSphereMobilityApproximatesStokesDrag(t *testing.T) {
 	// Transverse drift should vanish by symmetry.
 	if math.Hypot(u.X, u.Y) > 0.05*u.Z {
 		t.Fatalf("asymmetric drift: %v", u)
+	}
+}
+
+func TestSweepModesAgree(t *testing.T) {
+	// The level-synchronous sweeps with batched M2L must reproduce the
+	// legacy recursive sweeps within the solver's error bound on the
+	// Stokeslet profile (ISSUE acceptance: cross-mode agreement on both
+	// gravity and Stokes problems).
+	k := kernels.Stokeslet{Mu: 0.9, Eps: 1e-3}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"direct", Config{P: 8, S: 16, Kernel: k}},
+		{"rotated", Config{P: 8, S: 16, Kernel: k, UseRotatedTranslations: true}},
+		{"gpus", Config{P: 6, S: 24, Kernel: k, NumGPUs: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sysA := distrib.Plummer(700, 1, 1, 31)
+			randomForces(sysA, 32)
+			sysB := sysA.Clone()
+
+			cfgA := tc.cfg
+			a := NewSolver(sysA, cfgA) // default: level-synchronous
+			cfgB := tc.cfg
+			cfgB.SweepMode = core.SweepRecursive
+			b := NewSolver(sysB, cfgB)
+			a.Solve()
+			b.Solve()
+
+			va := a.Sys.AccInInputOrder()
+			vb := b.Sys.AccInInputOrder()
+			for i := range va {
+				if d := va[i].Sub(vb[i]).Norm(); d > 1e-8*(1+vb[i].Norm()) {
+					t.Fatalf("modes disagree at body %d: %v vs %v (|d|=%g)",
+						i, va[i], vb[i], d)
+				}
+			}
+			// Both must also stay near the direct sum (storage order), not
+			// merely each other.
+			want := DirectVelocities(sysA, k)
+			if e := velErr(sysA.Acc, want); e > 5e-3 {
+				t.Fatalf("level-sync error vs direct: %g", e)
+			}
+		})
 	}
 }
