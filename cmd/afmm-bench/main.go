@@ -41,7 +41,7 @@ func main() {
 	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -55,7 +55,7 @@ func main() {
 	known := map[string]bool{"fig3": true, "fig4": true, "fig6": true,
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
 		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
-		"all": true}
+		"lists": true, "all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -94,6 +94,42 @@ func main() {
 		fmt.Println("==== SWEEPS (host far-field sweeps, level-sync vs recursive) ====")
 		runSweeps(p, pSet)
 	}
+	if which == "lists" { // host wall-clock benchmark; not part of "all"
+		fmt.Println("==== LISTS (persistent interaction lists, cached vs from-scratch) ====")
+		runLists(p)
+	}
+}
+
+// runLists benchmarks interaction-list maintenance and end-to-end solver
+// steps on the host (wall clock, not the virtual machine) and writes the
+// machine-readable BENCH_lists.json.
+func runLists(p experiments.Params) {
+	res := experiments.Lists(p)
+	fmt.Printf("trajectory: Plummer N=%d, S=%d, %d steps\n", res.N, res.S, res.Steps)
+	fmt.Printf("%-34s %12.3f ms/step\n", "list maintenance (cached)",
+		float64(res.EnsureNsPerStep)/1e6)
+	fmt.Printf("%-34s %12.3f ms/step\n", "list build (from scratch)",
+		float64(res.ScratchNsPerStep)/1e6)
+	fmt.Printf("%-34s %12.4f (target <= 0.10)\n", "maintenance ratio", res.MaintenanceRatio)
+	fmt.Printf("cache activity: %d full builds, %d repairs, %d skips; "+
+		"pair visits %d vs %d from scratch\n",
+		res.FullBuilds, res.Repairs, res.Skips, res.CachedPairs, res.ScratchPairs)
+	fmt.Printf("%-34s %12.3f ms/step\n", "solver step (cached lists)",
+		float64(res.StepNsCached)/1e6)
+	fmt.Printf("%-34s %12.3f ms/step\n", "solver step (from-scratch lists)",
+		float64(res.StepNsScratch)/1e6)
+	fmt.Printf("end-to-end speedup: %.3fx over %d steps "+
+		"(list build is %.1f%% of a from-scratch step)\n",
+		res.EndToEndSpeedup, res.EndToEndSteps, 100*res.ListShareScratch)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_lists.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_lists.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_lists.json")
 }
 
 // runSweeps benchmarks the actual host numerics (wall clock, not the

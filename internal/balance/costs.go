@@ -1,9 +1,5 @@
 package balance
 
-import (
-	"afmm/internal/costmodel"
-)
-
 // LBCostModel charges virtual time for the balancing operations themselves
 // (tree rebuilds, Enforce_S walks, list rebuilds for prediction, and
 // Collapse/PushDown batches), so the per-step totals of Figure 8 and the
@@ -95,12 +91,14 @@ func (m LBCostModel) enforceCost(s Target, collapses, pushdowns int) float64 {
 	return (walk + part) / m.cores(s)
 }
 
-// predictCost charges for one prediction: a dual-traversal list rebuild
-// plus the counting walk.
+// predictCost charges for one prediction: the list maintenance the
+// prediction actually performed — the dual-traversal pair visits reported
+// by the tree, which are zero for a cache hit, the local repair size
+// after a small edit batch, and the full traversal only when the lists
+// were really rebuilt — plus the counting walk.
 func (m LBCostModel) predictCost(s Target) float64 {
-	c := costmodel.FromTree(s.Octree().CountOps())
 	st := s.Octree().ComputeStats()
-	pairs := float64(c[costmodel.M2L]) + float64(st.VisibleLeaves)*8
+	pairs := float64(s.Octree().LastListWork().Pairs)
 	return (pairs*m.ListPerPair + float64(st.VisibleNodes)*m.WalkPerNode) / m.cores(s)
 }
 

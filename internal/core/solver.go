@@ -106,6 +106,20 @@ type Config struct {
 	// paper's implementation uses direct translations), so this only
 	// affects host wall time.
 	UseRotatedTranslations bool
+	// DisableListCache turns off the persistent interaction-list cache:
+	// every solve re-runs the full dual traversal and rebuilds the
+	// near-field schedule from scratch (octree.Config.NoListCache). Kept
+	// for A/B measurement; results are bit-identical either way.
+	DisableListCache bool
+	// GatherSources makes each near-field chunk copy its source bodies
+	// into per-worker SoA gather buffers (octree.SourceGather) before the
+	// P2P sweep, instead of slicing the particle arrays through the
+	// schedule's cached source spans. The particle arrays are already
+	// leaf-contiguous, so the copy only pays off when they far exceed the
+	// last-level cache; the default zero-copy path benches faster at
+	// moderate N (see kernels.BenchmarkNearFieldCSR vs ...Gather).
+	// Results are bit-identical either way.
+	GatherSources bool
 	// OffloadEndpoints moves the P2M and L2P work to the GPUs — the
 	// extension the paper proposes (§VIII.E) for configurations whose
 	// CPU is underpowered relative to the devices ("the way forward in
@@ -167,6 +181,9 @@ type Solver struct {
 	// across levels and across solves.
 	wsFree    chan *expansion.Workspace
 	weightBuf []int64
+	// gatherFree recycles per-chunk near-field source gathers (SoA packing
+	// buffers), one per concurrently executing chunk.
+	gatherFree chan *octree.SourceGather
 }
 
 // NewSolver builds the decomposition and the device cluster.
@@ -178,12 +195,14 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 		packedLen: sphharm.PackedLen(cfg.P),
 	}
 	s.wsFree = make(chan *expansion.Workspace, cfg.Pool.Workers()+8)
+	s.gatherFree = make(chan *octree.SourceGather, cfg.Pool.Workers()+8)
 	s.Tree = octree.Build(sys, octree.Config{
-		S:        cfg.S,
-		MaxDepth: cfg.MaxDepth,
-		Mode:     cfg.Mode,
-		MAC:      cfg.MAC,
-		Pool:     cfg.Pool,
+		S:           cfg.S,
+		MaxDepth:    cfg.MaxDepth,
+		Mode:        cfg.Mode,
+		MAC:         cfg.MAC,
+		Pool:        cfg.Pool,
+		NoListCache: cfg.DisableListCache,
 	})
 	if cfg.NumGPUs > 0 {
 		s.Cluster = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
@@ -398,6 +417,22 @@ func (s *Solver) putWS(w *expansion.Workspace) {
 	}
 }
 
+func (s *Solver) getGather() *octree.SourceGather {
+	select {
+	case g := <-s.gatherFree:
+		return g
+	default:
+		return &octree.SourceGather{}
+	}
+}
+
+func (s *Solver) putGather(g *octree.SourceGather) {
+	select {
+	case s.gatherFree <- g:
+	default:
+	}
+}
+
 // p2pPair executes the direct interaction of one target/source leaf pair
 // (the numeric work the simulated device performs).
 func (s *Solver) p2pPair(target, source int32) {
@@ -415,10 +450,12 @@ func (s *Solver) p2pPair(target, source int32) {
 }
 
 // runCPUNearField executes all U-list work on the host pool (CPU-only
-// configurations). The default mode partitions the leaves into
-// interaction-count-weighted chunks so a few heavy leaves cannot
-// serialize the tail; the legacy mode chunks leaves evenly (still one
-// task per chunk, never one per leaf).
+// configurations). The default mode walks the cached CSR near-field
+// schedule in interaction-count-weighted chunks — so a few heavy leaves
+// cannot serialize the tail — packing each chunk's distinct source leaves
+// once into contiguous SoA buffers; the legacy mode chunks leaves evenly
+// and chases node indices per pair (still one task per chunk, never one
+// per leaf).
 func (s *Solver) runCPUNearField() {
 	t := s.Tree
 	if s.Cfg.SweepMode == SweepRecursive {
@@ -432,11 +469,34 @@ func (s *Solver) runCPUNearField() {
 		})
 		return
 	}
-	leaves, inter := t.LeafInteractions()
-	s.Cfg.Pool.ParallelRangeWeighted(inter, func(lo, hi int) {
-		for _, li := range leaves[lo:hi] {
-			for _, si := range t.Nodes[li].U {
-				s.p2pPair(li, si)
+	sch := t.NearField()
+	sys := s.Sys
+	s.Cfg.Pool.ParallelRangeWeighted(sch.Weights, func(lo, hi int) {
+		if s.Cfg.GatherSources {
+			g := s.getGather()
+			g.Pack(t, sch, lo, hi, true, false)
+			for r := lo; r < hi; r++ {
+				tn := &t.Nodes[sch.Leaves[r]]
+				xt := sys.Pos[tn.Start:tn.End]
+				pot := sys.Phi[tn.Start:tn.End]
+				acc := sys.Acc[tn.Start:tn.End]
+				for _, si := range sch.Row(r) {
+					a, b := g.Span(si)
+					s.Cfg.Kernel.P2P(xt, pot, acc, g.Pos[a:b], g.Mass[a:b])
+				}
+			}
+			s.putGather(g)
+			return
+		}
+		for r := lo; r < hi; r++ {
+			tn := &t.Nodes[sch.Leaves[r]]
+			xt := sys.Pos[tn.Start:tn.End]
+			pot := sys.Phi[tn.Start:tn.End]
+			acc := sys.Acc[tn.Start:tn.End]
+			for k := sch.RowPtr[r]; k < sch.RowPtr[r+1]; k++ {
+				s.Cfg.Kernel.P2P(xt, pot, acc,
+					sys.Pos[sch.SrcStart[k]:sch.SrcEnd[k]],
+					sys.Mass[sch.SrcStart[k]:sch.SrcEnd[k]])
 			}
 		}
 	})

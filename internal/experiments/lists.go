@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"time"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/kernels"
+	"afmm/internal/octree"
+	"afmm/internal/sim"
+)
+
+// ListsBenchResult is the machine-readable payload of the "lists"
+// benchmark (written to BENCH_lists.json by afmm-bench). All times are
+// host wall clock.
+//
+// The maintenance phase drives a Plummer trajectory through per-step
+// Refill (plus periodic Enforce_S edits) and times BuildLists with the
+// persistent cache against the same trajectory with the cache disabled,
+// where every step pays the from-scratch dual traversal. MaintenanceRatio
+// is the headline number: cached per-step list time over from-scratch
+// per-step list time (the acceptance target is <= 0.10).
+//
+// The end-to-end phase times whole steps (Solve + integrate + Refill) of
+// the gravity solver with the cache on and off.
+type ListsBenchResult struct {
+	N     int `json:"n"`
+	S     int `json:"s"`
+	P     int `json:"p"`
+	Steps int `json:"steps"`
+
+	// List maintenance per step.
+	EnsureNsPerStep  int64   `json:"ensure_ns_per_step"`
+	ScratchNsPerStep int64   `json:"scratch_ns_per_step"`
+	MaintenanceRatio float64 `json:"maintenance_ratio"`
+	FullBuilds       int     `json:"full_builds"`
+	Repairs          int     `json:"repairs"`
+	Skips            int     `json:"skips"`
+	// Dual-traversal pair visits summed over the cached trajectory's
+	// steps vs the from-scratch trajectory's (the work the balancer's
+	// LBCostModel charges for).
+	CachedPairs  int64 `json:"cached_pairs"`
+	ScratchPairs int64 `json:"scratch_pairs"`
+
+	// End-to-end solver step time.
+	EndToEndSteps    int     `json:"end_to_end_steps"`
+	StepNsCached     int64   `json:"step_ns_cached"`
+	StepNsScratch    int64   `json:"step_ns_scratch"`
+	EndToEndSpeedup  float64 `json:"end_to_end_speedup"`
+	ListShareScratch float64 `json:"list_share_scratch"`
+}
+
+// Lists measures what the persistent interaction-list cache buys on a
+// moving Plummer trajectory: the per-step list-maintenance cost (skip or
+// local repair) against the from-scratch dual traversal, and the whole
+// solver step with the cache on vs off. Both passes follow identical
+// trajectories (Refill and Enforce_S decisions depend only on occupancy),
+// so the comparison is one-to-one per step.
+func Lists(p Params) ListsBenchResult {
+	if p.N <= 0 {
+		p.N = 100000
+	}
+	if p.Steps <= 0 {
+		p.Steps = 40
+	}
+	if p.Dt <= 0 {
+		p.Dt = 2e-4 // the dt the repo's dynamic sim tests integrate at
+	}
+	p.setDefaults()
+	const s = 64
+	res := ListsBenchResult{N: p.N, S: s, P: p.P, Steps: p.Steps}
+
+	// Phase 1: bare decomposition, list maintenance only. Bodies drift
+	// along their Plummer velocities; every 20th step Enforce_S restores
+	// the capacity invariant, generating the Collapse/PushDown batches
+	// the repair path exists for — a harsher restructuring cadence than
+	// the real Observation-state balancer, which only enforces on a
+	// measured >5% regression.
+	maintain := func(noCache bool) (perStep int64, st octree.ListStats, pairs int64) {
+		sys := distrib.Plummer(p.N, 1, 1, p.Seed)
+		tr := octree.Build(sys, octree.Config{S: s, NoListCache: noCache})
+		tr.BuildLists() // initial construction is not maintenance
+		var total int64
+		for step := 0; step < p.Steps; step++ {
+			for i := range sys.Pos {
+				sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(p.Dt))
+			}
+			tr.Refill()
+			if step%20 == 19 {
+				tr.EnforceS()
+			}
+			t0 := time.Now()
+			tr.BuildLists()
+			total += int64(time.Since(t0))
+			pairs += tr.LastListWork().Pairs
+		}
+		return total / int64(p.Steps), tr.ListBuildStats(), pairs
+	}
+	var st octree.ListStats
+	res.EnsureNsPerStep, st, res.CachedPairs = maintain(false)
+	res.FullBuilds = st.FullBuilds
+	res.Repairs = st.Repairs
+	res.Skips = st.Skips
+	res.ScratchNsPerStep, _, res.ScratchPairs = maintain(true)
+	if res.ScratchNsPerStep > 0 {
+		res.MaintenanceRatio = float64(res.EnsureNsPerStep) / float64(res.ScratchNsPerStep)
+	}
+
+	// Phase 2: end-to-end solver steps (real numerics; virtual devices
+	// are irrelevant to host wall clock, so the CPU path runs the near
+	// field). Fewer steps: each one is a full FMM solve. The two variants
+	// advance in lockstep, alternating per step, so slow drift in host
+	// speed hits both equally instead of biasing whichever ran second.
+	eSteps := p.Steps
+	if eSteps > 10 {
+		eSteps = 10
+	}
+	res.EndToEndSteps = eSteps
+	mkSolver := func(disable bool) *core.Solver {
+		sys := distrib.Plummer(p.N, 1, 1, p.Seed)
+		sv := core.NewSolver(sys, core.Config{
+			P:                p.P,
+			S:                s,
+			Kernel:           kernels.Gravity{G: 1, Softening: 0.01},
+			DisableListCache: disable,
+		})
+		sv.Solve() // warm the caches; the first solve always builds lists
+		return sv
+	}
+	cached, scratch := mkSolver(false), mkSolver(true)
+	stepOnce := func(sv *core.Solver) int64 {
+		t0 := time.Now()
+		sv.Solve()
+		sim.KickDrift(sv.Sys, p.Dt)
+		sv.Refill()
+		return int64(time.Since(t0))
+	}
+	for step := 0; step < eSteps; step++ {
+		res.StepNsCached += stepOnce(cached)
+		res.StepNsScratch += stepOnce(scratch)
+	}
+	res.StepNsCached /= int64(eSteps)
+	res.StepNsScratch /= int64(eSteps)
+	if res.StepNsCached > 0 {
+		res.EndToEndSpeedup = float64(res.StepNsScratch) / float64(res.StepNsCached)
+	}
+	if res.StepNsScratch > 0 {
+		res.ListShareScratch = float64(res.ScratchNsPerStep) / float64(res.StepNsScratch)
+	}
+	return res
+}

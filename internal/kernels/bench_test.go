@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"afmm/internal/distrib"
 	"afmm/internal/geom"
+	"afmm/internal/octree"
 )
 
 func randBodies(n int, seed int64) ([]geom.Vec3, []float64, []geom.Vec3) {
@@ -33,6 +35,101 @@ func BenchmarkGravityP2P(b *testing.B) {
 		k.P2P(pos, phi, acc, pos, mass)
 	}
 	b.ReportMetric(float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9,
+		"Ginteractions/s")
+}
+
+// nearFieldTree builds a Plummer decomposition with lists for the two
+// near-field sweep benchmarks below.
+func nearFieldTree(b *testing.B) *octree.Tree {
+	b.Helper()
+	sys := distrib.Plummer(20000, 1, 1, 42)
+	t := octree.Build(sys, octree.Config{S: 48})
+	t.BuildLists()
+	return t
+}
+
+// BenchmarkNearFieldPerLeaf sweeps the near field the pre-schedule way:
+// per-target U-list chasing, re-indirecting each source leaf's bodies
+// through the tree for every target that references it.
+func BenchmarkNearFieldPerLeaf(b *testing.B) {
+	t := nearFieldTree(b)
+	sys := t.Sys
+	k := Gravity{G: 1, Softening: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ni := range t.VisibleLeaves() {
+			tn := &t.Nodes[ni]
+			xt := sys.Pos[tn.Start:tn.End]
+			pot := sys.Phi[tn.Start:tn.End]
+			acc := sys.Acc[tn.Start:tn.End]
+			for _, si := range tn.U {
+				sn := &t.Nodes[si]
+				k.P2P(xt, pot, acc, sys.Pos[sn.Start:sn.End], sys.Mass[sn.Start:sn.End])
+			}
+		}
+	}
+	b.ReportMetric(float64(t.CountOps().P2P)*float64(b.N)/b.Elapsed().Seconds()/1e9,
+		"Ginteractions/s")
+}
+
+// BenchmarkNearFieldCSR sweeps the same near field through the cached CSR
+// schedule's source spans (the solver's default path): no per-source Node
+// indirection and no copying.
+func BenchmarkNearFieldCSR(b *testing.B) {
+	t := nearFieldTree(b)
+	sys := t.Sys
+	k := Gravity{G: 1, Softening: 0.01}
+	sch := t.NearField()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < sch.Rows(); r++ {
+			tn := &t.Nodes[sch.Leaves[r]]
+			xt := sys.Pos[tn.Start:tn.End]
+			pot := sys.Phi[tn.Start:tn.End]
+			acc := sys.Acc[tn.Start:tn.End]
+			for j := sch.RowPtr[r]; j < sch.RowPtr[r+1]; j++ {
+				k.P2P(xt, pot, acc,
+					sys.Pos[sch.SrcStart[j]:sch.SrcEnd[j]],
+					sys.Mass[sch.SrcStart[j]:sch.SrcEnd[j]])
+			}
+		}
+	}
+	b.ReportMetric(float64(sch.Total())*float64(b.N)/b.Elapsed().Seconds()/1e9,
+		"Ginteractions/s")
+}
+
+// BenchmarkNearFieldGather sweeps through chunked SoA source gathering
+// (core.Config.GatherSources): each chunk's distinct sources are copied
+// once into compact buffers. The copy only pays off when the particle
+// arrays far exceed the last-level cache.
+func BenchmarkNearFieldGather(b *testing.B) {
+	t := nearFieldTree(b)
+	sys := t.Sys
+	k := Gravity{G: 1, Softening: 0.01}
+	sch := t.NearField()
+	var g octree.SourceGather
+	const chunk = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < sch.Rows(); lo += chunk {
+			hi := lo + chunk
+			if hi > sch.Rows() {
+				hi = sch.Rows()
+			}
+			g.Pack(t, sch, lo, hi, true, false)
+			for r := lo; r < hi; r++ {
+				tn := &t.Nodes[sch.Leaves[r]]
+				xt := sys.Pos[tn.Start:tn.End]
+				pot := sys.Phi[tn.Start:tn.End]
+				acc := sys.Acc[tn.Start:tn.End]
+				for _, si := range sch.Row(r) {
+					a, z := g.Span(si)
+					k.P2P(xt, pot, acc, g.Pos[a:z], g.Mass[a:z])
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(sch.Total())*float64(b.N)/b.Elapsed().Seconds()/1e9,
 		"Ginteractions/s")
 }
 

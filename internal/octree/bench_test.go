@@ -43,7 +43,50 @@ func BenchmarkBuildLists(b *testing.B) {
 			t := Build(sys, Config{S: s})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				// Forced: with the list cache, plain BuildLists would skip
+				// every iteration after the first.
+				t.RebuildLists()
+			}
+		})
+	}
+}
+
+// BenchmarkListRepair measures the incremental path BenchmarkBuildLists is
+// compared against: each iteration makes one local edit (collapse, then
+// push the same node back down) and repairs the lists twice, so the
+// per-iteration cost is two local repairs versus two full traversals.
+func BenchmarkListRepair(b *testing.B) {
+	for _, s := range []int{16, 64, 256} {
+		b.Run(sizeName(s), func(b *testing.B) {
+			sys := distrib.Plummer(20000, 1, 1, 42)
+			t := Build(sys, Config{S: s})
+			t.BuildLists()
+			var target int32 = -1
+			t.WalkVisible(func(ni int32) {
+				n := &t.Nodes[ni]
+				if target >= 0 || n.IsVisibleLeaf() {
+					return
+				}
+				for _, ci := range n.Children {
+					if ci != NilNode && !t.Nodes[ci].IsVisibleLeaf() {
+						return
+					}
+				}
+				target = ni
+			})
+			if target < 0 {
+				b.Skip("no collapsible node at this S")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Collapse(target)
 				t.BuildLists()
+				t.PushDown(target)
+				t.BuildLists()
+			}
+			b.StopTimer()
+			if st := t.ListBuildStats(); st.FullBuilds != 1 {
+				b.Fatalf("edits escalated to full builds: %+v", st)
 			}
 		})
 	}

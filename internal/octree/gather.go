@@ -1,0 +1,64 @@
+package octree
+
+import (
+	"slices"
+	"sort"
+
+	"afmm/internal/geom"
+)
+
+// SourceGather packs the bodies of the distinct source leaves referenced
+// by a range of near-field schedule rows into contiguous structure-of-
+// arrays slices. A chunk of targets typically shares most of its sources
+// (neighboring leaves), so each source leaf's bodies are copied once per
+// chunk instead of being re-indirected through Tree.Nodes per target.
+// Buffers are retained across Pack calls for reuse.
+type SourceGather struct {
+	ids []int32 // distinct source leaves of the chunk, ascending
+	off []int32 // len(ids)+1 packed offsets; ids[k]'s bodies at [off[k],off[k+1])
+
+	Pos  []geom.Vec3
+	Mass []float64 // packed only when Pack's needMass is set
+	Aux  []geom.Vec3
+}
+
+// Pack gathers the sources of schedule rows [lo, hi). Positions are
+// always packed; masses and aux vectors (Stokeslet forces) on request.
+func (g *SourceGather) Pack(t *Tree, sch *NearSchedule, lo, hi int, needMass, needAux bool) {
+	g.ids = g.ids[:0]
+	g.ids = append(g.ids, sch.Srcs[sch.RowPtr[lo]:sch.RowPtr[hi]]...)
+	slices.Sort(g.ids)
+	w := 0
+	for _, id := range g.ids {
+		if w == 0 || id != g.ids[w-1] {
+			g.ids[w] = id
+			w++
+		}
+	}
+	g.ids = g.ids[:w]
+
+	g.off = g.off[:0]
+	g.Pos = g.Pos[:0]
+	g.Mass = g.Mass[:0]
+	g.Aux = g.Aux[:0]
+	sys := t.Sys
+	for _, id := range g.ids {
+		n := &t.Nodes[id]
+		g.off = append(g.off, int32(len(g.Pos)))
+		g.Pos = append(g.Pos, sys.Pos[n.Start:n.End]...)
+		if needMass {
+			g.Mass = append(g.Mass, sys.Mass[n.Start:n.End]...)
+		}
+		if needAux {
+			g.Aux = append(g.Aux, sys.Aux[n.Start:n.End]...)
+		}
+	}
+	g.off = append(g.off, int32(len(g.Pos)))
+}
+
+// Span returns the packed body range of source leaf s, which must have
+// been covered by the last Pack.
+func (g *SourceGather) Span(s int32) (lo, hi int) {
+	k := sort.Search(len(g.ids), func(i int) bool { return g.ids[i] >= s })
+	return int(g.off[k]), int(g.off[k+1])
+}

@@ -1,0 +1,104 @@
+package octree
+
+// NearSchedule is the flattened CSR form of the per-leaf U lists: row i is
+// visible leaf Leaves[i] (DFS order, matching WalkVisible), its near-field
+// sources are Srcs[RowPtr[i]:RowPtr[i+1]] (ascending node order, identical
+// to the leaf's U list), Weights[i] = n_t * Σ n_s is its interaction
+// count, and Prefix is the running sum of Weights (Prefix[len(Leaves)] is
+// the total near-field work). The schedule is the shared near-field work
+// description consumed by the CPU near-field chunking, the virtual-GPU
+// partitioners, and the virtual-CPU task graph, replacing per-step
+// LeafInteractions recomputation and per-target U-list chasing.
+// SrcStart/SrcEnd are parallel to Srcs and hold each source leaf's body
+// range in the particle arrays, so near-field consumers slice source
+// positions/masses directly without re-indirecting through Tree.Nodes per
+// target. They are occupancy-derived (a Refill moves them) and refresh
+// with Weights.
+type NearSchedule struct {
+	Leaves   []int32
+	RowPtr   []int32
+	Srcs     []int32
+	SrcStart []int32
+	SrcEnd   []int32
+	Weights  []int64
+	Prefix   []int64
+}
+
+// Rows returns the number of target leaves.
+func (s *NearSchedule) Rows() int { return len(s.Leaves) }
+
+// Row returns the source leaves of row i.
+func (s *NearSchedule) Row(i int) []int32 { return s.Srcs[s.RowPtr[i]:s.RowPtr[i+1]] }
+
+// Total returns the total body-body interaction count of the schedule.
+func (s *NearSchedule) Total() int64 {
+	if len(s.Prefix) == 0 {
+		return 0
+	}
+	return s.Prefix[len(s.Prefix)-1]
+}
+
+// NearField returns the cached near-field schedule for the current lists.
+// BuildLists must have run (the schedule is derived from the U lists).
+// The topology (Leaves, RowPtr, Srcs) is rebuilt only when the list
+// topology changed (full build or repair — tracked by ListEpoch); a
+// Refill merely refreshes Weights/Prefix from the new occupancies. The
+// returned schedule is owned by the tree and valid until the next list or
+// occupancy change.
+func (t *Tree) NearField() *NearSchedule {
+	if t.nearEpoch == t.listEpoch && t.nearEpoch != 0 {
+		if !t.nearWeightsOK {
+			t.refreshNearWeights()
+		}
+		return &t.nearSched
+	}
+	t.buildNearSchedule()
+	return &t.nearSched
+}
+
+// buildNearSchedule flattens the U lists into CSR form.
+func (t *Tree) buildNearSchedule() {
+	s := &t.nearSched
+	// Copy the leaf index rather than aliasing the VisibleLeaves cache:
+	// the cache's backing array is recycled on invalidation, while the
+	// schedule must stay coherent until the next topology change.
+	s.Leaves = append(s.Leaves[:0], t.VisibleLeaves()...)
+	s.RowPtr = append(s.RowPtr[:0], 0)
+	s.Srcs = s.Srcs[:0]
+	for _, ni := range s.Leaves {
+		s.Srcs = append(s.Srcs, t.Nodes[ni].U...)
+		s.RowPtr = append(s.RowPtr, int32(len(s.Srcs)))
+	}
+	t.refreshNearWeights()
+	t.nearEpoch = t.listEpoch
+}
+
+// refreshNearWeights recomputes the occupancy-derived parts of the
+// schedule — Weights, Prefix and the source body spans — keeping the
+// topology.
+func (t *Tree) refreshNearWeights() {
+	s := &t.nearSched
+	s.Weights = s.Weights[:0]
+	s.Prefix = append(s.Prefix[:0], 0)
+	if cap(s.SrcStart) < len(s.Srcs) {
+		s.SrcStart = make([]int32, len(s.Srcs))
+		s.SrcEnd = make([]int32, len(s.Srcs))
+	}
+	s.SrcStart = s.SrcStart[:len(s.Srcs)]
+	s.SrcEnd = s.SrcEnd[:len(s.Srcs)]
+	run := int64(0)
+	for i, ni := range s.Leaves {
+		var srcs int64
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			sn := &t.Nodes[s.Srcs[k]]
+			s.SrcStart[k] = sn.Start
+			s.SrcEnd[k] = sn.End
+			srcs += int64(sn.Count())
+		}
+		w := int64(t.Nodes[ni].Count()) * srcs
+		s.Weights = append(s.Weights, w)
+		run += w
+		s.Prefix = append(s.Prefix, run)
+	}
+	t.nearWeightsOK = true
+}

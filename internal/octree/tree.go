@@ -76,6 +76,10 @@ type Config struct {
 	// ParallelCutoff is the minimum subtree body count for spawning a
 	// construction task (default 2048).
 	ParallelCutoff int
+	// NoListCache disables the persistent interaction-list cache: every
+	// BuildLists call runs the full dual traversal from scratch. Used for
+	// A/B measurements and as an escape hatch.
+	NoListCache bool
 }
 
 func (c *Config) setDefaults() {
@@ -117,6 +121,43 @@ type Tree struct {
 	// invalidates it.
 	levels   [][]int32
 	levelsOK bool
+
+	// leaves caches VisibleLeaves' DFS leaf index under the same
+	// invalidation rule as levels.
+	leaves   []int32
+	leavesOK bool
+
+	// Persistent interaction-list state (see lists.go). Lists survive
+	// across steps: Refill only refreshes occupancy, Collapse/PushDown
+	// mark local dirty roots for incremental repair, and only Rebuild
+	// forces a full dual traversal.
+	listsBuilt     bool    // BuildLists has populated U/V at least once
+	listsFullDirty bool    // next BuildLists must run from scratch
+	dirtyRoots     []int32 // subtree roots needing local list repair
+	// listRef is the reverse-reference index: listRef[s] holds every
+	// target t with s ∈ U(t) ∪ V(t). Lists are not symmetric (the dual
+	// traversal records mixed-granularity V pairs in one direction only),
+	// so repair needs this explicit index to find stale references.
+	listRef [][]int32
+	// listZero snapshots Count()==0 per node at list-build time; Refill
+	// compares against it to detect occupancy flips that change the
+	// traversal topology (dual prunes empty subtrees).
+	listZero []bool
+	// listEpoch increments whenever list topology changes (full build or
+	// repair); the near-field schedule cache keys on it.
+	listEpoch uint64
+	// stamp arrays for repair marking (generation-counted, no clearing)
+	subMark   []uint32
+	ancMark   []uint32
+	touchMark []uint32
+	markGen   uint32
+	listStats ListStats
+	lastWork  ListWork
+
+	// near-field CSR schedule cache (see schedule.go)
+	nearSched     NearSchedule
+	nearEpoch     uint64 // listEpoch the topology was built at (0 = never)
+	nearWeightsOK bool
 }
 
 // Build constructs a tree over sys with the given configuration.
@@ -170,6 +211,11 @@ func (t *Tree) Rebuild(s int) {
 	t.Cfg.S = s
 	t.ensureScratch()
 	t.invalidateLevels()
+	// A rebuild discards every node, so incremental list repair is off the
+	// table: force the next BuildLists to run from scratch.
+	t.listsFullDirty = true
+	t.listsBuilt = false
+	t.dirtyRoots = t.dirtyRoots[:0]
 	t.Nodes = t.Nodes[:0]
 	box := geom.BoundingCube(t.Sys.Pos)
 	t.Root = t.alloc(box, NilNode, 0, 0, int32(t.Sys.Len()))
@@ -348,6 +394,7 @@ func (t *Tree) Collapse(ni int32) bool {
 	}
 	n.Collapsed = true
 	t.invalidateLevels()
+	t.markListsDirty(ni)
 	return true
 }
 
@@ -361,6 +408,7 @@ func (t *Tree) PushDown(ni int32) bool {
 		return false
 	}
 	t.invalidateLevels()
+	t.markListsDirty(ni)
 	if n.Collapsed {
 		// Reclaim hidden children: re-partition since bodies may have
 		// moved while hidden.
@@ -503,6 +551,10 @@ func (t *Tree) Refill() {
 		t.Nodes[ni].End = offs[k+1]
 	}
 	t.refreshRanges(t.Root)
+	// Occupancy changed: cached near-field weights are stale, and any
+	// empty/non-empty flip changes the dual-traversal topology.
+	t.nearWeightsOK = false
+	t.noteRefillOccupancy()
 }
 
 // refreshRanges recomputes internal node ranges bottom-up from the visible
@@ -584,18 +636,27 @@ func (t *Tree) LevelOrder() [][]int32 {
 	return t.levels
 }
 
-// invalidateLevels marks the cached level index stale.
-func (t *Tree) invalidateLevels() { t.levelsOK = false }
+// invalidateLevels marks the cached level and leaf indices stale.
+func (t *Tree) invalidateLevels() {
+	t.levelsOK = false
+	t.leavesOK = false
+}
 
 // VisibleLeaves returns the indices of the visible leaves in DFS order.
+// Like LevelOrder it is cached until the next structural or occupancy edit;
+// the returned slice is owned by the tree and valid until then.
 func (t *Tree) VisibleLeaves() []int32 {
-	var leaves []int32
+	if t.leavesOK {
+		return t.leaves
+	}
+	t.leaves = t.leaves[:0]
 	t.WalkVisible(func(ni int32) {
 		if t.Nodes[ni].IsVisibleLeaf() {
-			leaves = append(leaves, ni)
+			t.leaves = append(t.leaves, ni)
 		}
 	})
-	return leaves
+	t.leavesOK = true
+	return t.leaves
 }
 
 // WalkVisible calls f for every visible node in DFS preorder, skipping

@@ -111,27 +111,35 @@ func (r Result) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// RunGravity advances the gravitational system for cfg.Steps steps with
-// the given balancing strategy. Each step: solve (compute time), kick-drift
-// integrate, refill the tree, then let the balancer act for the next step.
-func RunGravity(s *core.Solver, cfg Config) Result {
-	bal := balance.New(cfg.Balance, s.Sys.Len())
+// Stepper is the solver surface the shared step loop drives: the
+// balancer's Target plus the per-step tree refill.
+type Stepper interface {
+	balance.Target
+	Refill()
+}
+
+// runLoop is the single step loop behind RunGravity and RunStokes, so the
+// refill/balance/trace accounting cannot drift between the two problems.
+// solveAndMove performs one solve plus the problem's position update and
+// returns the step's virtual CPU/GPU times.
+func runLoop(s Stepper, cfg Config, solveAndMove func() (cpu, gpu float64)) Result {
+	bal := balance.New(cfg.Balance, s.System().Len())
 	var res Result
 	for step := 0; step < cfg.Steps; step++ {
-		st := s.Solve()
-		KickDrift(s.Sys, cfg.Dt)
+		cpu, gpu := solveAndMove()
+		compute := math.Max(cpu, gpu)
 		s.Refill()
 		refill := bal.Cfg.Costs.RefillCost(s)
-		rep := bal.AfterStep(s, balance.StepTimes{CPU: st.CPUTime, GPU: st.GPUTime})
+		rep := bal.AfterStep(s, balance.StepTimes{CPU: cpu, GPU: gpu})
 		rec := StepRecord{
 			Step:    step,
 			S:       rep.NewS,
-			CPUTime: st.CPUTime,
-			GPUTime: st.GPUTime,
-			Compute: st.Compute,
+			CPUTime: cpu,
+			GPUTime: gpu,
+			Compute: compute,
 			LBTime:  rep.LBTime,
 			Refill:  refill,
-			Total:   st.Compute + rep.LBTime + refill,
+			Total:   compute + rep.LBTime + refill,
 			State:   rep.State.String(),
 		}
 		emitTrace(cfg.Trace, rec, rep.Events)
@@ -144,13 +152,22 @@ func RunGravity(s *core.Solver, cfg Config) Result {
 	return res
 }
 
+// RunGravity advances the gravitational system for cfg.Steps steps with
+// the given balancing strategy. Each step: solve (compute time), kick-drift
+// integrate, refill the tree, then let the balancer act for the next step.
+func RunGravity(s *core.Solver, cfg Config) Result {
+	return runLoop(s, cfg, func() (cpu, gpu float64) {
+		st := s.Solve()
+		KickDrift(s.Sys, cfg.Dt)
+		return st.CPUTime, st.GPUTime
+	})
+}
+
 // RunStokes advances an overdamped Stokes simulation: boundary forces are
 // evaluated, the Stokes solve yields marker velocities, markers move with
 // the flow, and the balancer acts between steps.
 func RunStokes(s *stokes.Solver, boundaries []stokes.Boundary, cfg Config) Result {
-	bal := balance.New(cfg.Balance, s.Sys.Len())
-	var res Result
-	for step := 0; step < cfg.Steps; step++ {
+	return runLoop(s, cfg, func() (cpu, gpu float64) {
 		stokes.ClearForces(s.Sys)
 		for _, b := range boundaries {
 			b.AccumulateForces(s.Sys)
@@ -159,28 +176,8 @@ func RunStokes(s *stokes.Solver, boundaries []stokes.Boundary, cfg Config) Resul
 		for i := range s.Sys.Pos {
 			s.Sys.Pos[i] = s.Sys.Pos[i].Add(s.Sys.Acc[i].Scale(cfg.Dt))
 		}
-		s.Refill()
-		refill := bal.Cfg.Costs.RefillCost(s)
-		rep := bal.AfterStep(s, balance.StepTimes{CPU: st.CPUTime, GPU: st.GPUTime})
-		rec := StepRecord{
-			Step:    step,
-			S:       rep.NewS,
-			CPUTime: st.CPUTime,
-			GPUTime: st.GPUTime,
-			Compute: st.Compute,
-			LBTime:  rep.LBTime,
-			Refill:  refill,
-			Total:   st.Compute + rep.LBTime + refill,
-			State:   rep.State.String(),
-		}
-		emitTrace(cfg.Trace, rec, rep.Events)
-		res.Records = append(res.Records, rec)
-		res.TotalCompute += rec.Compute
-		res.TotalLB += rec.LBTime
-		res.TotalRefill += rec.Refill
-		res.TotalTime += rec.Total
-	}
-	return res
+		return st.CPUTime, st.GPUTime
+	})
 }
 
 // KickDrift advances velocities then positions (symplectic Euler), using

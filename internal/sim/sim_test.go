@@ -12,6 +12,8 @@ import (
 	"afmm/internal/distrib"
 	"afmm/internal/geom"
 	"afmm/internal/kernels"
+	"afmm/internal/particle"
+	"afmm/internal/stokes"
 	"afmm/internal/vgpu"
 )
 
@@ -139,6 +141,108 @@ func TestMomentumConservedByIntegrator(t *testing.T) {
 	}
 	if math.Abs(after-before) > 1e-3*scale {
 		t.Fatalf("momentum drift %g vs scale %g", after-before, scale)
+	}
+}
+
+// TestGravityListCacheBitForBit runs the same trajectory with the
+// persistent list cache (default), with the cache disabled (from-scratch
+// dual traversal every solve), and with SoA source gathering, under the
+// full balancing strategy — so the run includes search rebuilds,
+// Enforce_S and fine-grained Collapse/PushDown batches. All variants must
+// agree bit for bit, step for step.
+func TestGravityListCacheBitForBit(t *testing.T) {
+	run := func(disableCache, gather bool) (*core.Solver, Result) {
+		sys := distrib.PlummerTruncated(2500, 1, 1, 0.8, 13)
+		for i := range sys.Vel {
+			sys.Vel[i] = geom.Vec3{}
+		}
+		cfg := core.Config{
+			P:       2,
+			S:       64,
+			NumGPUs: 2,
+			GPUSpec: vgpu.ScaledSpec(1.0 / 64),
+			Kernel:  kernels.Gravity{G: 1, Softening: 0.005},
+		}
+		cfg.CPU.Cores = 10
+		cfg.DisableListCache = disableCache
+		cfg.GatherSources = gather
+		s := core.NewSolver(sys, cfg)
+		return s, RunGravity(s, simCfg(balance.StrategyFull, 40))
+	}
+	cached, resCached := run(false, false)
+	scratch, resScratch := run(true, false)
+	gathered, _ := run(false, true)
+	for i := range cached.Sys.Pos {
+		if cached.Sys.Pos[i] != scratch.Sys.Pos[i] || cached.Sys.Vel[i] != scratch.Sys.Vel[i] {
+			t.Fatalf("body %d diverged from from-scratch lists: %v vs %v",
+				i, cached.Sys.Pos[i], scratch.Sys.Pos[i])
+		}
+		if cached.Sys.Pos[i] != gathered.Sys.Pos[i] {
+			t.Fatalf("body %d diverged under source gathering", i)
+		}
+	}
+	for i := range resCached.Records {
+		a, b := resCached.Records[i], resScratch.Records[i]
+		if a.S != b.S || a.State != b.State || a.Compute != b.Compute {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	// The cached run must actually have exercised the cache: the balancer
+	// rebuilds during search, but observation steps skip and fine-grained
+	// edits repair.
+	st := cached.Tree.ListBuildStats()
+	if st.Skips == 0 || st.Repairs == 0 {
+		t.Fatalf("cache not exercised: %+v", st)
+	}
+	sc := scratch.Tree.ListBuildStats()
+	if sc.Skips != 0 || sc.Repairs != 0 {
+		t.Fatalf("disabled cache still skipped/repaired: %+v", sc)
+	}
+}
+
+// TestStokesListCacheBitForBit is the Stokes analogue: elastic rings
+// driving an overdamped flow, cached/repaired lists vs from-scratch.
+func TestStokesListCacheBitForBit(t *testing.T) {
+	const rings, per = 24, 64
+	run := func(disableCache bool) (*stokes.Solver, Result) {
+		sys := particle.New(rings * per)
+		var bs []stokes.Boundary
+		for r := 0; r < rings; r++ {
+			c := geom.Vec3{
+				X: 0.3 * math.Cos(float64(r)),
+				Y: 0.3 * math.Sin(float64(r)),
+				Z: -0.6 + 1.2*float64(r)/float64(rings-1),
+			}
+			bs = append(bs, stokes.Ring(sys, r*per, per, c, 0.5+0.02*float64(r%5), r%3, 40))
+		}
+		cfg := stokes.Config{
+			P:       2,
+			S:       32,
+			NumGPUs: 2,
+			GPUSpec: vgpu.ScaledSpec(1.0 / 64),
+			Kernel:  kernels.Stokeslet{Mu: 1, Eps: 1e-3},
+		}
+		cfg.CPU.Cores = 10
+		cfg.DisableListCache = disableCache
+		s := stokes.NewSolver(sys, cfg)
+		return s, RunStokes(s, bs, simCfg(balance.StrategyFull, 25))
+	}
+	cached, resCached := run(false)
+	scratch, resScratch := run(true)
+	for i := range cached.Sys.Pos {
+		if cached.Sys.Pos[i] != scratch.Sys.Pos[i] {
+			t.Fatalf("marker %d diverged: %v vs %v",
+				i, cached.Sys.Pos[i], scratch.Sys.Pos[i])
+		}
+	}
+	for i := range resCached.Records {
+		a, b := resCached.Records[i], resScratch.Records[i]
+		if a.S != b.S || a.State != b.State || a.Compute != b.Compute {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	if st := cached.Tree.ListBuildStats(); st.Skips == 0 {
+		t.Fatalf("cache not exercised: %+v", st)
 	}
 }
 

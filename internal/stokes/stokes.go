@@ -56,6 +56,16 @@ type Config struct {
 	// UseRotatedTranslations switches to the O(p^3) rotation-accelerated
 	// translation operators (numerically equivalent; faster for P >= ~6).
 	UseRotatedTranslations bool
+	// DisableListCache turns off the persistent interaction-list cache
+	// (octree.Config.NoListCache); kept for A/B measurement. Results are
+	// bit-identical either way.
+	DisableListCache bool
+	// GatherSources copies each near-field chunk's source bodies into
+	// per-worker SoA gather buffers before the Stokeslet sweep instead of
+	// slicing the particle arrays through the schedule's cached source
+	// spans (see core.Config.GatherSources). Results are bit-identical
+	// either way.
+	GatherSources bool
 }
 
 func (c *Config) setDefaults() {
@@ -101,6 +111,8 @@ type Solver struct {
 	// geometry caches inside survive across levels, passes, and solves).
 	wsFree    chan *expansion.Workspace
 	weightBuf []int64
+	// gatherFree recycles per-chunk near-field source gathers.
+	gatherFree chan *octree.SourceGather
 }
 
 // NewSolver builds the decomposition for the body positions.
@@ -108,12 +120,14 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 	cfg.setDefaults()
 	s := &Solver{Cfg: cfg, Sys: sys, packedLen: sphharm.PackedLen(cfg.P)}
 	s.wsFree = make(chan *expansion.Workspace, cfg.Pool.Workers()+8)
+	s.gatherFree = make(chan *octree.SourceGather, cfg.Pool.Workers()+8)
 	s.Tree = octree.Build(sys, octree.Config{
-		S:        cfg.S,
-		MaxDepth: cfg.MaxDepth,
-		Mode:     cfg.Mode,
-		MAC:      cfg.MAC,
-		Pool:     cfg.Pool,
+		S:           cfg.S,
+		MaxDepth:    cfg.MaxDepth,
+		Mode:        cfg.Mode,
+		MAC:         cfg.MAC,
+		Pool:        cfg.Pool,
+		NoListCache: cfg.DisableListCache,
 	})
 	if cfg.NumGPUs > 0 {
 		s.Cl = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
@@ -284,6 +298,9 @@ func (s *Solver) p2pPair(target, source int32) {
 	)
 }
 
+// runCPUNearField mirrors core: the default mode walks the cached CSR
+// near-field schedule in weighted chunks, packing each chunk's distinct
+// source leaves (positions and Stokeslet forces) once into SoA buffers.
 func (s *Solver) runCPUNearField() {
 	t := s.Tree
 	if s.Cfg.SweepMode == core.SweepRecursive {
@@ -297,14 +314,51 @@ func (s *Solver) runCPUNearField() {
 		})
 		return
 	}
-	leaves, inter := t.LeafInteractions()
-	s.Cfg.Pool.ParallelRangeWeighted(inter, func(lo, hi int) {
-		for _, li := range leaves[lo:hi] {
-			for _, si := range t.Nodes[li].U {
-				s.p2pPair(li, si)
+	sch := t.NearField()
+	sys := s.Sys
+	s.Cfg.Pool.ParallelRangeWeighted(sch.Weights, func(lo, hi int) {
+		if s.Cfg.GatherSources {
+			g := s.getGather()
+			g.Pack(t, sch, lo, hi, false, true)
+			for r := lo; r < hi; r++ {
+				tn := &t.Nodes[sch.Leaves[r]]
+				xt := sys.Pos[tn.Start:tn.End]
+				vel := sys.Acc[tn.Start:tn.End]
+				for _, si := range sch.Row(r) {
+					a, b := g.Span(si)
+					s.Cfg.Kernel.P2P(xt, vel, g.Pos[a:b], g.Aux[a:b])
+				}
+			}
+			s.putGather(g)
+			return
+		}
+		for r := lo; r < hi; r++ {
+			tn := &t.Nodes[sch.Leaves[r]]
+			xt := sys.Pos[tn.Start:tn.End]
+			vel := sys.Acc[tn.Start:tn.End]
+			for k := sch.RowPtr[r]; k < sch.RowPtr[r+1]; k++ {
+				s.Cfg.Kernel.P2P(xt, vel,
+					sys.Pos[sch.SrcStart[k]:sch.SrcEnd[k]],
+					sys.Aux[sch.SrcStart[k]:sch.SrcEnd[k]])
 			}
 		}
 	})
+}
+
+func (s *Solver) getGather() *octree.SourceGather {
+	select {
+	case g := <-s.gatherFree:
+		return g
+	default:
+		return &octree.SourceGather{}
+	}
+}
+
+func (s *Solver) putGather(g *octree.SourceGather) {
+	select {
+	case s.gatherFree <- g:
+	default:
+	}
 }
 
 func (s *Solver) getWS() *expansion.Workspace {

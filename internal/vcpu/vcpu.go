@@ -268,6 +268,14 @@ func BuildFMMGraph(t *octree.Tree, base costmodel.Coefficients, opt FMMGraphOpti
 	g := &Graph{}
 	up := map[int32]int32{}
 	down := map[int32]int32{}
+	// The near-field costs come from the cached CSR schedule; its rows are
+	// the visible leaves in DFS order, which is exactly the order buildDown
+	// reaches them, so a running row index suffices.
+	var sch *octree.NearSchedule
+	var row int
+	if opt.IncludeP2P {
+		sch = t.NearField()
+	}
 
 	// Up-sweep tasks: children before parents.
 	var buildUp func(ni int32) int32
@@ -314,11 +322,8 @@ func BuildFMMGraph(t *octree.Tree, base costmodel.Coefficients, opt FMMGraphOpti
 				tc[costmodel.L2P] = passes * base[costmodel.L2P] * float64(n.Count())
 			}
 			if opt.IncludeP2P {
-				var srcs int64
-				for _, si := range n.U {
-					srcs += int64(t.Nodes[si].Count())
-				}
-				tc[costmodel.P2P] = p2pf * base[costmodel.P2P] * float64(int64(n.Count())*srcs)
+				tc[costmodel.P2P] = p2pf * base[costmodel.P2P] * float64(sch.Weights[row])
+				row++
 			}
 		}
 		id := g.AddTask(tc)

@@ -72,6 +72,12 @@ type Device struct {
 	// Targets are the visible leaf nodes whose near field this device
 	// computes.
 	Targets []int32
+	// Rows are the near-field schedule rows of Targets (parallel slice),
+	// filled by the Partition* methods so execution walks the cached CSR
+	// schedule instead of chasing per-node U lists. Code that assigns
+	// Targets directly may leave Rows empty; execution then falls back to
+	// the node lists (identical contents).
+	Rows []int32
 	// Results of the last Execute call:
 	KernelTime   float64 // simulated kernel seconds (event-timer analogue)
 	Interactions int64   // useful body-body interactions executed
@@ -121,32 +127,38 @@ func NewCluster(n int, spec Spec) *Cluster {
 	return c
 }
 
-// Partition assigns the tree's visible leaves to devices by walking the
-// leaf list and accumulating Interactions(t) until a device's share meets
-// total/numDevices, then moving to the next device (the paper's scheme).
-// Every leaf lands on exactly one device.
-func (c *Cluster) Partition(t *octree.Tree) {
-	leaves, inter := t.LeafInteractions()
+// assign appends schedule row r to device d.
+func assign(d *Device, sch *octree.NearSchedule, r int) {
+	d.Targets = append(d.Targets, sch.Leaves[r])
+	d.Rows = append(d.Rows, int32(r))
+}
+
+func (c *Cluster) resetAssignments() {
 	for _, d := range c.Devices {
 		d.Targets = d.Targets[:0]
+		d.Rows = d.Rows[:0]
 	}
+}
+
+// Partition assigns the tree's visible leaves to devices by walking the
+// near-field schedule rows and accumulating Interactions(t) until a
+// device's share meets total/numDevices, then moving to the next device
+// (the paper's scheme). Every leaf lands on exactly one device.
+func (c *Cluster) Partition(t *octree.Tree) {
+	sch := t.NearField()
+	c.resetAssignments()
 	if len(c.Devices) == 0 {
 		return
 	}
-	var total int64
-	for _, v := range inter {
-		total += v
-	}
-	share := total / int64(len(c.Devices))
+	share := sch.Total() / int64(len(c.Devices))
 	if share < 1 {
 		share = 1
 	}
 	di := 0
 	var acc int64
-	for i, leaf := range leaves {
-		d := c.Devices[di]
-		d.Targets = append(d.Targets, leaf)
-		acc += inter[i]
+	for r := 0; r < sch.Rows(); r++ {
+		assign(c.Devices[di], sch, r)
+		acc += sch.Weights[r]
 		if acc >= share && di < len(c.Devices)-1 {
 			di++
 			acc = 0
@@ -161,15 +173,14 @@ func (c *Cluster) Partition(t *octree.Tree) {
 // sort and the loss of the walk's spatial contiguity (coalesced uploads);
 // the ablation benchmarks compare both.
 func (c *Cluster) PartitionLPT(t *octree.Tree) {
-	leaves, inter := t.LeafInteractions()
-	for _, d := range c.Devices {
-		d.Targets = d.Targets[:0]
-	}
+	sch := t.NearField()
+	c.resetAssignments()
 	nd := len(c.Devices)
 	if nd == 0 {
 		return
 	}
-	order := make([]int, len(leaves))
+	inter := sch.Weights
+	order := make([]int, sch.Rows())
 	for i := range order {
 		order[i] = i
 	}
@@ -182,7 +193,7 @@ func (c *Cluster) PartitionLPT(t *octree.Tree) {
 				k = j
 			}
 		}
-		c.Devices[k].Targets = append(c.Devices[k].Targets, leaves[idx])
+		assign(c.Devices[k], sch, idx)
 		load[k] += inter[idx]
 	}
 }
@@ -192,21 +203,19 @@ func (c *Cluster) PartitionLPT(t *octree.Tree) {
 // interaction-balanced walk improves on (ablation benchmarks compare the
 // resulting kernel-time imbalance).
 func (c *Cluster) PartitionByLeafCount(t *octree.Tree) {
-	leaves, _ := t.LeafInteractions()
-	for _, d := range c.Devices {
-		d.Targets = d.Targets[:0]
-	}
+	sch := t.NearField()
+	c.resetAssignments()
 	nd := len(c.Devices)
 	if nd == 0 {
 		return
 	}
-	per := (len(leaves) + nd - 1) / nd
-	for i, leaf := range leaves {
-		di := i / per
+	per := (sch.Rows() + nd - 1) / nd
+	for r := 0; r < sch.Rows(); r++ {
+		di := r / per
 		if di >= nd {
 			di = nd - 1
 		}
-		c.Devices[di].Targets = append(c.Devices[di].Targets, leaf)
+		assign(c.Devices[di], sch, r)
 	}
 }
 
@@ -215,13 +224,26 @@ func (c *Cluster) PartitionByLeafCount(t *octree.Tree) {
 // model stays kernel-agnostic.
 type P2PFunc func(target, source int32)
 
+// schedule resolves the near-field schedule once, on the caller's
+// goroutine, so concurrently running devices only read it. Devices with
+// ad-hoc Targets (no Rows) don't need it.
+func (c *Cluster) schedule(t *octree.Tree) *octree.NearSchedule {
+	for _, d := range c.Devices {
+		if len(d.Rows) > 0 {
+			return t.NearField()
+		}
+	}
+	return nil
+}
+
 // Execute runs each device's assigned near-field work: the numeric P2P via
 // fn and the SIMT timing model. It returns the maximum kernel time across
 // devices (the paper's GPU Time definition, one kernel per device).
 func (c *Cluster) Execute(t *octree.Tree, fn P2PFunc) float64 {
+	sch := c.schedule(t)
 	var maxTime float64
 	for _, d := range c.Devices {
-		d.run(t, fn)
+		d.run(t, sch, fn)
 		if d.KernelTime > maxTime {
 			maxTime = d.KernelTime
 		}
@@ -237,10 +259,11 @@ func (c *Cluster) ExecuteParallel(t *octree.Tree, fn P2PFunc, pool *sched.Pool) 
 	if pool == nil || len(c.Devices) <= 1 {
 		return c.Execute(t, fn)
 	}
+	sch := c.schedule(t)
 	g := pool.NewGroup()
 	for _, d := range c.Devices {
 		d := d
-		g.Spawn(func() { d.run(t, fn) })
+		g.Spawn(func() { d.run(t, sch, fn) })
 	}
 	g.Wait()
 	return c.MaxKernelTime()
@@ -267,7 +290,7 @@ func (c *Cluster) TotalInteractions() int64 {
 	return n
 }
 
-func (d *Device) run(t *octree.Tree, fn P2PFunc) {
+func (d *Device) run(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc) {
 	spec := d.Spec
 	d.Interactions = 0
 	d.SlotWork = 0
@@ -276,26 +299,41 @@ func (d *Device) run(t *octree.Tree, fn P2PFunc) {
 		d.KernelTime = 0
 		return
 	}
+	useRows := sch != nil && len(d.Rows) == len(d.Targets)
 	// Per-warp compute times for the scheduling makespan. An SM retires
 	// one warp-source step per issue slot, so a warp over ns sources
 	// costs ns*WarpSize lane-interactions plus tile-staging overhead.
 	var warpTimes []float64
 	var targetBodies, sourceBodies int64
 	ws := float64(spec.WarpSize)
-	for _, ti := range d.Targets {
+	for k, ti := range d.Targets {
 		tn := &t.Nodes[ti]
 		nt := tn.Count()
 		if nt == 0 {
 			continue
 		}
 		var ns int64
-		for _, si := range tn.U {
-			sn := &t.Nodes[si]
-			ns += int64(sn.Count())
-			if fn != nil {
-				fn(ti, si)
+		if useRows {
+			// Scheduled path: source leaves and their body counts come from
+			// the cached CSR schedule, with no per-source Node indirection.
+			row := int(d.Rows[k])
+			for j := sch.RowPtr[row]; j < sch.RowPtr[row+1]; j++ {
+				c := int64(sch.SrcEnd[j] - sch.SrcStart[j])
+				ns += c
+				if fn != nil {
+					fn(ti, sch.Srcs[j])
+				}
+				sourceBodies += c
 			}
-			sourceBodies += int64(sn.Count())
+		} else {
+			for _, si := range tn.U {
+				sn := &t.Nodes[si]
+				ns += int64(sn.Count())
+				if fn != nil {
+					fn(ti, si)
+				}
+				sourceBodies += int64(sn.Count())
+			}
 		}
 		targetBodies += int64(nt)
 		d.Interactions += int64(nt) * ns
