@@ -49,6 +49,7 @@ import (
 	"afmm/internal/sched"
 	"afmm/internal/sim"
 	"afmm/internal/stokes"
+	"afmm/internal/telemetry"
 	"afmm/internal/vcpu"
 	"afmm/internal/vgpu"
 )
@@ -214,6 +215,26 @@ var (
 	SuggestDt = sim.SuggestDt
 	// AngularMomentum returns the total angular momentum about the origin.
 	AngularMomentum = sim.AngularMomentum
+)
+
+// Step-trace telemetry (see docs/OBSERVABILITY.md).
+type (
+	// Recorder captures per-step spans, balancer events, device samples
+	// and worker utilization; a nil *Recorder is a valid no-op.
+	Recorder = telemetry.Recorder
+	// RecorderOptions configures a Recorder (JSONL sink, in-memory keep).
+	RecorderOptions = telemetry.Options
+	// TelemetryStepRecord is the per-step record a Recorder emits.
+	TelemetryStepRecord = telemetry.StepRecord
+)
+
+// Telemetry entry points.
+var (
+	// NewRecorder creates a step-trace recorder.
+	NewRecorder = telemetry.New
+	// ServeTelemetryDebug starts an expvar + pprof debug server exposing
+	// the recorder's latest step.
+	ServeTelemetryDebug = telemetry.ServeDebug
 )
 
 // Virtual machine.

@@ -32,7 +32,17 @@ func main() {
 	flag.IntVar(&p.Steps, "steps", 0, "time steps for dynamic experiments (0 = default)")
 	flag.Float64Var(&p.Dt, "dt", 0, "time step size (0 = default)")
 	csv := flag.Bool("csv", false, "emit raw CSV instead of tables")
+	traceFile := flag.String("trace", "", "write the telemetry JSONL trace of the dynamic experiments' headline run to this file")
 	flag.Parse()
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		p.Trace = tf
+	}
 	pSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "p" {
@@ -41,7 +51,7 @@ func main() {
 	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -55,7 +65,7 @@ func main() {
 	known := map[string]bool{"fig3": true, "fig4": true, "fig6": true,
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
 		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
-		"lists": true, "all": true}
+		"lists": true, "telemetry": true, "all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -98,6 +108,32 @@ func main() {
 		fmt.Println("==== LISTS (persistent interaction lists, cached vs from-scratch) ====")
 		runLists(p)
 	}
+	if which == "telemetry" { // host wall-clock benchmark; not part of "all"
+		fmt.Println("==== TELEMETRY (step-trace recorder overhead and coverage) ====")
+		runTelemetry(p)
+	}
+}
+
+// runTelemetry benchmarks the enabled step tracer against untraced solver
+// steps (host wall clock) and writes the machine-readable
+// BENCH_telemetry.json. The acceptance target is overhead < 2%.
+func runTelemetry(p experiments.Params) {
+	res := experiments.Telemetry(p)
+	fmt.Printf("trajectory: Plummer N=%d, S=%d, %d steps each variant\n", res.N, res.S, res.Steps)
+	fmt.Printf("%-34s %12.3f ms/step\n", "solver step (tracing off)", float64(res.StepNsOff)/1e6)
+	fmt.Printf("%-34s %12.3f ms/step\n", "solver step (tracing on)", float64(res.StepNsOn)/1e6)
+	fmt.Printf("%-34s %+12.3f%% (target < 2%%)\n", "tracing overhead", 100*res.OverheadFrac)
+	fmt.Printf("%-34s %12.1f%% of step wall clock\n", "phase-span coverage", 100*res.PhaseCoverage)
+	fmt.Printf("%-34s %12.1f spans, %d JSONL bytes\n", "per step", res.SpansPerStep, res.BytesPerStep)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_telemetry.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_telemetry.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_telemetry.json")
 }
 
 // runLists benchmarks interaction-list maintenance and end-to-end solver

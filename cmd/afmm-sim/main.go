@@ -27,6 +27,8 @@ func main() {
 	strategy := flag.Int("strategy", 3, "balancing strategy 1..3")
 	out := flag.String("o", "", "CSV output file (default stdout)")
 	traceFile := flag.String("trace", "", "write per-step JSONL trace to this file")
+	chromeFile := flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline (open in Perfetto) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar + net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var sys *afmm.System
@@ -81,16 +83,48 @@ func main() {
 		Steps:   *steps,
 		Balance: afmm.BalanceConfig{Strategy: strat},
 	}
-	if *traceFile != "" {
-		tf, err := os.Create(*traceFile)
+	var rec *afmm.Recorder
+	if *traceFile != "" || *chromeFile != "" || *debugAddr != "" {
+		var opts afmm.RecorderOptions
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			opts.JSONL = tf
+		}
+		opts.Keep = *chromeFile != ""
+		rec = afmm.NewRecorder(opts)
+		simCfg.Rec = rec
+	}
+	if *debugAddr != "" {
+		addr, _, err := afmm.ServeTelemetryDebug(*debugAddr, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer tf.Close()
-		simCfg.Trace = tf
+		fmt.Fprintf(os.Stderr, "debug server (expvar, pprof) on http://%s/debug/\n", addr)
 	}
 	res := afmm.RunGravity(solver, simCfg)
+	if err := rec.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace sink: %v\n", err)
+		os.Exit(1)
+	}
+	if *chromeFile != "" {
+		cf, err := os.Create(*chromeFile)
+		if err == nil {
+			err = rec.WriteChrome(cf)
+			if cerr := cf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -20,6 +20,7 @@ func main() {
 	cores := flag.Int("cores", 10, "virtual CPU cores")
 	gpus := flag.Int("gpus", 2, "simulated GPUs")
 	gpuscale := flag.Float64("gpuscale", 1.0/64, "device throughput derating")
+	traceFile := flag.String("trace", "", "write a JSONL trace of the tuning sweep (one record per S candidate) to this file")
 	flag.Parse()
 
 	var sys *afmm.System
@@ -44,10 +45,26 @@ func main() {
 	machine.CPU = afmm.DefaultCPU()
 	machine.CPU.Cores = *cores
 
+	var rec *afmm.Recorder
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		rec = afmm.NewRecorder(afmm.RecorderOptions{JSONL: tf})
+		machine.Rec = rec
+	}
+
 	choice := afmm.Tune(sys, afmm.TuneRequest{
 		TargetRMSError: *target,
 		Machine:        machine,
 	})
+	if err := rec.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace sink: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("target error %.1e on %s N=%d, %dC+%dG (scale %.4f)\n",
 		*target, *dist, *n, *cores, *gpus, *gpuscale)

@@ -107,6 +107,9 @@ func Tune(sys *particle.System, req Request) Choice {
 		grid = []int{8, 16, 32, 64, 128, 256, 512, 1024}
 	}
 	c := Choice{P: p, PredictedDigits: DigitsForOrder(p), PredictedCompute: math.Inf(1)}
+	// A recorder on the machine config traces each candidate's dry solve
+	// as one step (step index = candidate index, S = the candidate).
+	rec := req.Machine.Rec
 	for _, s := range grid {
 		if s >= sys.Len() {
 			continue
@@ -118,8 +121,11 @@ func Tune(sys *particle.System, req Request) Choice {
 		cfg.SkipNearField = true
 		cfg.CPU = cfg.CPU.Normalized()
 		cfg.CPU.Base = orderCostScale(cfg.CPU.Base, p)
+		rec.StartStep(len(c.Sweep))
 		solver := core.NewSolver(sys.Clone(), cfg)
 		st := solver.Solve()
+		rec.SetStepInfo(len(c.Sweep), s, "tune")
+		rec.EndStep()
 		c.Sweep = append(c.Sweep, SPoint{S: s, Compute: st.Compute})
 		if st.Compute < c.PredictedCompute {
 			c.PredictedCompute = st.Compute

@@ -12,6 +12,8 @@ import (
 
 	"afmm/internal/octree"
 	"afmm/internal/particle"
+	"afmm/internal/sched"
+	"afmm/internal/telemetry"
 )
 
 // Target is the solver surface the balancer drives. Both the gravity
@@ -121,6 +123,12 @@ type Config struct {
 	DisableFineGrain bool
 	// Costs models the virtual time spent by balancing operations.
 	Costs LBCostModel
+	// Rec, when non-nil, receives the balancer's typed event log (state
+	// transitions, S changes, probes/nudges, regressions, enforcement) and
+	// spans for rebuilds, Enforce_S, predictions, and fine-grained
+	// optimization. The string Report.Events stay as the human-readable
+	// summary; the recorder carries the machine-readable sequence.
+	Rec *telemetry.Recorder
 }
 
 func (c *Config) setDefaults(n int) {
@@ -187,6 +195,48 @@ type Report struct {
 	Events    []string
 }
 
+// rec returns the configured recorder (nil when telemetry is off; all
+// recorder methods are nil-safe).
+func (b *Balancer) rec() *telemetry.Recorder { return b.Cfg.Rec }
+
+// setState transitions the state machine, logging actual changes.
+func (b *Balancer) setState(to State) {
+	if b.State != to {
+		b.rec().EmitEvent(telemetry.EventState, int64(b.State), int64(to), 0, 0)
+		b.State = to
+	}
+}
+
+// rebuild is a tracked full tree rebuild to newS.
+func (b *Balancer) rebuild(s Target, newS int) {
+	old := s.S()
+	rt := sched.StartTimer()
+	s.Rebuild(newS)
+	b.rec().AddSpan(telemetry.SpanTreeBuild, int32(newS), rt.StartTime(), rt.Elapsed())
+	b.rec().EmitEvent(telemetry.EventRebuild, int64(newS), 0, 0, 0)
+	if old != newS {
+		b.rec().EmitEvent(telemetry.EventSChange, int64(old), int64(newS), 0, 0)
+	}
+}
+
+// predict is a tracked s.Predict.
+func (b *Balancer) predict(s Target) (cpu, gpu float64) {
+	tok := b.rec().Begin(telemetry.SpanPredict, 0)
+	cpu, gpu = s.Predict()
+	b.rec().End(tok)
+	return cpu, gpu
+}
+
+// enforce is a tracked s.EnforceS.
+func (b *Balancer) enforce(s Target) (col, push int) {
+	tok := b.rec().Begin(telemetry.SpanEnforceS, 0)
+	col, push = s.EnforceS()
+	b.rec().End(tok)
+	b.rec().EmitEvent(telemetry.EventEnforceS, int64(col), int64(push), 0, 0)
+	b.rec().AddTreeEdits(col, push)
+	return col, push
+}
+
 // dominant returns +1 when the CPU dominates the step time, -1 otherwise.
 func dominant(st StepTimes) int {
 	if st.CPU >= st.GPU {
@@ -241,12 +291,12 @@ func (b *Balancer) searchStep(s Target, st StepTimes) Report {
 	}
 	if b.withinSwitch(st) || b.loS > b.hiS {
 		// Settle on the best S seen and hand over to Incremental.
-		b.State = Incremental
+		b.setState(Incremental)
 		b.prevDom = dominant(st)
 		b.dir = b.prevDom
 		if b.bestS != cur {
 			r.LBTime += b.Cfg.Costs.rebuildCost(s)
-			s.Rebuild(b.bestS)
+			b.rebuild(s, b.bestS)
 			r.Rebuilt = true
 		}
 		b.best = b.bestSComp
@@ -254,16 +304,17 @@ func (b *Balancer) searchStep(s Target, st StepTimes) Report {
 		r.NewS = s.S()
 		r.Events = append(r.Events, fmt.Sprintf("search done: S=%d", s.S()))
 		if b.Cfg.Strategy == StrategyStatic {
-			b.State = Frozen
+			b.setState(Frozen)
 		}
 		if b.Cfg.Strategy == StrategyEnforce {
-			b.State = Observation
+			b.setState(Observation)
 		}
 		return r
 	}
 	next := geomMid(b.loS, b.hiS)
+	b.rec().EmitEvent(telemetry.EventSearchProbe, int64(next), 0, 0, 0)
 	r.LBTime += b.Cfg.Costs.rebuildCost(s)
-	s.Rebuild(next)
+	b.rebuild(s, next)
 	r.Rebuilt = true
 	r.NewS = next
 	return r
@@ -280,11 +331,12 @@ func (b *Balancer) incrementalStep(s Target, st StepTimes) Report {
 	}
 	if dom != b.prevDom {
 		// Transitional S found.
+		b.rec().EmitEvent(telemetry.EventDomFlip, int64(b.prevDom), int64(dom), 0, 0)
 		if !b.withinSwitch(st) && !b.Cfg.DisableFineGrain {
 			r.LBTime += b.fineGrainedOptimize(s, &r)
 			r.FineGrain = true
 		}
-		b.State = Observation
+		b.setState(Observation)
 		b.best = st.Compute()
 		b.haveBest = true
 		r.NewS = s.S()
@@ -301,8 +353,9 @@ func (b *Balancer) incrementalStep(s Target, st StepTimes) Report {
 		next = b.Cfg.MaxS
 	}
 	if next != cur {
+		b.rec().EmitEvent(telemetry.EventNudge, int64(cur), int64(next), 0, 0)
 		r.LBTime += b.Cfg.Costs.rebuildCost(s)
-		s.Rebuild(next)
+		b.rebuild(s, next)
 		r.Rebuilt = true
 	}
 	r.NewS = next
@@ -325,7 +378,8 @@ func (b *Balancer) observationStep(s Target, st StepTimes) Report {
 		return r
 	}
 	// Regression: first line of defense is Enforce_S.
-	col, push := s.EnforceS()
+	b.rec().EmitEvent(telemetry.EventRegression, 0, 0, st.Compute(), b.best)
+	col, push := b.enforce(s)
 	r.EnforcedS = true
 	r.LBTime += b.Cfg.Costs.enforceCost(s, col, push)
 	r.Events = append(r.Events, fmt.Sprintf("enforceS: %d collapses, %d pushdowns", col, push))
@@ -334,24 +388,27 @@ func (b *Balancer) observationStep(s Target, st StepTimes) Report {
 		b.haveBest = false
 		return r
 	}
-	cpu, gpu := s.Predict()
+	threshold := b.best * (1 + b.Cfg.RegressionFrac)
+	cpu, gpu := b.predict(s)
 	r.LBTime += b.Cfg.Costs.predictCost(s)
 	pred := math.Max(cpu, gpu)
-	if pred <= b.best*(1+b.Cfg.RegressionFrac) {
+	b.rec().EmitEvent(telemetry.EventPrediction, 0, 0, pred, threshold)
+	if pred <= threshold {
 		b.best = math.Min(b.best, pred)
 		return r
 	}
 	if !b.Cfg.DisableFineGrain {
 		r.LBTime += b.fineGrainedOptimize(s, &r)
 		r.FineGrain = true
-		cpu, gpu = s.Predict()
+		cpu, gpu = b.predict(s)
 		r.LBTime += b.Cfg.Costs.predictCost(s)
 		pred = math.Max(cpu, gpu)
+		b.rec().EmitEvent(telemetry.EventPrediction, 0, 0, pred, threshold)
 	}
-	if pred > b.best*(1+b.Cfg.RegressionFrac) {
+	if pred > threshold {
 		// Fine-grained adjustment failed: fall back to incremental on
 		// the next step.
-		b.State = Incremental
+		b.setState(Incremental)
 		b.prevDom = 0 // force at least one incremental move before flip detection
 		if cpu >= gpu {
 			b.prevDom = 1
@@ -367,8 +424,10 @@ func (b *Balancer) observationStep(s Target, st StepTimes) Report {
 // keeping each batch only if the predicted compute time improves (§VI.B).
 // It returns the virtual LB time spent.
 func (b *Balancer) fineGrainedOptimize(s Target, r *Report) float64 {
+	tok := b.rec().Begin(telemetry.SpanFineGrain, 0)
+	defer b.rec().End(tok)
 	var lb float64
-	cpu, gpu := s.Predict()
+	cpu, gpu := b.predict(s)
 	lb += b.Cfg.Costs.predictCost(s)
 	bestPred := math.Max(cpu, gpu)
 	for iter := 0; iter < b.Cfg.MaxFineGrainIters; iter++ {
@@ -388,7 +447,7 @@ func (b *Balancer) fineGrainedOptimize(s Target, r *Report) float64 {
 			break
 		}
 		lb += b.Cfg.Costs.modifyCost(s, batch)
-		nc, ng := s.Predict()
+		nc, ng := b.predict(s)
 		lb += b.Cfg.Costs.predictCost(s)
 		pred := math.Max(nc, ng)
 		if pred >= bestPred {
@@ -407,6 +466,12 @@ func (b *Balancer) fineGrainedOptimize(s Target, r *Report) float64 {
 			break
 		}
 		bestPred = pred
+		b.rec().EmitEvent(telemetry.EventFineGrain, int64(len(batch)), 0, pred, 0)
+		if cpu > gpu {
+			b.rec().AddTreeEdits(len(batch), 0)
+		} else {
+			b.rec().AddTreeEdits(0, len(batch))
+		}
 		cpu, gpu = nc, ng
 		r.Events = append(r.Events, fmt.Sprintf("fgo batch %d nodes, pred %.4g", len(batch), pred))
 	}

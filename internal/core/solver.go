@@ -18,6 +18,7 @@ import (
 	"afmm/internal/particle"
 	"afmm/internal/sched"
 	"afmm/internal/sphharm"
+	"afmm/internal/telemetry"
 	"afmm/internal/vcpu"
 	"afmm/internal/vgpu"
 )
@@ -120,6 +121,12 @@ type Config struct {
 	// moderate N (see kernels.BenchmarkNearFieldCSR vs ...Gather).
 	// Results are bit-identical either way.
 	GatherSources bool
+	// Rec, when non-nil, receives per-phase spans, device kernel samples,
+	// worker busy times, and the step's cost-model observation from every
+	// Solve. A nil recorder compiles to no-ops on the hot paths. Prefer
+	// Solver.SetRecorder over mutating this after construction, so the
+	// device cluster picks up the recorder too.
+	Rec *telemetry.Recorder
 	// OffloadEndpoints moves the P2M and L2P work to the GPUs — the
 	// extension the paper proposes (§VIII.E) for configurations whose
 	// CPU is underpowered relative to the devices ("the way forward in
@@ -162,6 +169,9 @@ type StepTimes struct {
 	CPUEff  float64 // parallel efficiency of the virtual schedule
 	GPUEff  float64 // useful/slot interactions on the slowest-loaded cluster
 	Real    time.Duration
+	// Host breaks the Real wall clock into list/far/near phases, so step
+	// loops see where host time went without owning a telemetry recorder.
+	Host telemetry.HostPhases
 }
 
 // Solver is the heterogeneous AFMM engine.
@@ -181,6 +191,10 @@ type Solver struct {
 	// across levels and across solves.
 	wsFree    chan *expansion.Workspace
 	weightBuf []int64
+	// busySnap/busyDelta are reused worker busy-time snapshot buffers
+	// (telemetry; unused when no recorder is attached).
+	busySnap  []int64
+	busyDelta []int64
 	// gatherFree recycles per-chunk near-field source gathers (SoA packing
 	// buffers), one per concurrently executing chunk.
 	gatherFree chan *octree.SourceGather
@@ -206,9 +220,19 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 	})
 	if cfg.NumGPUs > 0 {
 		s.Cluster = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
+		s.Cluster.Rec = cfg.Rec
 	}
 	s.Model = costmodel.NewModel(s.priorCoefficients())
 	return s
+}
+
+// SetRecorder attaches (or detaches, with nil) the telemetry recorder,
+// propagating it to the device cluster.
+func (s *Solver) SetRecorder(rec *telemetry.Recorder) {
+	s.Cfg.Rec = rec
+	if s.Cluster != nil {
+		s.Cluster.Rec = rec
+	}
 }
 
 // priorCoefficients predicts costs before any observation: base CPU costs
@@ -248,17 +272,48 @@ func (s *Solver) EnforceS() (collapses, pushdowns int) { return s.Tree.EnforceS(
 // Solve runs one full FMM evaluation: potentials and accelerations for
 // every body, and the virtual-machine timing of the step.
 func (s *Solver) Solve() StepTimes {
+	rec := s.Cfg.Rec
 	timer := sched.StartTimer()
+	solveTok := rec.Begin(telemetry.SpanSolve, 0)
+	if rec.Enabled() {
+		s.busySnap = s.Cfg.Pool.WorkerBusyNs(s.busySnap[:0])
+	}
 	t := s.Tree
+
+	// The list span kind is only known after the fact: BuildLists decides
+	// between skip, repair, and full traversal, and the ListStats delta
+	// says which it took.
+	ls0 := t.ListBuildStats()
+	listTimer := sched.StartTimer()
 	t.BuildLists()
+	listDur := listTimer.Elapsed()
+	if rec.Enabled() {
+		ld := t.ListBuildStats().Sub(ls0)
+		kind := telemetry.SpanListSkip
+		switch {
+		case ld.FullBuilds > 0:
+			kind = telemetry.SpanListFull
+		case ld.Repairs > 0:
+			kind = telemetry.SpanListRepair
+		}
+		rec.AddSpan(kind, 0, listTimer.StartTime(), listDur)
+		rec.SetLists(telemetry.ListDelta{
+			Full: ld.FullBuilds, Repairs: ld.Repairs, Skips: ld.Skips, Pairs: ld.Pairs,
+		})
+	}
+
+	prepTimer := sched.StartTimer()
 	s.Sys.ResetAccumulators()
 	s.ensureSlabs()
+	rec.AddSpan(telemetry.SpanPrep, 0, prepTimer.StartTime(), prepTimer.Elapsed())
 
 	// Launch the near-field "kernels" and the far-field traversal; on the
 	// real host these are executed in sequence (the virtual clock is what
 	// models the CPU/GPU overlap, exactly like the paper's concurrent
 	// launch followed by the blocking collect call).
 	var gpuTime float64
+	var nearDur time.Duration
+	nearTimer := sched.StartTimer()
 	if s.Cluster != nil {
 		s.Cluster.Partition(t)
 		fn := vgpu.P2PFunc(s.p2pPair)
@@ -266,14 +321,27 @@ func (s *Solver) Solve() StepTimes {
 			fn = nil
 		}
 		gpuTime = s.Cluster.ExecuteParallel(t, fn, s.Cfg.Pool)
+		nearDur = nearTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanNearExec, 0, nearTimer.StartTime(), nearDur)
 	} else if !s.Cfg.SkipNearField {
 		s.runCPUNearField()
+		nearDur = nearTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanNearCPU, 0, nearTimer.StartTime(), nearDur)
 	}
+	var farDur time.Duration
 	if !s.Cfg.SkipFarField {
+		upTimer := sched.StartTimer()
 		s.upSweep()
+		upDur := upTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanUpSweep, 0, upTimer.StartTime(), upDur)
+		downTimer := sched.StartTimer()
 		s.downSweep()
+		downDur := downTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
+		farDur = upDur + downDur
 	}
 
+	graphTimer := sched.StartTimer()
 	counts := costmodel.FromTree(t.CountOps())
 	offload := s.Cfg.OffloadEndpoints && s.Cluster != nil
 	graph := vcpu.BuildFMMGraph(t, s.Cfg.CPU.Base, vcpu.FMMGraphOptions{
@@ -282,7 +350,10 @@ func (s *Solver) Solve() StepTimes {
 		P2PCostFactor:    s.Cfg.Profile.P2PCostFactor,
 		ExcludeEndpoints: offload,
 	})
+	rec.AddSpan(telemetry.SpanGraph, 0, graphTimer.StartTime(), graphTimer.Elapsed())
+	simTok := rec.Begin(telemetry.SpanVCPUSim, 0)
 	res := s.Cfg.CPU.Simulate(graph)
+	rec.End(simTok)
 	if offload {
 		// Endpoint work runs on the devices: one P2M/L2P application is
 		// charged like EndpointInteractionEquiv near-field interactions,
@@ -299,7 +370,6 @@ func (s *Solver) Solve() StepTimes {
 		GPUTime: gpuTime,
 		Counts:  counts,
 		CPUEff:  res.Efficiency(s.Cfg.CPU.Cores),
-		Real:    timer.Elapsed(),
 	}
 	st.Compute = math.Max(st.CPUTime, st.GPUTime)
 	if s.Cluster != nil {
@@ -317,6 +387,7 @@ func (s *Solver) Solve() StepTimes {
 	// per op scaled to wall-clock share so that sum(M(op) c(op)) equals
 	// the observed CPU makespan; the GPU coefficient is max kernel time
 	// over total interactions.
+	obsTimer := sched.StartTimer()
 	var obs costmodel.Observation
 	obs.Counts = counts
 	// Normalize over the op-attributed busy time (excluding task-spawn
@@ -337,6 +408,34 @@ func (s *Solver) Solve() StepTimes {
 		obs.Time[costmodel.P2P] = res.Makespan * res.BusyTime[costmodel.P2P] / opBusy
 	}
 	s.Model.Observe(obs)
+	rec.AddSpan(telemetry.SpanObserve, 0, obsTimer.StartTime(), obsTimer.Elapsed())
+
+	if rec.Enabled() {
+		var c64 [telemetry.NumOps]int64
+		var opTime, coef [telemetry.NumOps]float64
+		for op := costmodel.Op(0); op < costmodel.NumOps; op++ {
+			c64[op] = counts[op]
+			opTime[op] = obs.Time[op]
+			coef[op] = s.Model.Coef[op]
+		}
+		rec.SetOps(c64, opTime, coef)
+		rec.SetSolveTimes(st.CPUTime, st.GPUTime, st.CPUEff, st.GPUEff)
+		if s.Cluster != nil {
+			for _, d := range s.Cluster.Devices {
+				rec.AddDevice(d.KernelTime, d.Interactions, d.HostTime)
+			}
+		}
+		s.busyDelta = s.Cfg.Pool.WorkerBusyNs(s.busyDelta[:0])
+		for i := range s.busyDelta {
+			if i < len(s.busySnap) {
+				s.busyDelta[i] -= s.busySnap[i]
+			}
+		}
+		rec.SetWorkerBusy(s.busyDelta)
+	}
+	st.Real = timer.Elapsed()
+	st.Host = telemetry.HostPhases{List: listDur, Far: farDur, Near: nearDur, Wall: st.Real}
+	rec.End(solveTok)
 	return st
 }
 
@@ -349,14 +448,16 @@ func (s *Solver) SweepBench() (up, down, near time.Duration) {
 	s.Tree.BuildLists()
 	s.Sys.ResetAccumulators()
 	s.ensureSlabs()
-	t0 := time.Now()
+	upT := sched.StartTimer()
 	s.upSweep()
-	t1 := time.Now()
+	up = upT.Elapsed()
+	downT := sched.StartTimer()
 	s.downSweep()
-	t2 := time.Now()
+	down = downT.Elapsed()
+	nearT := sched.StartTimer()
 	s.runCPUNearField()
-	t3 := time.Now()
-	return t1.Sub(t0), t2.Sub(t1), t3.Sub(t2)
+	near = nearT.Elapsed()
+	return up, down, near
 }
 
 // Predict estimates the compute time of the *current* tree shape without
@@ -533,6 +634,7 @@ func (s *Solver) upSweepLevels() {
 			continue
 		}
 		weights := s.levelWeights(nodes, upWeight)
+		lvTimer := sched.StartTimer()
 		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
 			w := s.getWS()
 			for _, ni := range nodes[lo:hi] {
@@ -540,6 +642,7 @@ func (s *Solver) upSweepLevels() {
 			}
 			s.putWS(w)
 		})
+		s.Cfg.Rec.AddSpan(telemetry.SpanUpLevel, int32(lv), lvTimer.StartTime(), lvTimer.Elapsed())
 	}
 }
 
@@ -578,6 +681,7 @@ func (s *Solver) downSweepLevels() {
 			continue
 		}
 		weights := s.levelWeights(nodes, downWeight)
+		lvTimer := sched.StartTimer()
 		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
 			w := s.getWS()
 			var srcs []expansion.M2LSource
@@ -586,6 +690,7 @@ func (s *Solver) downSweepLevels() {
 			}
 			s.putWS(w)
 		})
+		s.Cfg.Rec.AddSpan(telemetry.SpanDownLevel, int32(lv), lvTimer.StartTime(), lvTimer.Elapsed())
 	}
 }
 

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"io"
 	"math"
 
 	"afmm/internal/balance"
@@ -51,6 +52,10 @@ type Params struct {
 	Dt    float64
 	// Quiet suppresses progress output hooks (reserved).
 	Quiet bool
+	// Trace, when non-nil, receives the telemetry JSONL trace of the
+	// dynamic experiments' headline run (Fig8's strategy-3 simulation,
+	// Fig10's FGO-enabled simulation).
+	Trace io.Writer
 }
 
 func (p *Params) setDefaults() {
@@ -450,6 +455,9 @@ func Fig8(p Params) []StrategyRun {
 	} {
 		c := cfg
 		c.Balance = balance.Config{Strategy: sr.st}
+		if sr.st == balance.StrategyFull {
+			c.Trace = p.Trace
+		}
 		res := sim.RunGravity(dynamicSolver(p), c)
 		runs = append(runs, StrategyRun{Name: sr.name, Strategy: sr.st, Result: res})
 	}
@@ -529,14 +537,18 @@ func Fig10(p Params) ([]RatioPoint, float64) {
 		cfg.GPUSpec.InteractionsPerSecPerSM *= float64(kernels.FlopsPerGravityInteraction) /
 			float64(kernels.FlopsPerStokesletInteraction)
 		sol := stokes.NewSolver(sys, cfg)
-		return sim.RunStokes(sol, nil, sim.Config{
+		simCfg := sim.Config{
 			Dt:    p.Dt,
 			Steps: p.Steps,
 			Balance: balance.Config{
 				Strategy:         balance.StrategyFull,
 				DisableFineGrain: disableFGO,
 			},
-		})
+		}
+		if !disableFGO {
+			simCfg.Trace = p.Trace
+		}
+		return sim.RunStokes(sol, nil, simCfg)
 	}
 	with := run(false)
 	without := run(true)

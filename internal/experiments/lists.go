@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"time"
-
 	"afmm/internal/core"
 	"afmm/internal/distrib"
 	"afmm/internal/kernels"
 	"afmm/internal/octree"
+	"afmm/internal/sched"
 	"afmm/internal/sim"
 )
 
@@ -89,9 +88,9 @@ func Lists(p Params) ListsBenchResult {
 			if step%20 == 19 {
 				tr.EnforceS()
 			}
-			t0 := time.Now()
+			tm := sched.StartTimer()
 			tr.BuildLists()
-			total += int64(time.Since(t0))
+			total += tm.Elapsed().Nanoseconds()
 			pairs += tr.LastListWork().Pairs
 		}
 		return total / int64(p.Steps), tr.ListBuildStats(), pairs
@@ -129,11 +128,11 @@ func Lists(p Params) ListsBenchResult {
 	}
 	cached, scratch := mkSolver(false), mkSolver(true)
 	stepOnce := func(sv *core.Solver) int64 {
-		t0 := time.Now()
+		tm := sched.StartTimer()
 		sv.Solve()
 		sim.KickDrift(sv.Sys, p.Dt)
 		sv.Refill()
-		return int64(time.Since(t0))
+		return tm.Elapsed().Nanoseconds()
 	}
 	for step := 0; step < eSteps; step++ {
 		res.StepNsCached += stepOnce(cached)

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"io"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/kernels"
+	"afmm/internal/sched"
+	"afmm/internal/sim"
+	"afmm/internal/telemetry"
+)
+
+// TelemetryBenchResult is the machine-readable payload of the "telemetry"
+// benchmark (written to BENCH_telemetry.json by afmm-bench). It answers
+// two questions about the step tracer: what does enabling it cost, and
+// does it actually see the step?
+//
+// Two identical gravity solvers advance the same Plummer trajectory, one
+// with a recorder attached (JSONL sink draining to a byte counter) and
+// one without. The variants alternate per step so host-speed drift hits
+// both equally. OverheadFrac is the headline number: (traced step time -
+// untraced step time) / untraced step time; the acceptance target is
+// < 0.02. PhaseCoverage is the mean over traced steps of the top-level
+// span durations divided by the step wall clock — how much of the step
+// the spans account for.
+type TelemetryBenchResult struct {
+	N     int `json:"n"`
+	S     int `json:"s"`
+	P     int `json:"p"`
+	Steps int `json:"steps"`
+
+	StepNsOff    int64   `json:"step_ns_off"`
+	StepNsOn     int64   `json:"step_ns_on"`
+	OverheadFrac float64 `json:"overhead_frac"`
+
+	PhaseCoverage float64 `json:"phase_coverage"`
+	SpansPerStep  float64 `json:"spans_per_step"`
+	BytesPerStep  int64   `json:"bytes_per_step"`
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// Telemetry measures the overhead of an enabled recorder on full solver
+// steps (Solve + integrate + Refill) and the fraction of each step the
+// recorded spans cover.
+func Telemetry(p Params) TelemetryBenchResult {
+	if p.N <= 0 {
+		p.N = 100000
+	}
+	if p.Steps <= 0 {
+		p.Steps = 16
+	}
+	if p.Dt <= 0 {
+		p.Dt = 2e-4
+	}
+	p.setDefaults()
+	const s = 64
+	res := TelemetryBenchResult{N: p.N, S: s, P: p.P, Steps: p.Steps}
+
+	mkSolver := func() *core.Solver {
+		sys := distrib.Plummer(p.N, 1, 1, p.Seed)
+		sv := core.NewSolver(sys, core.Config{
+			P:      p.P,
+			S:      s,
+			Kernel: kernels.Gravity{G: 1, Softening: 0.01},
+		})
+		sv.Solve() // warm slabs and the list cache outside the timed region
+		return sv
+	}
+	plain, traced := mkSolver(), mkSolver()
+	var sink countingWriter
+	rec := telemetry.New(telemetry.Options{JSONL: &sink, Keep: true})
+	traced.SetRecorder(rec)
+
+	stepOnce := func(sv *core.Solver, r *telemetry.Recorder, step int) int64 {
+		r.StartStep(step)
+		tm := sched.StartTimer()
+		sv.Solve()
+		sim.KickDrift(sv.Sys, p.Dt)
+		sv.Refill()
+		ns := tm.Elapsed().Nanoseconds()
+		r.EndStep()
+		return ns
+	}
+	for step := 0; step < p.Steps; step++ {
+		res.StepNsOff += stepOnce(plain, nil, step)
+		res.StepNsOn += stepOnce(traced, rec, step)
+	}
+	res.StepNsOff /= int64(p.Steps)
+	res.StepNsOn /= int64(p.Steps)
+	if res.StepNsOff > 0 {
+		res.OverheadFrac = float64(res.StepNsOn-res.StepNsOff) / float64(res.StepNsOff)
+	}
+
+	kept := rec.Steps()
+	var coverage float64
+	var spans int
+	for _, sr := range kept {
+		if sr.WallNs > 0 {
+			coverage += float64(sr.PhaseNs()) / float64(sr.WallNs)
+		}
+		spans += len(sr.Spans)
+	}
+	if len(kept) > 0 {
+		res.PhaseCoverage = coverage / float64(len(kept))
+		res.SpansPerStep = float64(spans) / float64(len(kept))
+		res.BytesPerStep = sink.n / int64(len(kept))
+	}
+	return res
+}
+
+var _ io.Writer = (*countingWriter)(nil)

@@ -393,3 +393,91 @@ func FuzzListRepair(f *testing.F) {
 		}
 	})
 }
+
+// TestListStatsEpochContract pins the reset contract the telemetry
+// recorder depends on: counters are cumulative, survive Rebuild, are
+// zeroed only by ResetListStats (which bumps the epoch), and Sub yields
+// per-interval deltas with epoch-mismatch protection.
+func TestListStatsEpochContract(t *testing.T) {
+	sys := distrib.Plummer(2000, 1, 1, 11)
+	tr := Build(sys, Config{S: 48})
+	tr.BuildLists()
+	tr.BuildLists() // skip
+	st := tr.ListBuildStats()
+	if st.FullBuilds != 1 || st.Skips != 1 || st.Pairs == 0 {
+		t.Fatalf("setup stats: %+v", st)
+	}
+
+	// Rebuild must NOT reset the counters (the balancer rebuilds the tree
+	// mid-trajectory; history has to survive).
+	tr.Rebuild(32)
+	tr.BuildLists()
+	st2 := tr.ListBuildStats()
+	if st2.Epoch != st.Epoch {
+		t.Fatalf("Rebuild changed the stats epoch: %d -> %d", st.Epoch, st2.Epoch)
+	}
+	if st2.FullBuilds != 2 || st2.Skips != 1 {
+		t.Fatalf("Rebuild zeroed cumulative counters: %+v", st2)
+	}
+	if st2.Pairs <= st.Pairs {
+		t.Fatalf("second full build added no pair visits: %d -> %d", st.Pairs, st2.Pairs)
+	}
+
+	// Sub gives the interval delta for same-epoch snapshots.
+	d := st2.Sub(st)
+	if d.FullBuilds != 1 || d.Skips != 0 || d.Pairs != st2.Pairs-st.Pairs {
+		t.Fatalf("Sub delta wrong: %+v", d)
+	}
+
+	// ResetListStats zeroes the counters and bumps the epoch.
+	tr.ResetListStats()
+	st3 := tr.ListBuildStats()
+	if st3.Epoch != st2.Epoch+1 {
+		t.Fatalf("reset did not bump epoch: %d -> %d", st2.Epoch, st3.Epoch)
+	}
+	if st3.FullBuilds != 0 || st3.Repairs != 0 || st3.Skips != 0 || st3.Pairs != 0 {
+		t.Fatalf("reset left counters: %+v", st3)
+	}
+
+	// A pre-reset snapshot differenced against a post-reset one must not
+	// go negative: Sub returns the post-reset cumulative values.
+	tr.BuildLists() // skip (lists still valid after reset bookkeeping)
+	st4 := tr.ListBuildStats()
+	d = st4.Sub(st2) // st2 is from the old epoch
+	if d != st4 {
+		t.Fatalf("cross-epoch Sub = %+v, want the newer cumulative %+v", d, st4)
+	}
+	if d.FullBuilds < 0 || d.Skips < 0 || d.Pairs < 0 {
+		t.Fatalf("cross-epoch Sub went negative: %+v", d)
+	}
+}
+
+// TestListStatsStepDelta drives the recorder's usage pattern: snapshot
+// before BuildLists, difference after, classify the step.
+func TestListStatsStepDelta(t *testing.T) {
+	sys := distrib.Plummer(2000, 1, 1, 13)
+	tr := Build(sys, Config{S: 48})
+	classify := func() string {
+		before := tr.ListBuildStats()
+		tr.BuildLists()
+		d := tr.ListBuildStats().Sub(before)
+		switch {
+		case d.FullBuilds > 0:
+			return "full"
+		case d.Repairs > 0:
+			return "repair"
+		default:
+			return "skip"
+		}
+	}
+	if got := classify(); got != "full" {
+		t.Fatalf("first build classified %q", got)
+	}
+	if got := classify(); got != "skip" {
+		t.Fatalf("unchanged step classified %q", got)
+	}
+	tr.Rebuild(tr.Cfg.S)
+	if got := classify(); got != "full" {
+		t.Fatalf("post-rebuild step classified %q", got)
+	}
+}

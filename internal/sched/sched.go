@@ -16,12 +16,21 @@ import (
 
 // Pool is a bounded task executor. The zero value is not usable; create
 // one with NewPool.
+//
+// The semaphore carries worker-slot ids rather than empty tokens: a task
+// that acquires slot i charges its execution time to busy[i], giving the
+// telemetry layer a per-worker utilization profile (paper §VII.A's
+// "CPU Time" is a makespan; the busy vector shows the imbalance behind
+// it). Inline executions — tasks run in the caller because every slot was
+// taken — are charged to a separate inline bucket.
 type Pool struct {
 	workers int
-	sem     chan struct{}
+	sem     chan int
 
-	spawned atomic.Int64
-	inlined atomic.Int64
+	spawned    atomic.Int64
+	inlined    atomic.Int64
+	busy       []atomic.Int64 // ns of task execution per worker slot
+	inlineBusy atomic.Int64   // ns of inline task execution
 }
 
 // NewPool creates a pool that allows up to workers tasks to run
@@ -30,7 +39,15 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+	p := &Pool{
+		workers: workers,
+		sem:     make(chan int, workers),
+		busy:    make([]atomic.Int64, workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.sem <- i
+	}
+	return p
 }
 
 // Workers returns the pool's concurrency bound.
@@ -43,6 +60,28 @@ func (p *Pool) SpawnedTasks() int64 { return p.spawned.Load() }
 
 // InlinedTasks returns the count of tasks executed inline.
 func (p *Pool) InlinedTasks() int64 { return p.inlined.Load() }
+
+// WorkerBusyNs appends the cumulative per-slot busy time (ns) to dst and
+// returns it; the final appended element is the inline-execution bucket,
+// so the result has Workers()+1 entries beyond dst's original length.
+// Counters are cumulative since pool creation (or the last
+// ResetWorkerBusy); callers wanting a per-step profile take deltas of two
+// snapshots. Passing a reused dst[:0] keeps the snapshot allocation-free.
+func (p *Pool) WorkerBusyNs(dst []int64) []int64 {
+	for i := range p.busy {
+		dst = append(dst, p.busy[i].Load())
+	}
+	return append(dst, p.inlineBusy.Load())
+}
+
+// ResetWorkerBusy zeroes the per-worker busy counters. Racing tasks may
+// re-add time concurrently; intended for quiescent points.
+func (p *Pool) ResetWorkerBusy() {
+	for i := range p.busy {
+		p.busy[i].Store(0)
+	}
+	p.inlineBusy.Store(0)
+}
 
 // Group tracks a set of spawned tasks, the analogue of the implicit set
 // awaited by "#pragma omp taskwait". Groups may nest freely.
@@ -59,19 +98,23 @@ func (p *Pool) NewGroup() *Group { return &Group{pool: p} }
 // parallelism without deadlock, as in help-first task runtimes).
 func (g *Group) Spawn(f func()) {
 	select {
-	case g.pool.sem <- struct{}{}:
+	case slot := <-g.pool.sem:
 		g.pool.spawned.Add(1)
 		g.wg.Add(1)
 		go func() {
+			start := time.Now()
 			defer func() {
-				<-g.pool.sem
+				g.pool.busy[slot].Add(int64(time.Since(start)))
+				g.pool.sem <- slot
 				g.wg.Done()
 			}()
 			f()
 		}()
 	default:
 		g.pool.inlined.Add(1)
+		start := time.Now()
 		f()
+		g.pool.inlineBusy.Add(int64(time.Since(start)))
 	}
 }
 
@@ -157,3 +200,7 @@ func StartTimer() Timer { return Timer{start: time.Now()} }
 
 // Elapsed returns the wall-clock duration since the timer started.
 func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// StartTime returns when the timer started, for attributing the measured
+// interval on a trace timeline.
+func (t Timer) StartTime() time.Time { return t.start }

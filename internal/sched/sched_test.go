@@ -234,3 +234,54 @@ func TestParallelRangeWeightedDegenerateInputs(t *testing.T) {
 		t.Fatal("single-item weighted range wrong")
 	}
 }
+
+func TestWorkerBusyNsAccounting(t *testing.T) {
+	p := NewPool(3)
+	g := p.NewGroup()
+	for i := 0; i < 64; i++ {
+		g.Spawn(func() {
+			x := 0
+			for j := 0; j < 200000; j++ {
+				x += j
+			}
+			_ = x
+		})
+	}
+	g.Wait()
+	busy := p.WorkerBusyNs(nil)
+	if len(busy) != p.Workers()+1 {
+		t.Fatalf("got %d entries, want workers+1 = %d", len(busy), p.Workers()+1)
+	}
+	var total int64
+	for _, b := range busy {
+		if b < 0 {
+			t.Fatalf("negative busy time: %v", busy)
+		}
+		total += b
+	}
+	if total <= 0 {
+		t.Fatalf("no busy time recorded: %v", busy)
+	}
+	// Appending to a reused dst must not clobber prior content.
+	dst := []int64{-7}
+	out := p.WorkerBusyNs(dst)
+	if out[0] != -7 || len(out) != 1+p.Workers()+1 {
+		t.Fatalf("append contract broken: %v", out)
+	}
+	p.ResetWorkerBusy()
+	for i, b := range p.WorkerBusyNs(nil) {
+		if b != 0 {
+			t.Fatalf("slot %d not reset: %d", i, b)
+		}
+	}
+}
+
+func TestTimerStartTime(t *testing.T) {
+	tm := StartTimer()
+	if tm.StartTime().IsZero() {
+		t.Fatal("timer start time is zero")
+	}
+	if tm.Elapsed() < 0 {
+		t.Fatal("negative elapsed")
+	}
+}

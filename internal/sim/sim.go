@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -15,7 +14,9 @@ import (
 	"afmm/internal/core"
 	"afmm/internal/geom"
 	"afmm/internal/particle"
+	"afmm/internal/sched"
 	"afmm/internal/stokes"
+	"afmm/internal/telemetry"
 )
 
 // Config controls a run.
@@ -23,41 +24,22 @@ type Config struct {
 	Dt      float64
 	Steps   int
 	Balance balance.Config
-	// Trace, when non-nil, receives one JSON line per step (timings, S,
-	// balancer state and events) — machine-readable observability for
-	// long runs.
+	// Trace, when non-nil, receives one JSON line per step — the
+	// telemetry.StepRecord schema (timings, S, balancer state and typed
+	// events, phase spans, cost-model observation). When Rec is nil a
+	// recorder is created internally to feed it.
 	Trace io.Writer
+	// Rec, when non-nil, is the telemetry recorder the run threads through
+	// the solver, the balancer, and the step loop (use Options.Keep +
+	// WriteChrome for a timeline export). Takes precedence over creating
+	// one from Trace.
+	Rec *telemetry.Recorder
 }
 
-// traceLine is the JSON schema of one trace record.
-type traceLine struct {
-	Step    int      `json:"step"`
-	S       int      `json:"s"`
-	CPU     float64  `json:"cpu"`
-	GPU     float64  `json:"gpu"`
-	Compute float64  `json:"compute"`
-	LB      float64  `json:"lb"`
-	Total   float64  `json:"total"`
-	State   string   `json:"state"`
-	Events  []string `json:"events,omitempty"`
-}
-
-func emitTrace(w io.Writer, rec StepRecord, events []string) {
-	if w == nil {
-		return
-	}
-	b, err := json.Marshal(traceLine{
-		Step: rec.Step, S: rec.S, CPU: rec.CPUTime, GPU: rec.GPUTime,
-		Compute: rec.Compute, LB: rec.LBTime, Total: rec.Total,
-		State: rec.State, Events: events,
-	})
-	if err == nil {
-		b = append(b, 0x0a)
-		w.Write(b)
-	}
-}
-
-// StepRecord captures one time step.
+// StepRecord captures one time step. The *Ns fields are host wall-clock
+// phase durations (the breakdown solvers report via StepTimes.Host plus
+// the loop's own refill timing); the float64 times are virtual-machine
+// seconds.
 type StepRecord struct {
 	Step    int
 	S       int
@@ -68,6 +50,12 @@ type StepRecord struct {
 	Refill  float64
 	Total   float64
 	State   string
+
+	ListNs   int64 // interaction-list build/repair/skip
+	FarNs    int64 // up+down sweeps
+	NearNs   int64 // near-field execution
+	RefillNs int64 // tree refill
+	WallNs   int64 // whole step (solve + move + refill + balance)
 }
 
 // Result aggregates a run.
@@ -98,13 +86,14 @@ func (r Result) MeanTotalPerStep() float64 {
 
 // WriteCSV emits the records as CSV.
 func (r Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "step,S,cpu,gpu,compute,lb,refill,total,state"); err != nil {
+	if _, err := fmt.Fprintln(w, "step,S,cpu,gpu,compute,lb,refill,total,state,list_ns,far_ns,near_ns,refill_ns,wall_ns"); err != nil {
 		return err
 	}
 	for _, rec := range r.Records {
-		if _, err := fmt.Fprintf(w, "%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%s\n",
+		if _, err := fmt.Fprintf(w, "%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%s,%d,%d,%d,%d,%d\n",
 			rec.Step, rec.S, rec.CPUTime, rec.GPUTime, rec.Compute,
-			rec.LBTime, rec.Refill, rec.Total, rec.State); err != nil {
+			rec.LBTime, rec.Refill, rec.Total, rec.State,
+			rec.ListNs, rec.FarNs, rec.NearNs, rec.RefillNs, rec.WallNs); err != nil {
 			return err
 		}
 	}
@@ -112,42 +101,67 @@ func (r Result) WriteCSV(w io.Writer) error {
 }
 
 // Stepper is the solver surface the shared step loop drives: the
-// balancer's Target plus the per-step tree refill.
+// balancer's Target plus the per-step tree refill and telemetry hookup.
 type Stepper interface {
 	balance.Target
 	Refill()
+	SetRecorder(*telemetry.Recorder)
 }
 
 // runLoop is the single step loop behind RunGravity and RunStokes, so the
 // refill/balance/trace accounting cannot drift between the two problems.
 // solveAndMove performs one solve plus the problem's position update and
-// returns the step's virtual CPU/GPU times.
-func runLoop(s Stepper, cfg Config, solveAndMove func() (cpu, gpu float64)) Result {
+// returns the step's virtual CPU/GPU times and the solver's host phase
+// breakdown.
+func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases)) Result {
+	rec := cfg.Rec
+	if rec == nil && cfg.Trace != nil {
+		rec = telemetry.New(telemetry.Options{JSONL: cfg.Trace})
+	}
+	if rec.Enabled() {
+		s.SetRecorder(rec)
+		cfg.Balance.Rec = rec
+	}
 	bal := balance.New(cfg.Balance, s.System().Len())
 	var res Result
 	for step := 0; step < cfg.Steps; step++ {
-		cpu, gpu := solveAndMove()
+		rec.StartStep(step)
+		wallTimer := sched.StartTimer()
+		cpu, gpu, host := solveAndMove(rec)
 		compute := math.Max(cpu, gpu)
+		refillTimer := sched.StartTimer()
 		s.Refill()
+		refillDur := refillTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanRefill, 0, refillTimer.StartTime(), refillDur)
 		refill := bal.Cfg.Costs.RefillCost(s)
+		balTimer := sched.StartTimer()
 		rep := bal.AfterStep(s, balance.StepTimes{CPU: cpu, GPU: gpu})
-		rec := StepRecord{
-			Step:    step,
-			S:       rep.NewS,
-			CPUTime: cpu,
-			GPUTime: gpu,
-			Compute: compute,
-			LBTime:  rep.LBTime,
-			Refill:  refill,
-			Total:   compute + rep.LBTime + refill,
-			State:   rep.State.String(),
+		rec.AddSpan(telemetry.SpanBalance, 0, balTimer.StartTime(), balTimer.Elapsed())
+		wall := wallTimer.Elapsed()
+		r := StepRecord{
+			Step:     step,
+			S:        rep.NewS,
+			CPUTime:  cpu,
+			GPUTime:  gpu,
+			Compute:  compute,
+			LBTime:   rep.LBTime,
+			Refill:   refill,
+			Total:    compute + rep.LBTime + refill,
+			State:    rep.State.String(),
+			ListNs:   host.List.Nanoseconds(),
+			FarNs:    host.Far.Nanoseconds(),
+			NearNs:   host.Near.Nanoseconds(),
+			RefillNs: refillDur.Nanoseconds(),
+			WallNs:   wall.Nanoseconds(),
 		}
-		emitTrace(cfg.Trace, rec, rep.Events)
-		res.Records = append(res.Records, rec)
-		res.TotalCompute += rec.Compute
-		res.TotalLB += rec.LBTime
-		res.TotalRefill += rec.Refill
-		res.TotalTime += rec.Total
+		rec.SetStepInfo(step, rep.NewS, r.State)
+		rec.SetBalance(rep.LBTime, refill)
+		rec.EndStep()
+		res.Records = append(res.Records, r)
+		res.TotalCompute += r.Compute
+		res.TotalLB += r.LBTime
+		res.TotalRefill += r.Refill
+		res.TotalTime += r.Total
 	}
 	return res
 }
@@ -156,10 +170,12 @@ func runLoop(s Stepper, cfg Config, solveAndMove func() (cpu, gpu float64)) Resu
 // the given balancing strategy. Each step: solve (compute time), kick-drift
 // integrate, refill the tree, then let the balancer act for the next step.
 func RunGravity(s *core.Solver, cfg Config) Result {
-	return runLoop(s, cfg, func() (cpu, gpu float64) {
+	return runLoop(s, cfg, func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases) {
 		st := s.Solve()
+		intTimer := sched.StartTimer()
 		KickDrift(s.Sys, cfg.Dt)
-		return st.CPUTime, st.GPUTime
+		rec.AddSpan(telemetry.SpanIntegrate, 0, intTimer.StartTime(), intTimer.Elapsed())
+		return st.CPUTime, st.GPUTime, st.Host
 	})
 }
 
@@ -167,16 +183,20 @@ func RunGravity(s *core.Solver, cfg Config) Result {
 // evaluated, the Stokes solve yields marker velocities, markers move with
 // the flow, and the balancer acts between steps.
 func RunStokes(s *stokes.Solver, boundaries []stokes.Boundary, cfg Config) Result {
-	return runLoop(s, cfg, func() (cpu, gpu float64) {
+	return runLoop(s, cfg, func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases) {
+		forceTimer := sched.StartTimer()
 		stokes.ClearForces(s.Sys)
 		for _, b := range boundaries {
 			b.AccumulateForces(s.Sys)
 		}
+		rec.AddSpan(telemetry.SpanForces, 0, forceTimer.StartTime(), forceTimer.Elapsed())
 		st := s.Solve()
+		intTimer := sched.StartTimer()
 		for i := range s.Sys.Pos {
 			s.Sys.Pos[i] = s.Sys.Pos[i].Add(s.Sys.Acc[i].Scale(cfg.Dt))
 		}
-		return st.CPUTime, st.GPUTime
+		rec.AddSpan(telemetry.SpanIntegrate, 0, intTimer.StartTime(), intTimer.Elapsed())
+		return st.CPUTime, st.GPUTime, st.Host
 	})
 }
 

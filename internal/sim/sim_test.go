@@ -14,6 +14,7 @@ import (
 	"afmm/internal/kernels"
 	"afmm/internal/particle"
 	"afmm/internal/stokes"
+	"afmm/internal/telemetry"
 	"afmm/internal/vgpu"
 )
 
@@ -296,5 +297,96 @@ func TestTraceEmitsValidJSONL(t *testing.T) {
 		if rec["total"].(float64) != res.Records[i].Total {
 			t.Fatalf("line %d: total mismatch", i)
 		}
+	}
+}
+
+// TestStepRecordsSurfacePhaseBreakdown: the run loop must surface the
+// host phase durations the solver measures, not just the virtual pair.
+func TestStepRecordsSurfacePhaseBreakdown(t *testing.T) {
+	s := dynamicSolver(600, 37)
+	res := RunGravity(s, simCfg(balance.StrategyFull, 6))
+	for i, rec := range res.Records {
+		if rec.WallNs <= 0 {
+			t.Fatalf("step %d: WallNs = %d", i, rec.WallNs)
+		}
+		if rec.ListNs < 0 || rec.FarNs <= 0 || rec.NearNs <= 0 || rec.RefillNs <= 0 {
+			t.Fatalf("step %d: phase breakdown missing: %+v", i, rec)
+		}
+		if sum := rec.ListNs + rec.FarNs + rec.NearNs + rec.RefillNs; sum > rec.WallNs*3/2 {
+			t.Fatalf("step %d: phases (%d ns) wildly exceed the step wall clock (%d ns)",
+				i, sum, rec.WallNs)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, col := range []string{"list_ns", "far_ns", "near_ns", "refill_ns", "wall_ns"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("CSV header missing %q: %s", col, header)
+		}
+	}
+}
+
+// TestRecorderThreadedThroughRun: an explicit recorder sees solver spans,
+// balancer events, per-worker busy time and the step bracketing.
+func TestRecorderThreadedThroughRun(t *testing.T) {
+	s := dynamicSolver(600, 39)
+	rec := telemetry.New(telemetry.Options{Keep: true})
+	res := RunGravity(s, Config{
+		Dt: 2e-4, Steps: 8,
+		Balance: balance.Config{Strategy: balance.StrategyFull},
+		Rec:     rec,
+	})
+	steps := rec.Steps()
+	if len(steps) != len(res.Records) {
+		t.Fatalf("recorder kept %d steps, run produced %d", len(steps), len(res.Records))
+	}
+	for i, sr := range steps {
+		if sr.Step != i {
+			t.Fatalf("record %d has step %d", i, sr.Step)
+		}
+		if sr.Total != res.Records[i].Total || sr.S != res.Records[i].S {
+			t.Fatalf("step %d: trace/record mismatch: %+v vs %+v", i, sr, res.Records[i])
+		}
+		kinds := map[telemetry.SpanKind]bool{}
+		for _, sp := range sr.Spans {
+			kinds[sp.Kind] = true
+		}
+		for _, k := range []telemetry.SpanKind{
+			telemetry.SpanSolve, telemetry.SpanPrep, telemetry.SpanUpSweep,
+			telemetry.SpanDownSweep, telemetry.SpanNearExec, telemetry.SpanGraph,
+			telemetry.SpanVCPUSim, telemetry.SpanObserve, telemetry.SpanIntegrate,
+			telemetry.SpanRefill, telemetry.SpanBalance,
+		} {
+			if !kinds[k] {
+				t.Fatalf("step %d missing span kind %v (have %v)", i, k, kinds)
+			}
+		}
+		if !kinds[telemetry.SpanListFull] && !kinds[telemetry.SpanListRepair] && !kinds[telemetry.SpanListSkip] {
+			t.Fatalf("step %d has no list-build classification span", i)
+		}
+		if len(sr.WorkerBusyNs) == 0 {
+			t.Fatalf("step %d missing worker busy profile", i)
+		}
+		if len(sr.Devices) != 2 {
+			t.Fatalf("step %d has %d device samples, want 2", i, len(sr.Devices))
+		}
+		if sr.Counts[5] == 0 { // P2P count
+			t.Fatalf("step %d cost-model observation missing: %v", i, sr.Counts)
+		}
+		if sr.PhaseNs() <= 0 || sr.WallNs <= 0 {
+			t.Fatalf("step %d phase/wall missing: %d / %d", i, sr.PhaseNs(), sr.WallNs)
+		}
+	}
+	// The first step of a StrategyFull run is a Search step: the balancer
+	// must have logged machine-readable activity somewhere in the run.
+	var events int
+	for _, sr := range steps {
+		events += len(sr.Events)
+	}
+	if events == 0 {
+		t.Fatal("no balancer events recorded across a full-strategy run")
 	}
 }

@@ -16,6 +16,7 @@ package stokes
 
 import (
 	"math"
+	"time"
 
 	"afmm/internal/core"
 	"afmm/internal/costmodel"
@@ -26,6 +27,7 @@ import (
 	"afmm/internal/particle"
 	"afmm/internal/sched"
 	"afmm/internal/sphharm"
+	"afmm/internal/telemetry"
 	"afmm/internal/vcpu"
 	"afmm/internal/vgpu"
 )
@@ -66,6 +68,10 @@ type Config struct {
 	// spans (see core.Config.GatherSources). Results are bit-identical
 	// either way.
 	GatherSources bool
+	// Rec receives per-phase telemetry from every Solve (see
+	// core.Config.Rec); nil compiles to no-ops. Prefer Solver.SetRecorder
+	// after construction.
+	Rec *telemetry.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -131,9 +137,19 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 	})
 	if cfg.NumGPUs > 0 {
 		s.Cl = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
+		s.Cl.Rec = cfg.Rec
 	}
 	s.Model = costmodel.NewModel(s.prior())
 	return s
+}
+
+// SetRecorder attaches (or detaches, with nil) the telemetry recorder,
+// propagating it to the device cluster.
+func (s *Solver) SetRecorder(rec *telemetry.Recorder) {
+	s.Cfg.Rec = rec
+	if s.Cl != nil {
+		s.Cl.Rec = rec
+	}
 }
 
 func (s *Solver) prior() costmodel.Coefficients {
@@ -189,28 +205,68 @@ type StepTimes struct {
 	GPUTime float64
 	Compute float64
 	Counts  costmodel.Counts
+	// Host breaks the solve's host wall clock into list/far/near phases.
+	Host telemetry.HostPhases
 }
 
 // Solve computes velocities (into Sys.Acc) from the forces in Sys.Aux and
 // returns the virtual step timing.
 func (s *Solver) Solve() StepTimes {
+	rec := s.Cfg.Rec
+	wallTimer := sched.StartTimer()
+	solveTok := rec.Begin(telemetry.SpanSolve, 0)
 	t := s.Tree
+
+	ls0 := t.ListBuildStats()
+	listTimer := sched.StartTimer()
 	t.BuildLists()
+	listDur := listTimer.Elapsed()
+	if rec.Enabled() {
+		ld := t.ListBuildStats().Sub(ls0)
+		kind := telemetry.SpanListSkip
+		switch {
+		case ld.FullBuilds > 0:
+			kind = telemetry.SpanListFull
+		case ld.Repairs > 0:
+			kind = telemetry.SpanListRepair
+		}
+		rec.AddSpan(kind, 0, listTimer.StartTime(), listDur)
+		rec.SetLists(telemetry.ListDelta{
+			Full: ld.FullBuilds, Repairs: ld.Repairs, Skips: ld.Skips, Pairs: ld.Pairs,
+		})
+	}
+	prepTimer := sched.StartTimer()
 	s.Sys.ResetAccumulators()
 	s.ensureSlabs()
+	rec.AddSpan(telemetry.SpanPrep, 0, prepTimer.StartTime(), prepTimer.Elapsed())
 
 	var gpuTime float64
+	var nearDur time.Duration
+	nearTimer := sched.StartTimer()
 	if s.Cl != nil {
 		s.Cl.Partition(t)
 		gpuTime = s.Cl.ExecuteParallel(t, s.p2pPair, s.Cfg.Pool)
+		nearDur = nearTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanNearExec, 0, nearTimer.StartTime(), nearDur)
 	} else {
 		s.runCPUNearField()
+		nearDur = nearTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanNearCPU, 0, nearTimer.StartTime(), nearDur)
 	}
+	var farDur time.Duration
 	if !s.Cfg.SkipFarField {
+		upTimer := sched.StartTimer()
 		s.upSweep()
+		upDur := upTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanUpSweep, 0, upTimer.StartTime(), upDur)
+		downTimer := sched.StartTimer()
 		s.downSweep()
+		downDur := downTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
+		farDur = upDur + downDur
 	}
 
+	graphTimer := sched.StartTimer()
 	counts := costmodel.FromTree(t.CountOps())
 	graph := vcpu.BuildFMMGraph(t, s.Cfg.CPU.Base, vcpu.FMMGraphOptions{
 		IncludeP2P:     s.Cl == nil,
@@ -218,11 +274,15 @@ func (s *Solver) Solve() StepTimes {
 		P2PCostFactor: float64(kernels.FlopsPerStokesletInteraction) /
 			float64(kernels.FlopsPerGravityInteraction),
 	})
+	rec.AddSpan(telemetry.SpanGraph, 0, graphTimer.StartTime(), graphTimer.Elapsed())
+	simTok := rec.Begin(telemetry.SpanVCPUSim, 0)
 	res := s.Cfg.CPU.Simulate(graph)
+	rec.End(simTok)
 
 	st := StepTimes{CPUTime: res.Makespan, GPUTime: gpuTime, Counts: counts}
 	st.Compute = math.Max(st.CPUTime, st.GPUTime)
 
+	obsTimer := sched.StartTimer()
 	var obs costmodel.Observation
 	obs.Counts = counts
 	var opBusy float64
@@ -241,6 +301,26 @@ func (s *Solver) Solve() StepTimes {
 		obs.Time[costmodel.P2P] = gpuTime
 	}
 	s.Model.Observe(obs)
+	rec.AddSpan(telemetry.SpanObserve, 0, obsTimer.StartTime(), obsTimer.Elapsed())
+
+	if rec.Enabled() {
+		var c64 [telemetry.NumOps]int64
+		var opTime, coef [telemetry.NumOps]float64
+		for op := costmodel.Op(0); op < costmodel.NumOps; op++ {
+			c64[op] = counts[op]
+			opTime[op] = obs.Time[op]
+			coef[op] = s.Model.Coef[op]
+		}
+		rec.SetOps(c64, opTime, coef)
+		rec.SetSolveTimes(st.CPUTime, st.GPUTime, res.Efficiency(s.Cfg.CPU.Cores), 0)
+		if s.Cl != nil {
+			for _, d := range s.Cl.Devices {
+				rec.AddDevice(d.KernelTime, d.Interactions, d.HostTime)
+			}
+		}
+	}
+	st.Host = telemetry.HostPhases{List: listDur, Far: farDur, Near: nearDur, Wall: wallTimer.Elapsed()}
+	rec.End(solveTok)
 	return st
 }
 

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: renders retained step records as a JSON
+// object Perfetto and chrome://tracing load directly. Every span becomes
+// a "complete" ("ph":"X") event with microsecond timestamps relative to
+// the recorder's creation; host phases live on one track, balancer
+// activity on a second, each virtual device on its own, so one step reads
+// as a stacked timeline. Counter ("ph":"C") events chart S and the
+// virtual CPU/GPU times across the run.
+
+const (
+	chromePID     = 1
+	chromeTIDHost = 1
+	chromeTIDBal  = 2
+	// Device tracks start here; device i renders on chromeTIDDev + i.
+	chromeTIDDev = 100
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func spanTID(k SpanKind, arg int32) int {
+	switch k {
+	case SpanDeviceP2P:
+		return chromeTIDDev + int(arg)
+	case SpanBalance, SpanPredict, SpanFineGrain, SpanTreeBuild, SpanEnforceS:
+		return chromeTIDBal
+	}
+	return chromeTIDHost
+}
+
+func spanName(k SpanKind, arg int32) string {
+	switch k {
+	case SpanUpLevel, SpanDownLevel:
+		return fmt.Sprintf("%s %d", k, arg)
+	case SpanDeviceP2P:
+		return "p2p kernel"
+	}
+	return k.String()
+}
+
+// WriteChromeTrace writes the records as a Chrome trace_event JSON
+// object. Records come from Recorder.Steps (Options.Keep must be set).
+func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
+	events := []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: chromePID, Args: map[string]any{"name": "afmm"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDHost, Args: map[string]any{"name": "host"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDBal, Args: map[string]any{"name": "balancer"}},
+	}
+	maxDev := 0
+	for i := range steps {
+		if n := len(steps[i].Devices); n > maxDev {
+			maxDev = n
+		}
+	}
+	for d := 0; d < maxDev; d++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDDev + d,
+			Args: map[string]any{"name": fmt.Sprintf("gpu[%d]", d)},
+		})
+	}
+	for i := range steps {
+		rec := &steps[i]
+		base := float64(rec.StartNs) / 1e3
+		events = append(events, chromeEvent{
+			Name: fmt.Sprintf("step %d", rec.Step),
+			Ph:   "X", PID: chromePID, TID: chromeTIDHost,
+			TS: base, Dur: float64(rec.WallNs) / 1e3, Cat: "step",
+			Args: map[string]any{
+				"s": rec.S, "state": rec.State,
+				"cpu": rec.CPU, "gpu": rec.GPU, "compute": rec.Compute,
+			},
+		})
+		for _, sp := range rec.Spans {
+			events = append(events, chromeEvent{
+				Name: spanName(sp.Kind, sp.Arg),
+				Ph:   "X", PID: chromePID, TID: spanTID(sp.Kind, sp.Arg),
+				TS:  base + float64(sp.StartNs)/1e3,
+				Dur: float64(sp.DurNs) / 1e3,
+				Cat: "phase",
+			})
+		}
+		for _, ev := range rec.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Kind.String(),
+				Ph:   "i", PID: chromePID, TID: chromeTIDBal,
+				TS: base, Cat: "balancer",
+				Args: map[string]any{"a": ev.A, "b": ev.B, "fa": ev.FA, "fb": ev.FB},
+			})
+		}
+		events = append(events,
+			chromeEvent{Name: "S", Ph: "C", PID: chromePID, TID: chromeTIDHost, TS: base,
+				Args: map[string]any{"S": rec.S}},
+			chromeEvent{Name: "virtual time", Ph: "C", PID: chromePID, TID: chromeTIDHost, TS: base,
+				Args: map[string]any{"cpu": rec.CPU, "gpu": rec.GPU}},
+		)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteChrome writes the recorder's retained records (Options.Keep) as a
+// Chrome trace.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return WriteChromeTrace(w, r.Steps())
+}

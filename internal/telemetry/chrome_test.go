@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := New(Options{Keep: true})
+	for step := 0; step < 2; step++ {
+		r.StartStep(step)
+		r.SetStepInfo(step, 64, "search")
+		r.SetSolveTimes(1, 2, 0, 0)
+		r.AddSpan(SpanUpSweep, 0, time.Now(), time.Millisecond)
+		r.AddSpan(SpanUpLevel, 3, time.Now(), time.Microsecond)
+		r.AddSpan(SpanDeviceP2P, 1, time.Now(), time.Microsecond)
+		r.AddSpan(SpanTreeBuild, 64, time.Now(), time.Microsecond)
+		r.EmitEvent(EventSChange, 32, 64, 0, 0)
+		r.EndStep()
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var sawMeta, sawStep, sawSpan, sawLevel, sawDevice, sawBalancerTid, sawInstant, sawCounter bool
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		switch ph {
+		case "M":
+			sawMeta = true
+		case "X":
+			switch {
+			case name == "step 0" || name == "step 1":
+				sawStep = true
+			case name == "far.up":
+				sawSpan = true
+			case name == "far.up.level 3":
+				sawLevel = true
+			case name == "p2p kernel":
+				sawDevice = true
+				if tid, _ := ev["tid"].(float64); tid != 101 {
+					t.Fatalf("device span on tid %v, want 101", ev["tid"])
+				}
+			case name == "tree.build":
+				if tid, _ := ev["tid"].(float64); tid != chromeTIDBal {
+					t.Fatalf("tree.build on tid %v, want balancer tid %d", ev["tid"], chromeTIDBal)
+				}
+				sawBalancerTid = true
+			}
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("X event without dur: %v", ev)
+			}
+		case "i":
+			sawInstant = true
+		case "C":
+			sawCounter = true
+		}
+	}
+	if !sawMeta || !sawStep || !sawSpan || !sawLevel || !sawDevice || !sawBalancerTid || !sawInstant || !sawCounter {
+		t.Fatalf("missing event classes: meta=%v step=%v span=%v level=%v device=%v bal=%v instant=%v counter=%v",
+			sawMeta, sawStep, sawSpan, sawLevel, sawDevice, sawBalancerTid, sawInstant, sawCounter)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("empty trace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty chrome trace is not JSON: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Live debug server: expvar + net/http/pprof on a private mux, so the
+// solver process can be inspected mid-run (-debug-addr on the cmd tools)
+// without registering handlers on http.DefaultServeMux.
+
+var (
+	debugRec      atomic.Pointer[Recorder]
+	expvarPublish sync.Once
+)
+
+// DebugSnapshot returns the recorder's current aggregate view: steps
+// completed, sink error (if any), and the most recent step record. It is
+// what the expvar "afmm_telemetry" var serves.
+func (r *Recorder) DebugSnapshot() map[string]any {
+	if r == nil {
+		return map[string]any{"enabled": false}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := map[string]any{
+		"enabled":    true,
+		"steps_done": r.stepsDone,
+	}
+	if r.err != nil {
+		snap["sink_error"] = r.err.Error()
+	}
+	if r.hasLast {
+		snap["last_step"] = r.last
+	}
+	return snap
+}
+
+// ServeDebug starts an HTTP server on addr exposing /debug/vars (expvar,
+// including the recorder snapshot as "afmm_telemetry") and /debug/pprof.
+// It returns the listening address (useful with ":0") and the server for
+// Close. The recorder becomes the one served by the snapshot var; pass
+// nil to expose only pprof and the standard expvars.
+func ServeDebug(addr string, rec *Recorder) (string, *http.Server, error) {
+	debugRec.Store(rec)
+	expvarPublish.Do(func() {
+		expvar.Publish("afmm_telemetry", expvar.Func(func() any {
+			return debugRec.Load().DebugSnapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close.
+	return ln.Addr().String(), srv, nil
+}

@@ -1,0 +1,658 @@
+// Package telemetry is the step-trace observability layer of the
+// reproduction: a low-overhead recorder that captures, per simulation
+// step, (a) host wall-clock spans for every phase and operator group —
+// tree build/refill, interaction-list skip/repair/full-build, the
+// up/down-sweep levels, the CPU near field, per-device P2P kernels, and
+// the balancer's Collapse/PushDown/EnforceS edits; (b) typed balancer
+// events (state transitions, S changes, predicted-vs-actual compute
+// times, regression triggers); (c) per-worker busy time from the sched
+// pool; and (d) the cost-model observation of the step (operation
+// counts, attributed times, fitted coefficients), so predictor drift is
+// plottable across a trajectory.
+//
+// A nil *Recorder is valid everywhere and compiles to no-ops, so the
+// solver hot paths carry no tracing cost when telemetry is off. With a
+// recorder attached the per-span cost is two time.Now calls and one
+// mutex-guarded append into a preallocated buffer; the only allocating
+// work (JSON encoding) happens once per step in EndStep, off the solver
+// hot path.
+//
+// Sinks: JSONL step records (Options.JSONL, one record per line), a
+// Chrome trace_event export for about:tracing / Perfetto (WriteChrome),
+// and a live expvar + net/http/pprof debug server (ServeDebug). See
+// docs/OBSERVABILITY.md for the record schema.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// NumOps mirrors costmodel.NumOps: the six FMM operations in canonical
+// order P2M, M2M, M2L, L2L, L2P, P2P. The telemetry package keeps its own
+// constant (and no costmodel import) so it depends only on the standard
+// library and can be threaded through every layer without cycles.
+const NumOps = 6
+
+// OpNames are the canonical operation names, indexing Counts/OpTime/Coef.
+var OpNames = [NumOps]string{"P2M", "M2M", "M2L", "L2L", "L2P", "P2P"}
+
+// SpanKind identifies an instrumented phase or operator group.
+type SpanKind uint8
+
+// The instrumented span kinds. Top-level phases tile a step without
+// overlap; the remaining kinds nest inside them (levels inside sweeps,
+// device kernels inside the near-field execution, tree edits inside the
+// balance phase).
+const (
+	// SpanSolve covers one whole Solve call (parent of the solve phases).
+	SpanSolve SpanKind = iota
+	// SpanPrep is accumulator reset + expansion-slab preparation.
+	SpanPrep
+	// SpanTreeBuild is a full Rebuild (balancer Search/Incremental states).
+	SpanTreeBuild
+	// SpanRefill is the per-step re-binning of moved bodies.
+	SpanRefill
+	// SpanEnforceS is the Enforce_S invariant restoration.
+	SpanEnforceS
+	// SpanListFull / SpanListRepair / SpanListSkip classify what BuildLists
+	// did, from the ListStats delta: full dual traversal, local repair, or
+	// cache hit.
+	SpanListFull
+	SpanListRepair
+	SpanListSkip
+	// SpanUpSweep / SpanDownSweep cover the far-field host sweeps;
+	// SpanUpLevel / SpanDownLevel nest inside them with Arg = level.
+	SpanUpSweep
+	SpanDownSweep
+	SpanUpLevel
+	SpanDownLevel
+	// SpanNearCPU is the host near field (CPU-only configurations);
+	// SpanNearExec is the device partition + parallel kernel execution,
+	// with SpanDeviceP2P nested per device (Arg = device id).
+	SpanNearCPU
+	SpanNearExec
+	SpanDeviceP2P
+	// SpanGraph is operation counting + task-graph construction;
+	// SpanVCPUSim the virtual-CPU schedule replay; SpanObserve the
+	// cost-model coefficient fold.
+	SpanGraph
+	SpanVCPUSim
+	SpanObserve
+	// SpanIntegrate is the position update; SpanForces the Stokes boundary
+	// force accumulation.
+	SpanIntegrate
+	SpanForces
+	// SpanBalance covers Balancer.AfterStep; SpanPredict and SpanFineGrain
+	// nest inside it.
+	SpanBalance
+	SpanPredict
+	SpanFineGrain
+	numSpanKinds
+)
+
+var spanNames = [numSpanKinds]string{
+	SpanSolve:      "solve",
+	SpanPrep:       "prep",
+	SpanTreeBuild:  "tree.build",
+	SpanRefill:     "tree.refill",
+	SpanEnforceS:   "tree.enforceS",
+	SpanListFull:   "list.full",
+	SpanListRepair: "list.repair",
+	SpanListSkip:   "list.skip",
+	SpanUpSweep:    "far.up",
+	SpanDownSweep:  "far.down",
+	SpanUpLevel:    "far.up.level",
+	SpanDownLevel:  "far.down.level",
+	SpanNearCPU:    "near.cpu",
+	SpanNearExec:   "near.exec",
+	SpanDeviceP2P:  "near.gpu",
+	SpanGraph:      "vm.graph",
+	SpanVCPUSim:    "vm.sim",
+	SpanObserve:    "vm.observe",
+	SpanIntegrate:  "integrate",
+	SpanForces:     "forces",
+	SpanBalance:    "balance",
+	SpanPredict:    "balance.predict",
+	SpanFineGrain:  "balance.finegrain",
+}
+
+func (k SpanKind) String() string {
+	if int(k) < len(spanNames) && spanNames[k] != "" {
+		return spanNames[k]
+	}
+	return fmt.Sprintf("span(%d)", int(k))
+}
+
+// TopLevel reports whether the kind belongs to the non-overlapping phase
+// set that tiles a step: summing the durations of the top-level spans of
+// one record approximates the step's wall clock (the acceptance check is
+// within 5%). Parent spans (SpanSolve, SpanBalance) and nested spans
+// (levels, devices, balancer sub-operations) are excluded.
+func (k SpanKind) TopLevel() bool {
+	switch k {
+	case SpanPrep, SpanRefill, SpanListFull, SpanListRepair, SpanListSkip,
+		SpanUpSweep, SpanDownSweep, SpanNearCPU, SpanNearExec,
+		SpanGraph, SpanVCPUSim, SpanObserve, SpanIntegrate, SpanForces,
+		SpanBalance:
+		return true
+	}
+	return false
+}
+
+// Span is one timed interval. StartNs is relative to the step start.
+type Span struct {
+	Kind    SpanKind
+	Arg     int32
+	StartNs int64
+	DurNs   int64
+}
+
+// MarshalJSON emits the span with its symbolic kind name.
+func (s Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		K   string `json:"k"`
+		Arg int32  `json:"arg,omitempty"`
+		T   int64  `json:"t"`
+		D   int64  `json:"d"`
+	}{s.Kind.String(), s.Arg, s.StartNs, s.DurNs})
+}
+
+// EventKind identifies a balancer event.
+type EventKind uint8
+
+// Balancer event kinds. The A/B integer and FA/FB float payloads are
+// per-kind (documented on each constant).
+const (
+	// EventState is a state transition: A = from, B = to (balance.State
+	// integer values, rendered in Msg-free form by consumers).
+	EventState EventKind = iota
+	// EventSChange: A = old S, B = new S.
+	EventSChange
+	// EventRebuild: A = S the tree was rebuilt with.
+	EventRebuild
+	// EventSearchProbe: A = next probe S of the binary search.
+	EventSearchProbe
+	// EventNudge: A = old S, B = new S (incremental state).
+	EventNudge
+	// EventDomFlip: A = previous dominant unit, B = new (+1 CPU, -1 GPU).
+	EventDomFlip
+	// EventRegression: FA = observed compute time, FB = best seen.
+	EventRegression
+	// EventPrediction: FA = predicted compute time, FB = the reference it
+	// was compared against (the regression threshold baseline).
+	EventPrediction
+	// EventEnforceS: A = collapses, B = pushdowns performed.
+	EventEnforceS
+	// EventFineGrain: A = batch node count, FA = predicted compute after
+	// the batch.
+	EventFineGrain
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	EventState:       "state",
+	EventSChange:     "s_change",
+	EventRebuild:     "rebuild",
+	EventSearchProbe: "search_probe",
+	EventNudge:       "nudge",
+	EventDomFlip:     "dom_flip",
+	EventRegression:  "regression",
+	EventPrediction:  "prediction",
+	EventEnforceS:    "enforce_s",
+	EventFineGrain:   "fine_grain",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) && eventNames[k] != "" {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one balancer decision record.
+type Event struct {
+	Kind   EventKind
+	A, B   int64
+	FA, FB float64
+}
+
+// MarshalJSON emits the event with its symbolic kind name.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		K  string  `json:"k"`
+		A  int64   `json:"a,omitempty"`
+		B  int64   `json:"b,omitempty"`
+		FA float64 `json:"fa,omitempty"`
+		FB float64 `json:"fb,omitempty"`
+	}{e.Kind.String(), e.A, e.B, e.FA, e.FB})
+}
+
+// HostPhases is the host wall-clock breakdown a solver reports for one
+// Solve call, surfaced through core.StepTimes / stokes.StepTimes so step
+// loops need not own a recorder to see where the time went.
+type HostPhases struct {
+	List time.Duration // interaction-list build/repair/skip
+	Far  time.Duration // up + down sweeps
+	Near time.Duration // CPU near field or device execution
+	Wall time.Duration // whole Solve call
+}
+
+// ListDelta is one step's interaction-list activity (the octree.ListStats
+// delta taken across the step's BuildLists call).
+type ListDelta struct {
+	Full    int   `json:"full"`
+	Repairs int   `json:"repairs"`
+	Skips   int   `json:"skips"`
+	Pairs   int64 `json:"pairs"`
+}
+
+// DeviceSample is one device's kernel result for the step.
+type DeviceSample struct {
+	Kernel       float64 `json:"kernel"` // virtual kernel seconds
+	Interactions int64   `json:"interactions"`
+	HostNs       int64   `json:"host_ns"` // host wall time of the numeric execution
+}
+
+// StepRecord is the per-step trace record — one JSON line per step in the
+// JSONL sink. Counts/OpTime/Coef are indexed by OpNames.
+type StepRecord struct {
+	Step    int     `json:"step"`
+	S       int     `json:"s"`
+	State   string  `json:"state,omitempty"`
+	CPU     float64 `json:"cpu"`     // virtual far-field makespan
+	GPU     float64 `json:"gpu"`     // virtual max device kernel time
+	Compute float64 `json:"compute"` // max(CPU, GPU)
+	LB      float64 `json:"lb"`      // virtual balancing time
+	Refill  float64 `json:"refill"`  // virtual refill cost
+	Total   float64 `json:"total"`   // compute + lb + refill
+	CPUEff  float64 `json:"cpu_eff,omitempty"`
+	GPUEff  float64 `json:"gpu_eff,omitempty"`
+
+	StartNs int64 `json:"start_ns"` // step start since recorder creation
+	WallNs  int64 `json:"wall_ns"`  // host wall clock of the step
+
+	Counts [NumOps]int64   `json:"counts"`
+	OpTime [NumOps]float64 `json:"op_time"` // observed attributed seconds
+	Coef   [NumOps]float64 `json:"coef"`    // fitted coefficients after the fold
+
+	PredCPU float64 `json:"pred_cpu,omitempty"`
+	PredGPU float64 `json:"pred_gpu,omitempty"`
+
+	Devices      []DeviceSample `json:"devices,omitempty"`
+	WorkerBusyNs []int64        `json:"worker_busy_ns,omitempty"` // per pool slot; last entry = inline bucket
+	Lists        ListDelta      `json:"lists"`
+	Collapses    int            `json:"collapses,omitempty"`
+	Pushdowns    int            `json:"pushdowns,omitempty"`
+
+	Spans  []Span  `json:"spans,omitempty"`
+	Events []Event `json:"events,omitempty"`
+}
+
+// PhaseNs sums the record's top-level phase spans (see SpanKind.TopLevel);
+// comparing it against WallNs measures trace coverage.
+func (r *StepRecord) PhaseNs() int64 {
+	var sum int64
+	for _, s := range r.Spans {
+		if s.Kind.TopLevel() {
+			sum += s.DurNs
+		}
+	}
+	return sum
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// JSONL, when non-nil, receives one JSON-encoded StepRecord per line
+	// at every EndStep.
+	JSONL io.Writer
+	// Keep retains every finalized StepRecord in memory (required for
+	// WriteChrome and for tests that inspect whole runs).
+	Keep bool
+	// SpanCap presizes the span buffer (default 256).
+	SpanCap int
+}
+
+// Recorder collects one step at a time. All methods are safe for
+// concurrent use (device kernels emit spans from pool goroutines) and all
+// are no-ops on a nil receiver.
+type Recorder struct {
+	mu        sync.Mutex
+	opts      Options
+	origin    time.Time
+	stepStart time.Time
+	inStep    bool
+	autoStep  int
+	cur       StepRecord
+	spanBuf   []Span
+	eventBuf  []Event
+	devBuf    []DeviceSample
+	busyBuf   []int64
+	kept      []StepRecord
+	last      StepRecord
+	hasLast   bool
+	stepsDone int64
+	err       error
+}
+
+// New creates a recorder.
+func New(opts Options) *Recorder {
+	if opts.SpanCap <= 0 {
+		opts.SpanCap = 256
+	}
+	return &Recorder{
+		opts:     opts,
+		origin:   time.Now(),
+		spanBuf:  make([]Span, 0, opts.SpanCap),
+		eventBuf: make([]Event, 0, 32),
+	}
+}
+
+// Enabled reports whether the recorder is non-nil (for call sites that
+// want to skip snapshot work entirely when telemetry is off).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// StartStep begins a new step record. If a step is already open it is
+// finalized first, so a missing EndStep cannot corrupt the trace.
+func (r *Recorder) StartStep(step int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.inStep {
+		r.endStepLocked()
+	}
+	r.startStepLocked(step)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) startStepLocked(step int) {
+	r.stepStart = time.Now()
+	r.inStep = true
+	r.autoStep = step + 1
+	r.cur = StepRecord{
+		Step:    step,
+		StartNs: r.stepStart.Sub(r.origin).Nanoseconds(),
+		Spans:   r.spanBuf[:0],
+		Events:  r.eventBuf[:0],
+		Devices: r.devBuf[:0],
+	}
+}
+
+// ensureStepLocked auto-opens a step for spans emitted outside an explicit
+// StartStep/EndStep bracket (e.g. a bare Solve call under a recorder).
+func (r *Recorder) ensureStepLocked() {
+	if !r.inStep {
+		r.startStepLocked(r.autoStep)
+	}
+}
+
+// EndStep finalizes the current record: stamps the wall clock, writes the
+// JSONL line, and retains the record (Keep) / the last-record snapshot.
+func (r *Recorder) EndStep() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.inStep {
+		r.endStepLocked()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) endStepLocked() {
+	r.cur.WallNs = time.Since(r.stepStart).Nanoseconds()
+	if r.cur.Compute == 0 {
+		r.cur.Compute = maxf(r.cur.CPU, r.cur.GPU)
+	}
+	r.cur.Total = r.cur.Compute + r.cur.LB + r.cur.Refill
+	r.inStep = false
+	r.stepsDone++
+	// Recycle the buffers; deep-copy what outlives the step.
+	r.spanBuf = r.cur.Spans[:0]
+	r.eventBuf = r.cur.Events[:0]
+	r.devBuf = r.cur.Devices[:0]
+	if r.opts.JSONL != nil {
+		b, err := json.Marshal(&r.cur)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = r.opts.JSONL.Write(b)
+		}
+		if err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	snap := r.cur
+	snap.Spans = append([]Span(nil), r.cur.Spans...)
+	snap.Events = append([]Event(nil), r.cur.Events...)
+	snap.Devices = append([]DeviceSample(nil), r.cur.Devices...)
+	snap.WorkerBusyNs = append([]int64(nil), r.cur.WorkerBusyNs...)
+	r.last = snap
+	r.hasLast = true
+	if r.opts.Keep {
+		r.kept = append(r.kept, snap)
+	}
+}
+
+// Token is an open span handle returned by Begin. The zero Token (and any
+// Token from a nil recorder) is inert.
+type Token struct {
+	kind  SpanKind
+	arg   int32
+	start time.Time
+}
+
+// Begin opens a span. End (or EndAs) closes it.
+func (r *Recorder) Begin(kind SpanKind, arg int32) Token {
+	if r == nil {
+		return Token{}
+	}
+	return Token{kind: kind, arg: arg, start: time.Now()}
+}
+
+// End closes a span opened by Begin.
+func (r *Recorder) End(t Token) { r.EndAs(t, t.kind) }
+
+// EndAs closes a span under a different kind than it was opened with —
+// used when the kind is only known afterwards (list build classification).
+func (r *Recorder) EndAs(t Token, kind SpanKind) {
+	if r == nil || t.start.IsZero() {
+		return
+	}
+	r.AddSpan(kind, t.arg, t.start, time.Since(t.start))
+}
+
+// AddSpan records a completed interval measured by the caller.
+func (r *Recorder) AddSpan(kind SpanKind, arg int32, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Spans = append(r.cur.Spans, Span{
+		Kind:    kind,
+		Arg:     arg,
+		StartNs: start.Sub(r.stepStart).Nanoseconds(),
+		DurNs:   dur.Nanoseconds(),
+	})
+	r.mu.Unlock()
+}
+
+// EmitEvent records a balancer event.
+func (r *Recorder) EmitEvent(kind EventKind, a, b int64, fa, fb float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Events = append(r.cur.Events, Event{Kind: kind, A: a, B: b, FA: fa, FB: fb})
+	r.mu.Unlock()
+}
+
+// SetStepInfo stamps the step identity fields.
+func (r *Recorder) SetStepInfo(step, s int, state string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Step = step
+	r.cur.S = s
+	r.cur.State = state
+	r.mu.Unlock()
+}
+
+// SetSolveTimes records the virtual-machine timing of the step's solve.
+func (r *Recorder) SetSolveTimes(cpu, gpu, cpuEff, gpuEff float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.CPU = cpu
+	r.cur.GPU = gpu
+	r.cur.Compute = maxf(cpu, gpu)
+	r.cur.CPUEff = cpuEff
+	r.cur.GPUEff = gpuEff
+	r.mu.Unlock()
+}
+
+// SetBalance records the virtual balancing and refill costs.
+func (r *Recorder) SetBalance(lb, refill float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.LB = lb
+	r.cur.Refill = refill
+	r.mu.Unlock()
+}
+
+// SetOps records the step's cost-model observation: operation counts, the
+// attributed per-operation times, and the fitted coefficients after the
+// fold (OpNames order).
+func (r *Recorder) SetOps(counts [NumOps]int64, opTime, coef [NumOps]float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Counts = counts
+	r.cur.OpTime = opTime
+	r.cur.Coef = coef
+	r.mu.Unlock()
+}
+
+// SetPrediction records the model's pre-solve prediction, for
+// predicted-vs-actual drift plots.
+func (r *Recorder) SetPrediction(cpu, gpu float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.PredCPU = cpu
+	r.cur.PredGPU = gpu
+	r.mu.Unlock()
+}
+
+// AddDevice records one device's kernel result.
+func (r *Recorder) AddDevice(kernel float64, interactions int64, host time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Devices = append(r.cur.Devices, DeviceSample{
+		Kernel: kernel, Interactions: interactions, HostNs: host.Nanoseconds(),
+	})
+	r.mu.Unlock()
+}
+
+// SetWorkerBusy records the per-worker busy-time deltas of the step (ns
+// per pool slot; by convention the last entry is the inline-execution
+// bucket). The slice is copied into a reused buffer.
+func (r *Recorder) SetWorkerBusy(busyNs []int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.busyBuf = append(r.busyBuf[:0], busyNs...)
+	r.cur.WorkerBusyNs = r.busyBuf
+	r.mu.Unlock()
+}
+
+// SetLists records the step's interaction-list activity delta.
+func (r *Recorder) SetLists(d ListDelta) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Lists = d
+	r.mu.Unlock()
+}
+
+// AddTreeEdits accumulates Collapse/PushDown counts performed this step.
+func (r *Recorder) AddTreeEdits(collapses, pushdowns int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Collapses += collapses
+	r.cur.Pushdowns += pushdowns
+	r.mu.Unlock()
+}
+
+// Last returns a copy of the most recently finalized record.
+func (r *Recorder) Last() (StepRecord, bool) {
+	if r == nil {
+		return StepRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last, r.hasLast
+}
+
+// Steps returns the retained records (Options.Keep).
+func (r *Recorder) Steps() []StepRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kept
+}
+
+// StepsDone returns the number of finalized steps.
+func (r *Recorder) StepsDone() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stepsDone
+}
+
+// Err returns the first sink write/encode error, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"afmm/internal/octree"
 	"afmm/internal/sched"
+	"afmm/internal/telemetry"
 )
 
 // Spec describes one simulated device. The defaults approximate a Tesla
@@ -69,6 +71,9 @@ func DefaultSpec() Spec {
 // Device is one simulated GPU plus its current work assignment.
 type Device struct {
 	Spec Spec
+	// ID is the device's index in its cluster (used as the span argument
+	// on per-device telemetry; zero for standalone devices).
+	ID int
 	// Targets are the visible leaf nodes whose near field this device
 	// computes.
 	Targets []int32
@@ -83,6 +88,9 @@ type Device struct {
 	Interactions int64   // useful body-body interactions executed
 	SlotWork     int64   // lane-slot interactions incl. idle lanes
 	Warps        int64
+	// HostTime is the host wall clock of the last run's numeric execution
+	// (the real cost of simulating this device's kernel).
+	HostTime time.Duration
 }
 
 // Efficiency returns useful / slot interactions of the last kernel — the
@@ -114,6 +122,10 @@ func ScaledSpec(scale float64) Spec {
 // Cluster is the set of devices on the node.
 type Cluster struct {
 	Devices []*Device
+	// Rec, when non-nil, receives one SpanDeviceP2P span per device per
+	// Execute (Arg = device ID). Devices run concurrently under
+	// ExecuteParallel; the recorder is safe for that.
+	Rec *telemetry.Recorder
 }
 
 // NewCluster creates n devices with the given spec.
@@ -122,7 +134,7 @@ func NewCluster(n int, spec Spec) *Cluster {
 	for i := 0; i < n; i++ {
 		s := spec
 		s.Name = fmt.Sprintf("%s[%d]", spec.Name, i)
-		c.Devices = append(c.Devices, &Device{Spec: s})
+		c.Devices = append(c.Devices, &Device{Spec: s, ID: i})
 	}
 	return c
 }
@@ -243,7 +255,7 @@ func (c *Cluster) Execute(t *octree.Tree, fn P2PFunc) float64 {
 	sch := c.schedule(t)
 	var maxTime float64
 	for _, d := range c.Devices {
-		d.run(t, sch, fn)
+		d.run(t, sch, fn, c.Rec)
 		if d.KernelTime > maxTime {
 			maxTime = d.KernelTime
 		}
@@ -263,7 +275,7 @@ func (c *Cluster) ExecuteParallel(t *octree.Tree, fn P2PFunc, pool *sched.Pool) 
 	g := pool.NewGroup()
 	for _, d := range c.Devices {
 		d := d
-		g.Spawn(func() { d.run(t, sch, fn) })
+		g.Spawn(func() { d.run(t, sch, fn, c.Rec) })
 	}
 	g.Wait()
 	return c.MaxKernelTime()
@@ -290,7 +302,12 @@ func (c *Cluster) TotalInteractions() int64 {
 	return n
 }
 
-func (d *Device) run(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc) {
+func (d *Device) run(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc, rec *telemetry.Recorder) {
+	hostTimer := sched.StartTimer()
+	defer func() {
+		d.HostTime = hostTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanDeviceP2P, int32(d.ID), hostTimer.StartTime(), d.HostTime)
+	}()
 	spec := d.Spec
 	d.Interactions = 0
 	d.SlotWork = 0
