@@ -119,6 +119,9 @@ type (
 	Boundary = stokes.Boundary
 	// SweepMode selects the host execution of the far-field sweeps.
 	SweepMode = core.SweepMode
+	// OverlapMode selects whether a solve runs its near-field sweep
+	// concurrently with the far-field phases.
+	OverlapMode = core.OverlapMode
 )
 
 // Sweep modes for GravityConfig.SweepMode / StokesConfig.SweepMode.
@@ -128,6 +131,15 @@ const (
 	SweepLevelSync = core.SweepLevelSync
 	// SweepRecursive is the legacy task-per-node recursive traversal.
 	SweepRecursive = core.SweepRecursive
+)
+
+// Overlap modes for GravityConfig.Overlap / StokesConfig.Overlap.
+const (
+	// OverlapAuto (the default) overlaps near and far phases on eligible
+	// solves; results stay bit-identical to the sequential order.
+	OverlapAuto = core.OverlapAuto
+	// OverlapOff forces the sequential near-then-far execution.
+	OverlapOff = core.OverlapOff
 )
 
 // NewGravitySolver builds the AFMM over the system's bodies.

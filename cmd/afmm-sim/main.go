@@ -29,6 +29,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write per-step JSONL trace to this file")
 	chromeFile := flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline (open in Perfetto) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar + net/http/pprof on this address (e.g. localhost:6060)")
+	noOverlap := flag.Bool("no-overlap", false, "run near and far phases sequentially instead of overlapped (results are bit-identical either way)")
 	flag.Parse()
 
 	var sys *afmm.System
@@ -58,6 +59,9 @@ func main() {
 		S:       *s,
 		NumGPUs: *gpus,
 		Kernel:  afmm.GravityKernel{G: 1, Softening: *soft},
+	}
+	if *noOverlap {
+		cfg.Overlap = afmm.OverlapOff
 	}
 	cfg.CPU = afmm.DefaultCPU()
 	cfg.CPU.Cores = *cores

@@ -21,6 +21,7 @@ func main() {
 	gpus := flag.Int("gpus", 2, "simulated GPUs")
 	gpuscale := flag.Float64("gpuscale", 1.0/64, "device throughput derating")
 	traceFile := flag.String("trace", "", "write a JSONL trace of the tuning sweep (one record per S candidate) to this file")
+	noOverlap := flag.Bool("no-overlap", false, "run near and far phases sequentially instead of overlapped")
 	flag.Parse()
 
 	var sys *afmm.System
@@ -44,6 +45,9 @@ func main() {
 	}
 	machine.CPU = afmm.DefaultCPU()
 	machine.CPU.Cores = *cores
+	if *noOverlap {
+		machine.Overlap = afmm.OverlapOff
+	}
 
 	var rec *afmm.Recorder
 	if *traceFile != "" {

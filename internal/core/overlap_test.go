@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"afmm/internal/distrib"
+	"afmm/internal/geom"
+	"afmm/internal/particle"
+	"afmm/internal/sched"
+)
+
+// solveBoth runs the same problem with the near/far phases overlapped and
+// sequentially and returns both solvers after cfg.Solves solves. The two
+// systems start as clones, move identically between solves, so any
+// difference is the scheduler's.
+func overlapPair(t *testing.T, mut func(cfg *Config)) (ov, seq *Solver) {
+	t.Helper()
+	sysA := skewedSystem(1200, 7)
+	sysB := sysA.Clone()
+	// Explicit 4-worker pools: OverlapAuto declines on a 1-worker pool, and
+	// CI hosts may expose a single core — the test must exercise the real
+	// concurrent schedule everywhere.
+	cfgA := Config{P: 6, S: 24, Pool: sched.NewPool(4)}
+	cfgB := Config{P: 6, S: 24, Pool: sched.NewPool(4), Overlap: OverlapOff}
+	mut(&cfgA)
+	mut(&cfgB)
+	return NewSolver(sysA, cfgA), NewSolver(sysB, cfgB)
+}
+
+// assertBitIdentical compares the two systems' potentials and
+// accelerations with exact floating-point equality: the overlapped
+// schedule must not change a single ulp (ISSUE acceptance criterion).
+func assertBitIdentical(t *testing.T, ov, seq *particle.System) {
+	t.Helper()
+	phiA, phiB := ov.PhiInInputOrder(), seq.PhiInInputOrder()
+	accA, accB := ov.AccInInputOrder(), seq.AccInInputOrder()
+	for i := range phiA {
+		if phiA[i] != phiB[i] {
+			t.Fatalf("phi not bit-identical at body %d: %x vs %x", i, phiA[i], phiB[i])
+		}
+		if accA[i] != accB[i] {
+			t.Fatalf("acc not bit-identical at body %d: %v vs %v", i, accA[i], accB[i])
+		}
+	}
+}
+
+func TestOverlapBitIdenticalGravity(t *testing.T) {
+	// The overlapped solve (near field concurrent with the far-field up
+	// sweep and M2L, converging before L2P) must produce exactly the same
+	// floats as the sequential solve — near-field writes land in
+	// deterministic CSR-row order, the far field touches only expansion
+	// slabs until L2P, and L2P adds exactly one finalized-local
+	// contribution per body either way.
+	for _, tc := range []struct {
+		name string
+		mut  func(cfg *Config)
+	}{
+		{"cpu-only", func(cfg *Config) {}},
+		{"one-gpu", func(cfg *Config) { cfg.NumGPUs = 1 }},
+		{"two-gpus", func(cfg *Config) { cfg.NumGPUs = 2 }},
+		{"two-gpus-reserved", func(cfg *Config) { cfg.NumGPUs = 2; cfg.ReservedDrivers = 2 }},
+		{"gpu-no-reserve", func(cfg *Config) { cfg.NumGPUs = 1; cfg.ReservedDrivers = -1 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ov, seq := overlapPair(t, tc.mut)
+			ov.Solve()
+			seq.Solve()
+			assertBitIdentical(t, ov.Sys, seq.Sys)
+
+			// Identity must survive the balancer's tree edits: move both
+			// systems identically (same permutation history so far), refill,
+			// enforce S, and solve again.
+			move := func(sys *particle.System) {
+				for i := range sys.Pos {
+					d := sys.Pos[i].Scale(0.05)
+					sys.Pos[i] = sys.Pos[i].Add(geom.Vec3{X: d.Y, Y: -d.X, Z: d.Z * 0.5})
+				}
+			}
+			move(ov.Sys)
+			move(seq.Sys)
+			ov.Refill()
+			seq.Refill()
+			ov.EnforceS()
+			seq.EnforceS()
+			ov.Solve()
+			seq.Solve()
+			assertBitIdentical(t, ov.Sys, seq.Sys)
+		})
+	}
+}
+
+func TestOverlapReportsHostPhases(t *testing.T) {
+	ov, seq := overlapPair(t, func(cfg *Config) { cfg.NumGPUs = 1 })
+	stOv := ov.Solve()
+	stSeq := seq.Solve()
+	if !stOv.Host.Overlapped {
+		t.Fatalf("eligible overlapped solve did not report Overlapped")
+	}
+	if stOv.Host.SerialWall < stOv.Host.Wall {
+		t.Fatalf("overlapped serial-equivalent wall %v < wall %v",
+			stOv.Host.SerialWall, stOv.Host.Wall)
+	}
+	if stSeq.Host.Overlapped {
+		t.Fatalf("sequential solve reported Overlapped")
+	}
+	if stSeq.Host.SerialWall != stSeq.Host.Wall {
+		t.Fatalf("sequential SerialWall %v != Wall %v",
+			stSeq.Host.SerialWall, stSeq.Host.Wall)
+	}
+	// Reservation must be fully released after the solve: the pool accepts
+	// general work on every slot again.
+	if r := ov.Cfg.Pool.Reserved(); r != 0 {
+		t.Fatalf("pool still has %d reserved workers after Solve", r)
+	}
+}
+
+func TestOverlapIneligibleFallsBack(t *testing.T) {
+	// Recursive sweeps and dry (skip-everything) solves must run
+	// sequentially regardless of the Overlap knob.
+	sys := distrib.Plummer(500, 1, 1, 11)
+	s := NewSolver(sys, Config{P: 4, S: 32, SweepMode: SweepRecursive})
+	if st := s.Solve(); st.Host.Overlapped {
+		t.Fatalf("recursive sweep overlapped")
+	}
+	dry := NewSolver(distrib.Plummer(500, 1, 1, 11), Config{
+		P: 4, S: 32, SkipFarField: true, SkipNearField: true,
+	})
+	if st := dry.Solve(); st.Host.Overlapped {
+		t.Fatalf("dry solve overlapped")
+	}
+	// A 1-worker pool can only time-slice the two phases; auto declines.
+	one := NewSolver(distrib.Plummer(500, 1, 1, 11), Config{
+		P: 4, S: 32, Pool: sched.NewPool(1),
+	})
+	if st := one.Solve(); st.Host.Overlapped {
+		t.Fatalf("1-worker pool overlapped")
+	}
+}

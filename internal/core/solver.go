@@ -63,6 +63,24 @@ const (
 	SweepRecursive
 )
 
+// OverlapMode selects whether Solve executes the near-field sweep
+// concurrently with the far-field up-sweep and M2L work — the paper's
+// host-side CPU/GPU concurrency (§V): kernels are launched, the CPU runs
+// the expansion phases, and the blocking collect happens before the
+// leaf evaluation.
+type OverlapMode int
+
+const (
+	// OverlapAuto (the default) overlaps the phases whenever the solve is
+	// eligible: level-synchronous sweeps with both a near and a far phase
+	// present. Results are bit-identical to the sequential path — the
+	// phases converge before L2P, the only point where far-field values
+	// reach the body accumulators.
+	OverlapAuto OverlapMode = iota
+	// OverlapOff forces the sequential near-then-far execution.
+	OverlapOff
+)
+
 // Config assembles a solver.
 type Config struct {
 	// P is the number of retained expansion terms (order); default 8.
@@ -121,6 +139,18 @@ type Config struct {
 	// moderate N (see kernels.BenchmarkNearFieldCSR vs ...Gather).
 	// Results are bit-identical either way.
 	GatherSources bool
+	// Overlap controls the concurrent near/far host execution (see
+	// OverlapMode). The default OverlapAuto enables it on eligible solves;
+	// cmd tools expose -no-overlap to force OverlapOff.
+	Overlap OverlapMode
+	// ReservedDrivers is the number of pool worker slots dedicated to the
+	// near-field class while the phases overlap — the paper's "one core
+	// per GPU driver thread". 0 (default) reserves one slot per simulated
+	// device (none on CPU-only configs, where near and far instead share
+	// all slots); -1 disables reservation explicitly; a positive value is
+	// used as given. Always clamped to Pool.Workers()-1 so the far field
+	// keeps at least one slot.
+	ReservedDrivers int
 	// Rec, when non-nil, receives per-phase spans, device kernel samples,
 	// worker busy times, and the step's cost-model observation from every
 	// Solve. A nil recorder compiles to no-ops on the hot paths. Prefer
@@ -303,43 +333,87 @@ func (s *Solver) Solve() StepTimes {
 	}
 
 	prepTimer := sched.StartTimer()
-	s.Sys.ResetAccumulators()
+	s.Sys.ResetAccumulatorsParallel(s.Cfg.Pool)
 	s.ensureSlabs()
 	rec.AddSpan(telemetry.SpanPrep, 0, prepTimer.StartTime(), prepTimer.Elapsed())
 
-	// Launch the near-field "kernels" and the far-field traversal; on the
-	// real host these are executed in sequence (the virtual clock is what
-	// models the CPU/GPU overlap, exactly like the paper's concurrent
-	// launch followed by the blocking collect call).
+	// Execute the near-field "kernels" and the far-field traversal. The
+	// near phase is launched exactly like the paper's concurrent kernel
+	// launch: on the overlapped path (the default) a driver goroutine walks
+	// the device chunks / CPU P2P schedule while this goroutine runs the
+	// up sweep and M2L work, and the blocking collect (the join) happens
+	// before L2P — the only operator that moves far-field values into the
+	// body accumulators, which is what keeps the result bit-identical to
+	// the sequential order. The sequential path remains for -no-overlap,
+	// the recursive sweeps, and single-phase configurations.
 	var gpuTime float64
-	var nearDur time.Duration
-	nearTimer := sched.StartTimer()
+	var nearDur, upDur, downDur, l2pDur time.Duration
+	overlapped := s.overlapEligible()
+	runNear := func() {
+		nearTimer := sched.StartTimer()
+		if s.Cluster != nil {
+			fn := vgpu.P2PFunc(s.p2pPair)
+			if s.Cfg.SkipNearField {
+				fn = nil
+			}
+			gpuTime = s.Cluster.ExecuteParallel(t, fn, s.Cfg.Pool)
+			nearDur = nearTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanNearExec, 0, nearTimer.StartTime(), nearDur)
+		} else if !s.Cfg.SkipNearField {
+			s.runCPUNearField()
+			nearDur = nearTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanNearCPU, 0, nearTimer.StartTime(), nearDur)
+		}
+	}
 	if s.Cluster != nil {
 		s.Cluster.Partition(t)
-		fn := vgpu.P2PFunc(s.p2pPair)
-		if s.Cfg.SkipNearField {
-			fn = nil
-		}
-		gpuTime = s.Cluster.ExecuteParallel(t, fn, s.Cfg.Pool)
-		nearDur = nearTimer.Elapsed()
-		rec.AddSpan(telemetry.SpanNearExec, 0, nearTimer.StartTime(), nearDur)
-	} else if !s.Cfg.SkipNearField {
-		s.runCPUNearField()
-		nearDur = nearTimer.Elapsed()
-		rec.AddSpan(telemetry.SpanNearCPU, 0, nearTimer.StartTime(), nearDur)
 	}
-	var farDur time.Duration
-	if !s.Cfg.SkipFarField {
+	var overlapRegion time.Duration
+	if overlapped {
+		// Prewarm the lazily-built tree caches the near phase reads, so
+		// the driver goroutine only ever sees resolved state (NearField
+		// also resolves VisibleLeaves). The far sweeps touch LevelOrder
+		// from this goroutine only.
+		t.NearField()
+		if k := s.reservedDrivers(); k > 0 {
+			s.Cfg.Pool.SetReserved(k)
+			defer s.Cfg.Pool.SetReserved(0)
+		}
+		ovTimer := sched.StartTimer()
+		join := make(chan struct{})
+		go func() {
+			defer close(join)
+			runNear()
+		}()
 		upTimer := sched.StartTimer()
 		s.upSweep()
-		upDur := upTimer.Elapsed()
+		upDur = upTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanUpSweep, 0, upTimer.StartTime(), upDur)
 		downTimer := sched.StartTimer()
-		s.downSweep()
-		downDur := downTimer.Elapsed()
+		s.downSweepLevels(false)
+		downDur = downTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
-		farDur = upDur + downDur
+		<-join // collect: both phases converge before L2P
+		overlapRegion = ovTimer.Elapsed()
+		s.Cfg.Pool.SetReserved(0)
+		l2pTimer := sched.StartTimer()
+		s.l2pSweep()
+		l2pDur = l2pTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanL2P, 0, l2pTimer.StartTime(), l2pDur)
+	} else {
+		runNear()
+		if !s.Cfg.SkipFarField {
+			upTimer := sched.StartTimer()
+			s.upSweep()
+			upDur = upTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanUpSweep, 0, upTimer.StartTime(), upDur)
+			downTimer := sched.StartTimer()
+			s.downSweep()
+			downDur = downTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
+		}
 	}
+	farDur := upDur + downDur + l2pDur
 
 	graphTimer := sched.StartTimer()
 	counts := costmodel.FromTree(t.CountOps())
@@ -434,9 +508,55 @@ func (s *Solver) Solve() StepTimes {
 		rec.SetWorkerBusy(s.busyDelta)
 	}
 	st.Real = timer.Elapsed()
-	st.Host = telemetry.HostPhases{List: listDur, Far: farDur, Near: nearDur, Wall: st.Real}
+	st.Host = telemetry.HostPhases{
+		List: listDur, Far: farDur, Near: nearDur,
+		Wall: st.Real, SerialWall: st.Real, Overlapped: overlapped,
+	}
+	if overlapped {
+		// Serial-equivalent wall: replace the overlapped region with what
+		// the same phases would have cost back-to-back.
+		st.Host.SerialWall = st.Real - overlapRegion + nearDur + upDur + downDur
+		rec.SetOverlap(st.Host.SerialWall)
+	}
 	rec.End(solveTok)
 	return st
+}
+
+// overlapEligible reports whether this Solve may run its near and far
+// phases concurrently: overlap not disabled, level-synchronous sweeps
+// (the recursive mode exists to mirror the paper's task schedule, not to
+// be fast), a pool that can actually run two phases at once (a
+// single-worker pool would only time-slice them — all context-switch
+// and cache-thrash cost, zero concurrency), and both phases actually
+// present. A device cluster counts as a near phase even under
+// SkipNearField — the timing walk still runs.
+func (s *Solver) overlapEligible() bool {
+	if s.Cfg.Overlap == OverlapOff || s.Cfg.SweepMode != SweepLevelSync {
+		return false
+	}
+	if s.Cfg.SkipFarField || s.Cfg.Pool.Workers() < 2 {
+		return false
+	}
+	return s.Cluster != nil || !s.Cfg.SkipNearField
+}
+
+// reservedDrivers resolves Config.ReservedDrivers against the cluster and
+// pool geometry: auto (0) means one slot per device, none without devices.
+func (s *Solver) reservedDrivers() int {
+	k := s.Cfg.ReservedDrivers
+	if k < 0 {
+		return 0
+	}
+	if k == 0 {
+		if s.Cluster == nil {
+			return 0
+		}
+		k = len(s.Cluster.Devices)
+	}
+	if maxK := s.Cfg.Pool.Workers() - 1; k > maxK {
+		k = maxK
+	}
+	return k
 }
 
 // SweepBench executes the far-field sweeps and one CPU near-field pass on
@@ -561,7 +681,7 @@ func (s *Solver) runCPUNearField() {
 	t := s.Tree
 	if s.Cfg.SweepMode == SweepRecursive {
 		leaves := t.VisibleLeaves()
-		s.Cfg.Pool.ParallelRange(len(leaves), func(lo, hi int) {
+		s.Cfg.Pool.ParallelRangeClass(sched.ClassNear, len(leaves), func(lo, hi int) {
 			for _, li := range leaves[lo:hi] {
 				for _, si := range t.Nodes[li].U {
 					s.p2pPair(li, si)
@@ -572,7 +692,7 @@ func (s *Solver) runCPUNearField() {
 	}
 	sch := t.NearField()
 	sys := s.Sys
-	s.Cfg.Pool.ParallelRangeWeighted(sch.Weights, func(lo, hi int) {
+	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassNear, sch.Weights, func(lo, hi int) {
 		if s.Cfg.GatherSources {
 			g := s.getGather()
 			g.Pack(t, sch, lo, hi, true, false)
@@ -618,7 +738,7 @@ func (s *Solver) downSweep() {
 		s.downSweepRecursive()
 		return
 	}
-	s.downSweepLevels()
+	s.downSweepLevels(true)
 }
 
 // upSweepLevels walks the level index bottom-up: within a level every
@@ -635,7 +755,7 @@ func (s *Solver) upSweepLevels() {
 		}
 		weights := s.levelWeights(nodes, upWeight)
 		lvTimer := sched.StartTimer()
-		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+		s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassFar, weights, func(lo, hi int) {
 			w := s.getWS()
 			for _, ni := range nodes[lo:hi] {
 				s.upNode(w, ni)
@@ -671,8 +791,11 @@ func (s *Solver) upNode(w *expansion.Workspace, ni int32) {
 // on its parent (previous level) and on V-list multipoles (finalized by
 // the up sweep), so each level is one flat weighted parallel range. The
 // V list is applied through the batched M2L, whose per-direction setup is
-// cached in the chunk's workspace across nodes.
-func (s *Solver) downSweepLevels() {
+// cached in the chunk's workspace across nodes. withL2P selects whether
+// leaves also evaluate L2P in place (the sequential fused path) or leave
+// it for a later l2pSweep (the overlapped path, which must not touch the
+// body accumulators while the near field is still writing them).
+func (s *Solver) downSweepLevels(withL2P bool) {
 	t := s.Tree
 	levels := t.LevelOrder()
 	for lv := 0; lv < len(levels); lv++ {
@@ -682,11 +805,11 @@ func (s *Solver) downSweepLevels() {
 		}
 		weights := s.levelWeights(nodes, downWeight)
 		lvTimer := sched.StartTimer()
-		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+		s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassFar, weights, func(lo, hi int) {
 			w := s.getWS()
 			var srcs []expansion.M2LSource
 			for _, ni := range nodes[lo:hi] {
-				srcs = s.downNode(w, ni, srcs)
+				srcs = s.downNode(w, ni, srcs, withL2P)
 			}
 			s.putWS(w)
 		})
@@ -695,8 +818,9 @@ func (s *Solver) downSweepLevels() {
 }
 
 // downNode applies L2L from the parent, batched M2L over the V list, and
-// (on leaves) L2P. srcs is chunk-local scratch, returned for reuse.
-func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2LSource) []expansion.M2LSource {
+// (on leaves, when withL2P) L2P. srcs is chunk-local scratch, returned for
+// reuse.
+func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2LSource, withL2P bool) []expansion.M2LSource {
 	t := s.Tree
 	n := &t.Nodes[ni]
 	l := s.local(ni)
@@ -714,15 +838,47 @@ func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2L
 		}
 		w.M2LBatch(l, n.Box.Center, srcs)
 	}
-	if n.IsVisibleLeaf() {
-		g := s.Cfg.Kernel.G
-		for i := n.Start; i < n.End; i++ {
-			phi, grad := w.L2P(l, n.Box.Center, s.Sys.Pos[i])
-			s.Sys.Phi[i] += -g * phi
-			s.Sys.Acc[i] = s.Sys.Acc[i].Add(grad.Scale(g))
-		}
+	if withL2P && n.IsVisibleLeaf() {
+		s.leafL2P(w, ni)
 	}
 	return srcs
+}
+
+// leafL2P evaluates the finalized local expansion of one visible leaf at
+// its bodies, adding potential and acceleration. This is the single
+// accumulator-order-sensitive far-field write: per body it is exactly one
+// addition onto the near-field-accumulated value, whether it runs fused
+// inside the down sweep or split out after the overlap join — which is
+// the bit-identity argument for the overlapped path.
+func (s *Solver) leafL2P(w *expansion.Workspace, ni int32) {
+	n := &s.Tree.Nodes[ni]
+	l := s.local(ni)
+	g := s.Cfg.Kernel.G
+	for i := n.Start; i < n.End; i++ {
+		phi, grad := w.L2P(l, n.Box.Center, s.Sys.Pos[i])
+		s.Sys.Phi[i] += -g * phi
+		s.Sys.Acc[i] = s.Sys.Acc[i].Add(grad.Scale(g))
+	}
+}
+
+// l2pSweep runs the split-out leaf L2P evaluation after the overlap join:
+// one flat weighted parallel range over the visible leaves.
+func (s *Solver) l2pSweep() {
+	t := s.Tree
+	leaves := t.VisibleLeaves()
+	if len(leaves) == 0 {
+		return
+	}
+	weights := s.levelWeights(leaves, func(n *octree.Node) int64 {
+		return int64(n.Count()) + 1
+	})
+	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassFar, weights, func(lo, hi int) {
+		w := s.getWS()
+		for _, ni := range leaves[lo:hi] {
+			s.leafL2P(w, ni)
+		}
+		s.putWS(w)
+	})
 }
 
 // Rough per-node work weights for chunking a level. The constants only

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"runtime"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/kernels"
+	"afmm/internal/sched"
+	"afmm/internal/sim"
+)
+
+// OverlapBenchResult is the machine-readable payload of the "overlap"
+// benchmark (written to BENCH_overlap.json by afmm-bench). All times are
+// host wall clock.
+//
+// StepNsSequential and StepNsOverlapped are the mean solve wall of the
+// same trajectory with the concurrent-phase scheduler off and on; the
+// measured reduction is the headline number (acceptance target >= 15% at
+// N=100k with at least one simulated GPU). The measured number depends on
+// HostCores: near and far phases can only hide behind each other when the
+// host has cores to run both, so on small hosts the measured reduction
+// collapses toward zero even though the schedule overlaps correctly (the
+// solver's own SerialWall accounting, reported as OverlapSavingNs, shows
+// how much concurrency the schedule actually achieved). The benchmark
+// forces a PoolWorkers >= 2 pool so the overlapped schedule runs even on
+// a 1-core host — OverlapAuto with a default pool would decline there,
+// which is also the production default — so on such hosts the measured
+// number includes the time-slicing cost the auto gate exists to avoid.
+// ProjectedStepNs
+// applies the critical-path model to the measured sequential phase times:
+// with enough cores the shorter of {near, up+down} hides entirely behind
+// the longer, so the projected step is Wall - min(Near, Far). The
+// projection is a model, clearly labeled as such — trust the measured
+// numbers on hosts with HostCores well above the worker count.
+type OverlapBenchResult struct {
+	N           int `json:"n"`
+	S           int `json:"s"`
+	P           int `json:"p"`
+	GPUs        int `json:"gpus"`
+	Steps       int `json:"steps"`
+	HostCores   int `json:"host_cores"`
+	PoolWorkers int `json:"pool_workers"`
+
+	// Measured (host wall clock, mean per solve).
+	StepNsSequential  int64   `json:"step_ns_sequential"`
+	StepNsOverlapped  int64   `json:"step_ns_overlapped"`
+	MeasuredReduction float64 `json:"measured_reduction"`
+	// OverlapSavingNs is the overlapped solver's own accounting: mean
+	// SerialWall - Wall, i.e. how much wall time running near and far
+	// concurrently saved over executing the same phases back to back.
+	OverlapSavingNs int64 `json:"overlap_saving_ns"`
+
+	// Sequential phase breakdown feeding the projection (mean per solve).
+	NearNs int64 `json:"near_ns"`
+	FarNs  int64 `json:"far_ns"`
+	WallNs int64 `json:"wall_ns"`
+
+	// Critical-path projection (model, not measurement).
+	ProjectedStepNs     int64   `json:"projected_step_ns"`
+	ProjectedReduction  float64 `json:"projected_reduction"`
+	ProjectionIsModeled bool    `json:"projection_is_modeled"`
+}
+
+// Overlap benchmarks the concurrent near/far schedule against the
+// sequential one on identical Plummer trajectories with at least one
+// simulated GPU (so the reserved-driver path is exercised). The two
+// variants alternate per step so slow drift in host speed hits both
+// equally.
+func Overlap(p Params) OverlapBenchResult {
+	if p.N <= 0 {
+		p.N = 100000
+	}
+	if p.Steps <= 0 {
+		p.Steps = 8
+	}
+	p.setDefaults()
+	const s = 64
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	res := OverlapBenchResult{
+		N: p.N, S: s, P: p.P, GPUs: p.GPUs, Steps: p.Steps,
+		HostCores:           runtime.NumCPU(),
+		PoolWorkers:         workers,
+		ProjectionIsModeled: true,
+	}
+
+	mk := func(mode core.OverlapMode) *core.Solver {
+		sys := distrib.Plummer(p.N, 1, 1, p.Seed)
+		sv := core.NewSolver(sys, core.Config{
+			P:       p.P,
+			S:       s,
+			NumGPUs: p.GPUs,
+			GPUSpec: p.gpuSpec(),
+			CPU:     cpuSpec(p.Cores),
+			Kernel:  kernels.Gravity{G: 1, Softening: 0.01},
+			Overlap: mode,
+			Pool:    sched.NewPool(workers),
+		})
+		sv.Solve() // warm tree, lists, workspaces before timing
+		return sv
+	}
+	ov, seq := mk(core.OverlapAuto), mk(core.OverlapOff)
+
+	step := func(sv *core.Solver) (wall, near, far, saving int64) {
+		st := sv.Solve()
+		sim.KickDrift(sv.Sys, p.Dt)
+		sv.Refill()
+		return st.Host.Wall.Nanoseconds(),
+			st.Host.Near.Nanoseconds(),
+			st.Host.Far.Nanoseconds(),
+			(st.Host.SerialWall - st.Host.Wall).Nanoseconds()
+	}
+	for i := 0; i < p.Steps; i++ {
+		w, n, f, _ := step(seq)
+		res.StepNsSequential += w
+		res.NearNs += n
+		res.FarNs += f
+		res.WallNs += w
+		w, _, _, sv := step(ov)
+		res.StepNsOverlapped += w
+		res.OverlapSavingNs += sv
+	}
+	n := int64(p.Steps)
+	res.StepNsSequential /= n
+	res.StepNsOverlapped /= n
+	res.NearNs /= n
+	res.FarNs /= n
+	res.WallNs /= n
+	res.OverlapSavingNs /= n
+	if res.StepNsSequential > 0 {
+		res.MeasuredReduction = 1 - float64(res.StepNsOverlapped)/float64(res.StepNsSequential)
+	}
+	hidden := res.NearNs
+	if res.FarNs < hidden {
+		hidden = res.FarNs
+	}
+	res.ProjectedStepNs = res.WallNs - hidden
+	if res.WallNs > 0 {
+		res.ProjectedReduction = float64(hidden) / float64(res.WallNs)
+	}
+	return res
+}

@@ -1,0 +1,77 @@
+package particle
+
+import (
+	"testing"
+
+	"afmm/internal/geom"
+	"afmm/internal/sched"
+)
+
+// permutedSystem builds a system whose storage order differs from input
+// order (a few Swaps, like tree construction does) with recognizable
+// accumulator values.
+func permutedSystem(n int) *System {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		s.Pos[i] = geom.Vec3{X: float64(i)}
+		s.Phi[i] = float64(i)
+		s.Acc[i] = geom.Vec3{X: float64(i), Y: 2 * float64(i), Z: -float64(i)}
+	}
+	for i := 0; i < n/2; i += 3 {
+		s.Swap(i, n-1-i)
+	}
+	return s
+}
+
+func TestInputOrderIntoReusesBuffer(t *testing.T) {
+	s := permutedSystem(100)
+	wantPhi := s.PhiInInputOrder()
+	wantAcc := s.AccInInputOrder()
+
+	// A large-enough destination must be reused in place (same backing
+	// array), not reallocated.
+	phiBuf := make([]float64, 0, 100)
+	accBuf := make([]geom.Vec3, 200) // oversized: result must shrink to n
+	gotPhi := s.PhiInInputOrderInto(phiBuf)
+	gotAcc := s.AccInInputOrderInto(accBuf)
+	if &gotPhi[0] != &phiBuf[:1][0] {
+		t.Fatalf("PhiInInputOrderInto reallocated despite sufficient capacity")
+	}
+	if &gotAcc[0] != &accBuf[0] {
+		t.Fatalf("AccInInputOrderInto reallocated despite sufficient capacity")
+	}
+	if len(gotPhi) != s.Len() || len(gotAcc) != s.Len() {
+		t.Fatalf("Into results have lengths %d/%d, want %d", len(gotPhi), len(gotAcc), s.Len())
+	}
+	for i := range wantPhi {
+		if gotPhi[i] != wantPhi[i] || gotAcc[i] != wantAcc[i] {
+			t.Fatalf("Into result differs at %d", i)
+		}
+	}
+
+	// Values land at their input index regardless of storage order.
+	for i := range gotPhi {
+		if gotPhi[i] != float64(i) {
+			t.Fatalf("phi[%d] = %g after permute, want %d", i, gotPhi[i], i)
+		}
+	}
+
+	// A short buffer grows.
+	short := s.PhiInInputOrderInto(make([]float64, 0, 3))
+	if len(short) != s.Len() {
+		t.Fatalf("short-buffer grow produced len %d", len(short))
+	}
+}
+
+func TestResetAccumulatorsParallel(t *testing.T) {
+	pool := sched.NewPool(4)
+	for _, p := range []*sched.Pool{nil, pool} {
+		s := permutedSystem(10000)
+		s.ResetAccumulatorsParallel(p)
+		for i := range s.Phi {
+			if s.Phi[i] != 0 || s.Acc[i] != (geom.Vec3{}) {
+				t.Fatalf("accumulator %d not zeroed (pool=%v)", i, p != nil)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"afmm/internal/geom"
+	"afmm/internal/sched"
 )
 
 // System holds N bodies. Pos, Vel and Mass always have length N.
@@ -61,6 +62,25 @@ func (s *System) ResetAccumulators() {
 	}
 }
 
+// ResetAccumulatorsParallel zeroes Phi and Acc on the pool — the O(N)
+// zeroing loop sits on the hot path of every solve, and at large N it is
+// memory-bandwidth work that splits cleanly. A nil pool falls back to the
+// serial loop.
+func (s *System) ResetAccumulatorsParallel(p *sched.Pool) {
+	if p == nil {
+		s.ResetAccumulators()
+		return
+	}
+	p.ParallelRange(len(s.Phi), func(lo, hi int) {
+		phi := s.Phi[lo:hi]
+		acc := s.Acc[lo:hi]
+		for i := range phi {
+			phi[i] = 0
+			acc[i] = geom.Vec3{}
+		}
+	})
+}
+
 // Swap exchanges bodies i and j in every per-body array.
 func (s *System) Swap(i, j int) {
 	s.Pos[i], s.Pos[j] = s.Pos[j], s.Pos[i]
@@ -96,20 +116,42 @@ func (s *System) Validate() error {
 // AccInInputOrder returns a copy of Acc permuted back to the original
 // input order of the bodies.
 func (s *System) AccInInputOrder() []geom.Vec3 {
-	out := make([]geom.Vec3, len(s.Acc))
-	for i, id := range s.Index {
-		out[id] = s.Acc[i]
+	return s.AccInInputOrderInto(nil)
+}
+
+// AccInInputOrderInto permutes Acc back to input order into dst, growing
+// it only when its capacity is insufficient — so per-step callers can
+// reuse one buffer and stay allocation-free. The (possibly reallocated)
+// buffer is returned.
+func (s *System) AccInInputOrderInto(dst []geom.Vec3) []geom.Vec3 {
+	n := len(s.Acc)
+	if cap(dst) < n {
+		dst = make([]geom.Vec3, n)
 	}
-	return out
+	dst = dst[:n]
+	for i, id := range s.Index {
+		dst[id] = s.Acc[i]
+	}
+	return dst
 }
 
 // PhiInInputOrder returns a copy of Phi permuted back to input order.
 func (s *System) PhiInInputOrder() []float64 {
-	out := make([]float64, len(s.Phi))
-	for i, id := range s.Index {
-		out[id] = s.Phi[i]
+	return s.PhiInInputOrderInto(nil)
+}
+
+// PhiInInputOrderInto permutes Phi back to input order into dst (see
+// AccInInputOrderInto for the reuse contract).
+func (s *System) PhiInInputOrderInto(dst []float64) []float64 {
+	n := len(s.Phi)
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out
+	dst = dst[:n]
+	for i, id := range s.Index {
+		dst[id] = s.Phi[i]
+	}
+	return dst
 }
 
 // Clone returns a deep copy of the system.

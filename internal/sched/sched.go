@@ -5,6 +5,15 @@
 // work-stealing; the pool bounds the number of concurrently executing
 // tasks to a fixed worker count, falling back to inline execution when all
 // workers are busy (the standard depth-cutoff-free OpenMP-style pattern).
+//
+// The pool additionally supports the paper's concurrent-phase execution
+// (§V): independent parallel ranges may be admitted concurrently from
+// different goroutines under distinct work classes (far field vs.
+// near-field drivers), busy time is accounted per class as well as per
+// worker slot, and SetReserved can dedicate a number of worker slots to
+// the near-field driver class — the analogue of pinning one host core per
+// GPU to drive its kernels while the remaining cores run the expansion
+// work.
 package sched
 
 import (
@@ -13,6 +22,36 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// Class labels the work admitted to the pool, so concurrently executing
+// phases can be accounted (and, for ClassNear, placed) separately. Tasks
+// of every class share the same worker slots until SetReserved dedicates
+// slots to ClassNear.
+type Class uint8
+
+const (
+	// ClassGeneral is unclassified pool work: tree construction, list
+	// traversal, prep, and every pre-existing call site.
+	ClassGeneral Class = iota
+	// ClassFar is the far-field expansion work (P2M/M2M/M2L/L2L/L2P
+	// sweeps). It always runs on the general (non-reserved) slots.
+	ClassFar
+	// ClassNear is the near-field execution: the virtual-GPU device walks
+	// and the CPU P2P chunks. When SetReserved is active this class runs
+	// exclusively on the reserved slots (the paper's driver cores).
+	ClassNear
+	// NumClasses bounds the class enumeration.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"general", "far", "near"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
 
 // Pool is a bounded task executor. The zero value is not usable; create
 // one with NewPool.
@@ -23,14 +62,25 @@ import (
 // "CPU Time" is a makespan; the busy vector shows the imbalance behind
 // it). Inline executions — tasks run in the caller because every slot was
 // taken — are charged to a separate inline bucket.
+//
+// Slots are split into a general semaphore and a reserved semaphore by
+// SetReserved; with zero reserved slots (the default) every class draws
+// from the general semaphore and the pool behaves exactly as before.
 type Pool struct {
 	workers int
-	sem     chan int
+	sem     chan int // general slots
+	resSem  chan int // reserved slots (ClassNear when reservation active)
+
+	// reconf serializes SetReserved reconfigurations. reserved is the
+	// current reserved-slot count, read atomically by Spawn.
+	reconf   sync.Mutex
+	reserved atomic.Int32
 
 	spawned    atomic.Int64
 	inlined    atomic.Int64
-	busy       []atomic.Int64 // ns of task execution per worker slot
-	inlineBusy atomic.Int64   // ns of inline task execution
+	busy       []atomic.Int64           // ns of task execution per worker slot
+	inlineBusy atomic.Int64             // ns of inline task execution
+	classBusy  [NumClasses]atomic.Int64 // ns of task execution per work class
 }
 
 // NewPool creates a pool that allows up to workers tasks to run
@@ -42,6 +92,7 @@ func NewPool(workers int) *Pool {
 	p := &Pool{
 		workers: workers,
 		sem:     make(chan int, workers),
+		resSem:  make(chan int, workers),
 		busy:    make([]atomic.Int64, workers),
 	}
 	for i := 0; i < workers; i++ {
@@ -52,6 +103,50 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
+
+// Reserved returns the number of worker slots currently dedicated to
+// ClassNear by SetReserved.
+func (p *Pool) Reserved() int { return int(p.reserved.Load()) }
+
+// SetReserved dedicates k worker slots to ClassNear tasks; the remaining
+// workers-k slots serve every other class. k is clamped to
+// [0, workers-1] so at least one general slot always remains. Passing 0
+// restores the shared-slot default.
+//
+// The call quiesces the pool: it blocks until every outstanding task has
+// returned its slot, then repartitions. Callers must therefore invoke it
+// only between phases (the solvers bracket the overlapped near/far region
+// with it); invoking it while tasks the caller is itself waiting on are
+// running would deadlock. Concurrent Spawns during the repartition are
+// safe — they simply execute inline.
+func (p *Pool) SetReserved(k int) {
+	if k < 0 {
+		k = 0
+	}
+	if k > p.workers-1 {
+		k = p.workers - 1
+	}
+	p.reconf.Lock()
+	defer p.reconf.Unlock()
+	cur := int(p.reserved.Load())
+	if k == cur {
+		return
+	}
+	// Drain every slot from both semaphores (waits for running tasks).
+	for i := 0; i < p.workers-cur; i++ {
+		<-p.sem
+	}
+	for i := 0; i < cur; i++ {
+		<-p.resSem
+	}
+	p.reserved.Store(int32(k))
+	for i := 0; i < k; i++ {
+		p.resSem <- i
+	}
+	for i := k; i < p.workers; i++ {
+		p.sem <- i
+	}
+}
 
 // SpawnedTasks returns how many tasks ran on their own goroutine since the
 // pool was created; InlinedTasks how many ran inline because all workers
@@ -74,38 +169,75 @@ func (p *Pool) WorkerBusyNs(dst []int64) []int64 {
 	return append(dst, p.inlineBusy.Load())
 }
 
-// ResetWorkerBusy zeroes the per-worker busy counters. Racing tasks may
-// re-add time concurrently; intended for quiescent points.
+// ResetWorkerBusy zeroes the per-worker and per-class busy counters.
+// Racing tasks may re-add time concurrently; intended for quiescent
+// points.
 func (p *Pool) ResetWorkerBusy() {
 	for i := range p.busy {
 		p.busy[i].Store(0)
 	}
 	p.inlineBusy.Store(0)
+	for i := range p.classBusy {
+		p.classBusy[i].Store(0)
+	}
+}
+
+// ClassBusyNs appends the cumulative per-class busy time (ns) to dst and
+// returns it, one entry per Class in enumeration order (general, far,
+// near). Inline executions are included in their class's bucket. Counters
+// are cumulative since pool creation or the last ResetWorkerBusy.
+func (p *Pool) ClassBusyNs(dst []int64) []int64 {
+	for i := range p.classBusy {
+		dst = append(dst, p.classBusy[i].Load())
+	}
+	return dst
 }
 
 // Group tracks a set of spawned tasks, the analogue of the implicit set
-// awaited by "#pragma omp taskwait". Groups may nest freely.
+// awaited by "#pragma omp taskwait". Groups may nest freely, and groups of
+// different classes may be driven concurrently from different goroutines —
+// the pool's semaphores arbitrate the worker slots between them.
 type Group struct {
-	pool *Pool
-	wg   sync.WaitGroup
+	pool  *Pool
+	class Class
+	wg    sync.WaitGroup
 }
 
-// NewGroup returns a task group bound to the pool.
+// NewGroup returns a ClassGeneral task group bound to the pool.
 func (p *Pool) NewGroup() *Group { return &Group{pool: p} }
+
+// NewGroupClass returns a task group whose tasks are charged to class c
+// and, for ClassNear under an active reservation, placed on the reserved
+// worker slots.
+func (p *Pool) NewGroupClass(c Class) *Group { return &Group{pool: p, class: c} }
+
+// sems returns the semaphore this group's class draws slots from. Only
+// ClassNear uses the reserved partition, and only while one is active;
+// everything else (and ClassNear with no reservation) shares the general
+// slots.
+func (g *Group) sems() chan int {
+	if g.class == ClassNear && g.pool.reserved.Load() > 0 {
+		return g.pool.resSem
+	}
+	return g.pool.sem
+}
 
 // Spawn runs f as a task: on a fresh goroutine when a worker slot is free,
 // otherwise inline in the caller (which preserves progress and bounds
 // parallelism without deadlock, as in help-first task runtimes).
 func (g *Group) Spawn(f func()) {
+	sem := g.sems()
 	select {
-	case slot := <-g.pool.sem:
+	case slot := <-sem:
 		g.pool.spawned.Add(1)
 		g.wg.Add(1)
 		go func() {
 			start := time.Now()
 			defer func() {
-				g.pool.busy[slot].Add(int64(time.Since(start)))
-				g.pool.sem <- slot
+				dt := int64(time.Since(start))
+				g.pool.busy[slot].Add(dt)
+				g.pool.classBusy[g.class].Add(dt)
+				sem <- slot
 				g.wg.Done()
 			}()
 			f()
@@ -114,7 +246,9 @@ func (g *Group) Spawn(f func()) {
 		g.pool.inlined.Add(1)
 		start := time.Now()
 		f()
-		g.pool.inlineBusy.Add(int64(time.Since(start)))
+		dt := int64(time.Since(start))
+		g.pool.inlineBusy.Add(dt)
+		g.pool.classBusy[g.class].Add(dt)
 	}
 }
 
@@ -125,14 +259,21 @@ func (g *Group) Wait() { g.wg.Wait() }
 // ParallelRange splits [0, n) into roughly equal chunks and processes them
 // concurrently, at most pool.Workers() at a time.
 func (p *Pool) ParallelRange(n int, f func(lo, hi int)) {
+	p.ParallelRangeClass(ClassGeneral, n, f)
+}
+
+// ParallelRangeClass is ParallelRange with the chunk tasks admitted under
+// class c. Ranges of different classes may run concurrently from
+// different goroutines.
+func (p *Pool) ParallelRangeClass(c Class, n int, f func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	chunks := p.workers * 4
+	chunks := p.rangeChunks(c)
 	if chunks > n {
 		chunks = n
 	}
-	g := p.NewGroup()
+	g := p.NewGroupClass(c)
 	size := (n + chunks - 1) / chunks
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
@@ -145,6 +286,25 @@ func (p *Pool) ParallelRange(n int, f func(lo, hi int)) {
 	g.Wait()
 }
 
+// rangeChunks sizes the chunk count for a parallel range of class c: 4×
+// the slot count the class can actually occupy, so chunk granularity
+// tracks the partition rather than the whole pool when a reservation is
+// active.
+func (p *Pool) rangeChunks(c Class) int {
+	w := p.workers
+	if res := int(p.reserved.Load()); res > 0 {
+		if c == ClassNear {
+			w = res
+		} else {
+			w = p.workers - res
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w * 4
+}
+
 // ParallelRangeWeighted splits [0, len(weights)) into contiguous chunks of
 // roughly equal total weight and processes them concurrently, at most
 // pool.Workers() at a time. Item i carries weights[i] units of work
@@ -152,6 +312,15 @@ func (p *Pool) ParallelRange(n int, f func(lo, hi int)) {
 // target forms its own chunk, so a few heavy items cannot serialize the
 // tail behind one task. With all-zero weights it degrades to ParallelRange.
 func (p *Pool) ParallelRangeWeighted(weights []int64, f func(lo, hi int)) {
+	p.ParallelRangeWeightedClass(ClassGeneral, weights, f)
+}
+
+// ParallelRangeWeightedClass is ParallelRangeWeighted with the chunk
+// tasks admitted under class c. The chunk boundaries depend only on the
+// weights and the pool geometry as seen at entry, never on execution
+// interleaving, which is what keeps accumulation order — and therefore
+// floating-point results — independent of what else runs concurrently.
+func (p *Pool) ParallelRangeWeightedClass(c Class, weights []int64, f func(lo, hi int)) {
 	n := len(weights)
 	if n == 0 {
 		return
@@ -163,10 +332,10 @@ func (p *Pool) ParallelRangeWeighted(weights []int64, f func(lo, hi int)) {
 		}
 	}
 	if total <= 0 {
-		p.ParallelRange(n, f)
+		p.ParallelRangeClass(c, n, f)
 		return
 	}
-	chunks := p.workers * 4
+	chunks := p.rangeChunks(c)
 	if chunks > n {
 		chunks = n
 	}
@@ -174,7 +343,7 @@ func (p *Pool) ParallelRangeWeighted(weights []int64, f func(lo, hi int)) {
 	if target < 1 {
 		target = 1
 	}
-	g := p.NewGroup()
+	g := p.NewGroupClass(c)
 	lo := 0
 	var acc int64
 	for i := 0; i < n; i++ {

@@ -276,6 +276,149 @@ func TestWorkerBusyNsAccounting(t *testing.T) {
 	}
 }
 
+func TestSetReservedPartitionsSlots(t *testing.T) {
+	p := NewPool(4)
+	if p.Reserved() != 0 {
+		t.Fatalf("fresh pool reserved = %d", p.Reserved())
+	}
+	p.SetReserved(1)
+	if p.Reserved() != 1 {
+		t.Fatalf("reserved = %d, want 1", p.Reserved())
+	}
+	// A ClassNear group must hand out only reserved slot ids; park a task on
+	// the single reserved slot and verify the next near spawn runs inline.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	ng := p.NewGroupClass(ClassNear)
+	ng.Spawn(func() { close(started); <-block })
+	<-started
+	inlinedBefore := p.InlinedTasks()
+	ran := false
+	ng2 := p.NewGroupClass(ClassNear)
+	ng2.Spawn(func() { ran = true })
+	ng2.Wait()
+	if !ran || p.InlinedTasks() != inlinedBefore+1 {
+		t.Fatalf("near task with exhausted reserved slots: ran=%v inlined %d -> %d",
+			ran, inlinedBefore, p.InlinedTasks())
+	}
+	// Meanwhile the three general slots must still admit far work on
+	// goroutines.
+	spawnedBefore := p.SpawnedTasks()
+	fg := p.NewGroupClass(ClassFar)
+	var far atomic.Int64
+	for i := 0; i < 3; i++ {
+		fg.Spawn(func() { far.Add(1) })
+	}
+	fg.Wait()
+	if far.Load() != 3 {
+		t.Fatalf("far tasks ran %d times", far.Load())
+	}
+	if p.SpawnedTasks() == spawnedBefore {
+		t.Fatal("no far task got a general slot while near held the reserved slot")
+	}
+	close(block)
+	ng.Wait()
+	// Release the reservation; near work shares general slots again.
+	p.SetReserved(0)
+	if p.Reserved() != 0 {
+		t.Fatalf("reserved = %d after release", p.Reserved())
+	}
+}
+
+func TestSetReservedClampsAndQuiesces(t *testing.T) {
+	p := NewPool(3)
+	p.SetReserved(99) // clamp to workers-1
+	if p.Reserved() != 2 {
+		t.Fatalf("reserved = %d, want 2", p.Reserved())
+	}
+	p.SetReserved(-5)
+	if p.Reserved() != 0 {
+		t.Fatalf("reserved = %d, want 0", p.Reserved())
+	}
+	// SetReserved must wait for in-flight tasks before repartitioning.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	g := p.NewGroup()
+	g.Spawn(func() { close(started); <-release; close(done) })
+	<-started
+	go func() { <-started; release <- struct{}{} }()
+	p.SetReserved(1) // blocks until the running task returns its slot
+	select {
+	case <-done:
+	default:
+		t.Fatal("SetReserved returned while a task was still running")
+	}
+	g.Wait()
+	p.SetReserved(0)
+}
+
+func TestConcurrentRangeAdmission(t *testing.T) {
+	// Two parallel ranges of different classes driven from two goroutines
+	// must both complete, covering every index exactly once, with class
+	// busy time attributed to each. Run with and without a reservation.
+	for _, reserved := range []int{0, 1} {
+		p := NewPool(4)
+		p.SetReserved(reserved)
+		const n = 20000
+		nearHits := make([]int32, n)
+		farHits := make([]int32, n)
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = int64(i%13 + 1)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			p.ParallelRangeWeightedClass(ClassNear, weights, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&nearHits[i], 1)
+				}
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			p.ParallelRangeClass(ClassFar, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&farHits[i], 1)
+				}
+			})
+		}()
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if nearHits[i] != 1 || farHits[i] != 1 {
+				t.Fatalf("reserved=%d: index %d near=%d far=%d",
+					reserved, i, nearHits[i], farHits[i])
+			}
+		}
+		busy := p.ClassBusyNs(nil)
+		if len(busy) != int(NumClasses) {
+			t.Fatalf("class busy entries = %d, want %d", len(busy), NumClasses)
+		}
+		if busy[ClassNear] <= 0 || busy[ClassFar] <= 0 {
+			t.Fatalf("reserved=%d: class busy not attributed: %v", reserved, busy)
+		}
+		p.ResetWorkerBusy()
+		for c, b := range p.ClassBusyNs(nil) {
+			if b != 0 {
+				t.Fatalf("class %d busy not reset: %d", c, b)
+			}
+		}
+		p.SetReserved(0)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassGeneral.String() != "general" || ClassFar.String() != "far" ||
+		ClassNear.String() != "near" {
+		t.Fatalf("class names: %s/%s/%s", ClassGeneral, ClassFar, ClassNear)
+	}
+	if Class(200).String() != "class?" {
+		t.Fatalf("out-of-range class name: %s", Class(200))
+	}
+}
+
 func TestTimerStartTime(t *testing.T) {
 	tm := StartTimer()
 	if tm.StartTime().IsZero() {

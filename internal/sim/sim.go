@@ -34,6 +34,13 @@ type Config struct {
 	// WriteChrome for a timeline export). Takes precedence over creating
 	// one from Trace.
 	Rec *telemetry.Recorder
+	// Observe, when non-nil, is called after each step's solve+move with
+	// the step's potentials and accelerations (velocities, for Stokes)
+	// permuted back to input order. Both slices are loop-owned buffers
+	// refilled in place every step (particle's allocation-free Into
+	// permuters), so the whole run costs two allocations, not two per
+	// step — copy anything that must survive the callback.
+	Observe func(step int, phi []float64, acc []geom.Vec3)
 }
 
 // StepRecord captures one time step. The *Ns fields are host wall-clock
@@ -52,10 +59,16 @@ type StepRecord struct {
 	State   string
 
 	ListNs   int64 // interaction-list build/repair/skip
-	FarNs    int64 // up+down sweeps
+	FarNs    int64 // up+down sweeps (+ split L2P when overlapped)
 	NearNs   int64 // near-field execution
 	RefillNs int64 // tree refill
 	WallNs   int64 // whole step (solve + move + refill + balance)
+
+	// SerialWallNs is WallNs plus the time the solver saved by running
+	// its near and far phases concurrently (== WallNs on sequential
+	// steps); Overlapped marks steps whose solve overlapped.
+	SerialWallNs int64
+	Overlapped   bool
 }
 
 // Result aggregates a run.
@@ -86,14 +99,19 @@ func (r Result) MeanTotalPerStep() float64 {
 
 // WriteCSV emits the records as CSV.
 func (r Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "step,S,cpu,gpu,compute,lb,refill,total,state,list_ns,far_ns,near_ns,refill_ns,wall_ns"); err != nil {
+	if _, err := fmt.Fprintln(w, "step,S,cpu,gpu,compute,lb,refill,total,state,list_ns,far_ns,near_ns,refill_ns,wall_ns,serial_wall_ns,overlapped"); err != nil {
 		return err
 	}
 	for _, rec := range r.Records {
-		if _, err := fmt.Fprintf(w, "%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%s,%d,%d,%d,%d,%d\n",
+		ov := 0
+		if rec.Overlapped {
+			ov = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%s,%d,%d,%d,%d,%d,%d,%d\n",
 			rec.Step, rec.S, rec.CPUTime, rec.GPUTime, rec.Compute,
 			rec.LBTime, rec.Refill, rec.Total, rec.State,
-			rec.ListNs, rec.FarNs, rec.NearNs, rec.RefillNs, rec.WallNs); err != nil {
+			rec.ListNs, rec.FarNs, rec.NearNs, rec.RefillNs, rec.WallNs,
+			rec.SerialWallNs, ov); err != nil {
 			return err
 		}
 	}
@@ -124,11 +142,21 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 	}
 	bal := balance.New(cfg.Balance, s.System().Len())
 	var res Result
+	// Input-order observation buffers, reused across steps (see
+	// Config.Observe).
+	var phiBuf []float64
+	var accBuf []geom.Vec3
 	for step := 0; step < cfg.Steps; step++ {
 		rec.StartStep(step)
 		wallTimer := sched.StartTimer()
 		cpu, gpu, host := solveAndMove(rec)
 		compute := math.Max(cpu, gpu)
+		if cfg.Observe != nil {
+			sys := s.System()
+			phiBuf = sys.PhiInInputOrderInto(phiBuf)
+			accBuf = sys.AccInInputOrderInto(accBuf)
+			cfg.Observe(step, phiBuf, accBuf)
+		}
 		refillTimer := sched.StartTimer()
 		s.Refill()
 		refillDur := refillTimer.Elapsed()
@@ -153,6 +181,11 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 			NearNs:   host.Near.Nanoseconds(),
 			RefillNs: refillDur.Nanoseconds(),
 			WallNs:   wall.Nanoseconds(),
+			// The overlap saving is solve-internal; lift it onto the step
+			// wall so per-step sequential-vs-overlapped comparisons read
+			// directly off the record.
+			SerialWallNs: (wall + (host.SerialWall - host.Wall)).Nanoseconds(),
+			Overlapped:   host.Overlapped,
 		}
 		rec.SetStepInfo(step, rep.NewS, r.State)
 		rec.SetBalance(rep.LBTime, refill)

@@ -1,0 +1,62 @@
+package stokes
+
+import (
+	"testing"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/kernels"
+	"afmm/internal/sched"
+)
+
+func TestOverlapBitIdenticalStokes(t *testing.T) {
+	// The Stokes solver runs four harmonic far-field passes over one shared
+	// near-field sweep; the overlapped schedule must still produce exactly
+	// the same velocities and pressures as the sequential one.
+	k := kernels.Stokeslet{Mu: 0.9, Eps: 1e-3}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"cpu-only", Config{P: 6, S: 24, Kernel: k}},
+		{"gpus", Config{P: 6, S: 24, Kernel: k, NumGPUs: 2}},
+		{"gpus-reserved", Config{P: 6, S: 24, Kernel: k, NumGPUs: 2, ReservedDrivers: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sysA := distrib.Plummer(900, 1, 1, 37)
+			randomForces(sysA, 41)
+			sysB := sysA.Clone()
+
+			// Explicit pools: OverlapAuto declines on 1-worker pools, so the
+			// test must not depend on the CI host's core count.
+			cfgA := tc.cfg
+			cfgA.Pool = sched.NewPool(4)
+			cfgB := tc.cfg
+			cfgB.Pool = sched.NewPool(4)
+			cfgB.Overlap = core.OverlapOff
+			a := NewSolver(sysA, cfgA)
+			b := NewSolver(sysB, cfgB)
+			stA := a.Solve()
+			stB := b.Solve()
+			if !stA.Host.Overlapped {
+				t.Fatalf("overlap-eligible Stokes solve did not overlap")
+			}
+			if stB.Host.Overlapped {
+				t.Fatalf("sequential Stokes solve reported Overlapped")
+			}
+
+			phiA, phiB := sysA.PhiInInputOrder(), sysB.PhiInInputOrder()
+			va, vb := sysA.AccInInputOrder(), sysB.AccInInputOrder()
+			for i := range va {
+				if va[i] != vb[i] {
+					t.Fatalf("velocity not bit-identical at body %d: %v vs %v",
+						i, va[i], vb[i])
+				}
+				if phiA[i] != phiB[i] {
+					t.Fatalf("pressure not bit-identical at body %d: %x vs %x",
+						i, phiA[i], phiB[i])
+				}
+			}
+		})
+	}
+}

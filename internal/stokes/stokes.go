@@ -68,6 +68,16 @@ type Config struct {
 	// spans (see core.Config.GatherSources). Results are bit-identical
 	// either way.
 	GatherSources bool
+	// Overlap controls the concurrent near/far host execution (see
+	// core.OverlapMode): with the default core.OverlapAuto the Stokeslet
+	// near field runs concurrently with all four harmonic up-sweep/M2L
+	// passes, converging before the combined L2P evaluation — results are
+	// bit-identical to the sequential order.
+	Overlap core.OverlapMode
+	// ReservedDrivers dedicates pool slots to the near-field class while
+	// the phases overlap (see core.Config.ReservedDrivers; 0 = one per
+	// device, -1 = none).
+	ReservedDrivers int
 	// Rec receives per-phase telemetry from every Solve (see
 	// core.Config.Rec); nil compiles to no-ops. Prefer Solver.SetRecorder
 	// after construction.
@@ -236,35 +246,78 @@ func (s *Solver) Solve() StepTimes {
 		})
 	}
 	prepTimer := sched.StartTimer()
-	s.Sys.ResetAccumulators()
+	s.Sys.ResetAccumulatorsParallel(s.Cfg.Pool)
 	s.ensureSlabs()
 	rec.AddSpan(telemetry.SpanPrep, 0, prepTimer.StartTime(), prepTimer.Elapsed())
 
+	// Near and far phases, overlapped exactly as in core.Solver.Solve: a
+	// driver goroutine executes the Stokeslet near field while this
+	// goroutine runs all four harmonic up-sweep/M2L/L2L passes, and both
+	// converge before the combined four-local L2P — the only far-field
+	// write into Sys.Acc — so the result is bit-identical to the
+	// sequential order.
 	var gpuTime float64
-	var nearDur time.Duration
-	nearTimer := sched.StartTimer()
+	var nearDur, upDur, downDur, l2pDur time.Duration
+	overlapped := s.Cfg.Overlap != core.OverlapOff &&
+		s.Cfg.SweepMode == core.SweepLevelSync && !s.Cfg.SkipFarField &&
+		s.Cfg.Pool.Workers() >= 2 // a 1-worker pool can only time-slice
+	runNear := func() {
+		nearTimer := sched.StartTimer()
+		if s.Cl != nil {
+			gpuTime = s.Cl.ExecuteParallel(t, s.p2pPair, s.Cfg.Pool)
+			nearDur = nearTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanNearExec, 0, nearTimer.StartTime(), nearDur)
+		} else {
+			s.runCPUNearField()
+			nearDur = nearTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanNearCPU, 0, nearTimer.StartTime(), nearDur)
+		}
+	}
 	if s.Cl != nil {
 		s.Cl.Partition(t)
-		gpuTime = s.Cl.ExecuteParallel(t, s.p2pPair, s.Cfg.Pool)
-		nearDur = nearTimer.Elapsed()
-		rec.AddSpan(telemetry.SpanNearExec, 0, nearTimer.StartTime(), nearDur)
-	} else {
-		s.runCPUNearField()
-		nearDur = nearTimer.Elapsed()
-		rec.AddSpan(telemetry.SpanNearCPU, 0, nearTimer.StartTime(), nearDur)
 	}
-	var farDur time.Duration
-	if !s.Cfg.SkipFarField {
+	var overlapRegion time.Duration
+	if overlapped {
+		t.NearField() // prewarm the caches the driver goroutine reads
+		if k := s.reservedDrivers(); k > 0 {
+			s.Cfg.Pool.SetReserved(k)
+			defer s.Cfg.Pool.SetReserved(0)
+		}
+		ovTimer := sched.StartTimer()
+		join := make(chan struct{})
+		go func() {
+			defer close(join)
+			runNear()
+		}()
 		upTimer := sched.StartTimer()
 		s.upSweep()
-		upDur := upTimer.Elapsed()
+		upDur = upTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanUpSweep, 0, upTimer.StartTime(), upDur)
 		downTimer := sched.StartTimer()
-		s.downSweep()
-		downDur := downTimer.Elapsed()
+		s.downSweepLevels(false)
+		downDur = downTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
-		farDur = upDur + downDur
+		<-join
+		overlapRegion = ovTimer.Elapsed()
+		s.Cfg.Pool.SetReserved(0)
+		l2pTimer := sched.StartTimer()
+		s.l2pSweep()
+		l2pDur = l2pTimer.Elapsed()
+		rec.AddSpan(telemetry.SpanL2P, 0, l2pTimer.StartTime(), l2pDur)
+	} else {
+		runNear()
+		if !s.Cfg.SkipFarField {
+			upTimer := sched.StartTimer()
+			s.upSweep()
+			upDur = upTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanUpSweep, 0, upTimer.StartTime(), upDur)
+			downTimer := sched.StartTimer()
+			s.downSweep()
+			downDur = downTimer.Elapsed()
+			rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
+		}
 	}
+	farDur := upDur + downDur + l2pDur
 
 	graphTimer := sched.StartTimer()
 	counts := costmodel.FromTree(t.CountOps())
@@ -319,9 +372,35 @@ func (s *Solver) Solve() StepTimes {
 			}
 		}
 	}
-	st.Host = telemetry.HostPhases{List: listDur, Far: farDur, Near: nearDur, Wall: wallTimer.Elapsed()}
+	wall := wallTimer.Elapsed()
+	st.Host = telemetry.HostPhases{
+		List: listDur, Far: farDur, Near: nearDur,
+		Wall: wall, SerialWall: wall, Overlapped: overlapped,
+	}
+	if overlapped {
+		st.Host.SerialWall = wall - overlapRegion + nearDur + upDur + downDur
+		rec.SetOverlap(st.Host.SerialWall)
+	}
 	rec.End(solveTok)
 	return st
+}
+
+// reservedDrivers resolves Config.ReservedDrivers (see the core solver).
+func (s *Solver) reservedDrivers() int {
+	k := s.Cfg.ReservedDrivers
+	if k < 0 {
+		return 0
+	}
+	if k == 0 {
+		if s.Cl == nil {
+			return 0
+		}
+		k = len(s.Cl.Devices)
+	}
+	if maxK := s.Cfg.Pool.Workers() - 1; k > maxK {
+		k = maxK
+	}
+	return k
 }
 
 func (s *Solver) ensureSlabs() {
@@ -385,7 +464,7 @@ func (s *Solver) runCPUNearField() {
 	t := s.Tree
 	if s.Cfg.SweepMode == core.SweepRecursive {
 		leaves := t.VisibleLeaves()
-		s.Cfg.Pool.ParallelRange(len(leaves), func(lo, hi int) {
+		s.Cfg.Pool.ParallelRangeClass(sched.ClassNear, len(leaves), func(lo, hi int) {
 			for _, li := range leaves[lo:hi] {
 				for _, si := range t.Nodes[li].U {
 					s.p2pPair(li, si)
@@ -396,7 +475,7 @@ func (s *Solver) runCPUNearField() {
 	}
 	sch := t.NearField()
 	sys := s.Sys
-	s.Cfg.Pool.ParallelRangeWeighted(sch.Weights, func(lo, hi int) {
+	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassNear, sch.Weights, func(lo, hi int) {
 		if s.Cfg.GatherSources {
 			g := s.getGather()
 			g.Pack(t, sch, lo, hi, false, true)
@@ -470,7 +549,7 @@ func (s *Solver) downSweep() {
 		s.downSweepRecursive()
 		return
 	}
-	s.downSweepLevels()
+	s.downSweepLevels(true)
 }
 
 // upSweepLevels / downSweepLevels are the level-synchronous sweeps of
@@ -487,7 +566,7 @@ func (s *Solver) upSweepLevels() {
 			continue
 		}
 		weights := s.levelWeights(nodes, true)
-		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+		s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassFar, weights, func(lo, hi int) {
 			w := s.getWS()
 			for _, ni := range nodes[lo:hi] {
 				s.upNode(w, ni)
@@ -523,7 +602,7 @@ func (s *Solver) upNode(w *expansion.Workspace, ni int32) {
 	}
 }
 
-func (s *Solver) downSweepLevels() {
+func (s *Solver) downSweepLevels(withL2P bool) {
 	t := s.Tree
 	levels := t.LevelOrder()
 	for lv := 0; lv < len(levels); lv++ {
@@ -532,18 +611,18 @@ func (s *Solver) downSweepLevels() {
 			continue
 		}
 		weights := s.levelWeights(nodes, false)
-		s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+		s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassFar, weights, func(lo, hi int) {
 			w := s.getWS()
 			var srcs []expansion.M2LSource
 			for _, ni := range nodes[lo:hi] {
-				srcs = s.downNode(w, ni, srcs)
+				srcs = s.downNode(w, ni, srcs, withL2P)
 			}
 			s.putWS(w)
 		})
 	}
 }
 
-func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2LSource) []expansion.M2LSource {
+func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2LSource, withL2P bool) []expansion.M2LSource {
 	t := s.Tree
 	n := &t.Nodes[ni]
 	parent := n.Parent
@@ -564,23 +643,55 @@ func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2L
 			w.M2LBatch(l, n.Box.Center, srcs)
 		}
 	}
-	if n.IsVisibleLeaf() {
-		c0 := 1 / (8 * math.Pi * s.Cfg.Kernel.Mu)
-		for i := n.Start; i < n.End; i++ {
-			x := s.Sys.Pos[i]
-			p0, g0 := w.L2P(s.local(0, ni), n.Box.Center, x)
-			p1, g1 := w.L2P(s.local(1, ni), n.Box.Center, x)
-			p2, g2 := w.L2P(s.local(2, ni), n.Box.Center, x)
-			_, gp := w.L2P(s.local(3, ni), n.Box.Center, x)
-			u := geom.Vec3{
-				X: p0 - (x.X*g0.X + x.Y*g1.X + x.Z*g2.X) + gp.X,
-				Y: p1 - (x.X*g0.Y + x.Y*g1.Y + x.Z*g2.Y) + gp.Y,
-				Z: p2 - (x.X*g0.Z + x.Y*g1.Z + x.Z*g2.Z) + gp.Z,
-			}
-			s.Sys.Acc[i] = s.Sys.Acc[i].Add(u.Scale(c0))
-		}
+	if withL2P && n.IsVisibleLeaf() {
+		s.leafL2P(w, ni)
 	}
 	return srcs
+}
+
+// leafL2P evaluates the four finalized harmonic locals of one visible
+// leaf and combines them into the Stokeslet velocity — per body, exactly
+// one addition onto the near-field-accumulated value, fused or split
+// (the bit-identity argument of the overlapped path).
+func (s *Solver) leafL2P(w *expansion.Workspace, ni int32) {
+	n := &s.Tree.Nodes[ni]
+	c0 := 1 / (8 * math.Pi * s.Cfg.Kernel.Mu)
+	for i := n.Start; i < n.End; i++ {
+		x := s.Sys.Pos[i]
+		p0, g0 := w.L2P(s.local(0, ni), n.Box.Center, x)
+		p1, g1 := w.L2P(s.local(1, ni), n.Box.Center, x)
+		p2, g2 := w.L2P(s.local(2, ni), n.Box.Center, x)
+		_, gp := w.L2P(s.local(3, ni), n.Box.Center, x)
+		u := geom.Vec3{
+			X: p0 - (x.X*g0.X + x.Y*g1.X + x.Z*g2.X) + gp.X,
+			Y: p1 - (x.X*g0.Y + x.Y*g1.Y + x.Z*g2.Y) + gp.Y,
+			Z: p2 - (x.X*g0.Z + x.Y*g1.Z + x.Z*g2.Z) + gp.Z,
+		}
+		s.Sys.Acc[i] = s.Sys.Acc[i].Add(u.Scale(c0))
+	}
+}
+
+// l2pSweep runs the split-out leaf evaluation after the overlap join.
+func (s *Solver) l2pSweep() {
+	t := s.Tree
+	leaves := t.VisibleLeaves()
+	if len(leaves) == 0 {
+		return
+	}
+	if cap(s.weightBuf) < len(leaves) {
+		s.weightBuf = make([]int64, len(leaves))
+	}
+	weights := s.weightBuf[:len(leaves)]
+	for i, ni := range leaves {
+		weights[i] = int64(t.Nodes[ni].Count()) + 1
+	}
+	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassFar, weights, func(lo, hi int) {
+		w := s.getWS()
+		for _, ni := range leaves[lo:hi] {
+			s.leafL2P(w, ni)
+		}
+		s.putWS(w)
+	})
 }
 
 // levelWeights fills the scratch weight buffer for one level (up sweeps

@@ -9,15 +9,20 @@ import (
 // Chrome trace_event export: renders retained step records as a JSON
 // object Perfetto and chrome://tracing load directly. Every span becomes
 // a "complete" ("ph":"X") event with microsecond timestamps relative to
-// the recorder's creation; host phases live on one track, balancer
-// activity on a second, each virtual device on its own, so one step reads
-// as a stacked timeline. Counter ("ph":"C") events chart S and the
-// virtual CPU/GPU times across the run.
+// the recorder's creation; host phases live on one track, the near field
+// on a second (so overlapped solves render the concurrency as two
+// side-by-side bars instead of nested boxes), balancer activity on a
+// third, each virtual device on its own, so one step reads as a stacked
+// timeline. Counter ("ph":"C") events chart S and the virtual CPU/GPU
+// times across the run.
 
 const (
 	chromePID     = 1
 	chromeTIDHost = 1
-	chromeTIDBal  = 2
+	// Near-field execution renders on its own track: on the overlapped
+	// solve path it runs concurrently with the host far-field track.
+	chromeTIDNear = 2
+	chromeTIDBal  = 3
 	// Device tracks start here; device i renders on chromeTIDDev + i.
 	chromeTIDDev = 100
 )
@@ -37,6 +42,8 @@ func spanTID(k SpanKind, arg int32) int {
 	switch k {
 	case SpanDeviceP2P:
 		return chromeTIDDev + int(arg)
+	case SpanNearCPU, SpanNearExec:
+		return chromeTIDNear
 	case SpanBalance, SpanPredict, SpanFineGrain, SpanTreeBuild, SpanEnforceS:
 		return chromeTIDBal
 	}
@@ -59,6 +66,7 @@ func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
 	events := []chromeEvent{
 		{Name: "process_name", Ph: "M", PID: chromePID, Args: map[string]any{"name": "afmm"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDHost, Args: map[string]any{"name": "host"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDNear, Args: map[string]any{"name": "near"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDBal, Args: map[string]any{"name": "balancer"}},
 	}
 	maxDev := 0

@@ -70,6 +70,11 @@ const (
 	SpanDownSweep
 	SpanUpLevel
 	SpanDownLevel
+	// SpanL2P is the standalone leaf local-to-particle evaluation emitted
+	// by the overlapped solve path, where L2P is split out of the down
+	// sweep and runs after the near/far join (sequential solves keep L2P
+	// fused inside SpanDownSweep and never emit this kind).
+	SpanL2P
 	// SpanNearCPU is the host near field (CPU-only configurations);
 	// SpanNearExec is the device partition + parallel kernel execution,
 	// with SpanDeviceP2P nested per device (Arg = device id).
@@ -107,6 +112,7 @@ var spanNames = [numSpanKinds]string{
 	SpanDownSweep:  "far.down",
 	SpanUpLevel:    "far.up.level",
 	SpanDownLevel:  "far.down.level",
+	SpanL2P:        "far.l2p",
 	SpanNearCPU:    "near.cpu",
 	SpanNearExec:   "near.exec",
 	SpanDeviceP2P:  "near.gpu",
@@ -131,11 +137,14 @@ func (k SpanKind) String() string {
 // set that tiles a step: summing the durations of the top-level spans of
 // one record approximates the step's wall clock (the acceptance check is
 // within 5%). Parent spans (SpanSolve, SpanBalance) and nested spans
-// (levels, devices, balancer sub-operations) are excluded.
+// (levels, devices, balancer sub-operations) are excluded. Note that on
+// the overlapped solve path the near and far top-level spans run
+// concurrently, so their sum measures serial-equivalent work, which can
+// legitimately exceed the step's wall clock.
 func (k SpanKind) TopLevel() bool {
 	switch k {
 	case SpanPrep, SpanRefill, SpanListFull, SpanListRepair, SpanListSkip,
-		SpanUpSweep, SpanDownSweep, SpanNearCPU, SpanNearExec,
+		SpanUpSweep, SpanDownSweep, SpanL2P, SpanNearCPU, SpanNearExec,
 		SpanGraph, SpanVCPUSim, SpanObserve, SpanIntegrate, SpanForces,
 		SpanBalance:
 		return true
@@ -234,11 +243,20 @@ func (e Event) MarshalJSON() ([]byte, error) {
 // HostPhases is the host wall-clock breakdown a solver reports for one
 // Solve call, surfaced through core.StepTimes / stokes.StepTimes so step
 // loops need not own a recorder to see where the time went.
+//
+// When Overlapped is set, the near-field sweep ran concurrently with the
+// far-field sweeps: Wall is the real elapsed time and SerialWall the
+// serial-equivalent time (the wall the same solve would have paid running
+// the phases back-to-back: Wall − overlapRegion + Near + Far-inside-
+// region). SerialWall − Wall is the per-step saving from the overlap. On
+// sequential solves Overlapped is false and SerialWall == Wall.
 type HostPhases struct {
-	List time.Duration // interaction-list build/repair/skip
-	Far  time.Duration // up + down sweeps
-	Near time.Duration // CPU near field or device execution
-	Wall time.Duration // whole Solve call
+	List       time.Duration // interaction-list build/repair/skip
+	Far        time.Duration // up + down sweeps (+ split L2P when overlapped)
+	Near       time.Duration // CPU near field or device execution
+	Wall       time.Duration // whole Solve call, real elapsed
+	SerialWall time.Duration // serial-equivalent wall (== Wall when not overlapped)
+	Overlapped bool          // near and far phases ran concurrently
 }
 
 // ListDelta is one step's interaction-list activity (the octree.ListStats
@@ -274,6 +292,12 @@ type StepRecord struct {
 
 	StartNs int64 `json:"start_ns"` // step start since recorder creation
 	WallNs  int64 `json:"wall_ns"`  // host wall clock of the step
+
+	// SerialWallNs is the serial-equivalent solve wall when the solver
+	// overlapped its near and far phases (see HostPhases); Overlapped marks
+	// such steps. Both are zero-valued on sequential steps.
+	SerialWallNs int64 `json:"serial_wall_ns,omitempty"`
+	Overlapped   bool  `json:"overlapped,omitempty"`
 
 	Counts [NumOps]int64   `json:"counts"`
 	OpTime [NumOps]float64 `json:"op_time"` // observed attributed seconds
@@ -584,6 +608,19 @@ func (r *Recorder) SetWorkerBusy(busyNs []int64) {
 	r.ensureStepLocked()
 	r.busyBuf = append(r.busyBuf[:0], busyNs...)
 	r.cur.WorkerBusyNs = r.busyBuf
+	r.mu.Unlock()
+}
+
+// SetOverlap records that the step's solve ran its near and far phases
+// concurrently, and the serial-equivalent wall time of the solve.
+func (r *Recorder) SetOverlap(serialWall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Overlapped = true
+	r.cur.SerialWallNs = serialWall.Nanoseconds()
 	r.mu.Unlock()
 }
 

@@ -265,14 +265,19 @@ func (c *Cluster) Execute(t *octree.Tree, fn P2PFunc) float64 {
 
 // ExecuteParallel is Execute with the numeric work spread over the host
 // pool: devices own disjoint target leaves, so their writes never alias
-// and each device's work can run as a task. Timing is identical to
-// Execute (the virtual clock does not depend on host scheduling).
+// and each device's chunk walk can run as a sched.ClassNear task — on the
+// reserved driver slots when the solver has dedicated some (the paper's
+// one-host-core-per-GPU split), sharing the general slots otherwise. The
+// calling goroutine is the blocking "collect" thread. Even a single
+// device is spawned as a task so a reserved driver slot executes it.
+// Timing is identical to Execute (the virtual clock does not depend on
+// host scheduling).
 func (c *Cluster) ExecuteParallel(t *octree.Tree, fn P2PFunc, pool *sched.Pool) float64 {
-	if pool == nil || len(c.Devices) <= 1 {
+	if pool == nil {
 		return c.Execute(t, fn)
 	}
 	sch := c.schedule(t)
-	g := pool.NewGroup()
+	g := pool.NewGroupClass(sched.ClassNear)
 	for _, d := range c.Devices {
 		d := d
 		g.Spawn(func() { d.run(t, sch, fn, c.Rec) })
