@@ -41,6 +41,7 @@ import (
 	"afmm/internal/costmodel"
 	"afmm/internal/distrib"
 	"afmm/internal/dmem"
+	"afmm/internal/fault"
 	"afmm/internal/fieldgrid"
 	"afmm/internal/geom"
 	"afmm/internal/kernels"
@@ -319,10 +320,55 @@ type (
 var (
 	// CaptureSnapshot copies the system state (plus S and step info).
 	CaptureSnapshot = checkpoint.Capture
+	// CaptureSnapshotState additionally captures the balancer's FSM state,
+	// so a resumed run continues in Observation instead of re-searching.
+	CaptureSnapshotState = checkpoint.CaptureState
 	// WriteSnapshot gob-encodes a snapshot.
 	WriteSnapshot = checkpoint.Write
 	// ReadSnapshot decodes a snapshot.
 	ReadSnapshot = checkpoint.Read
+	// WriteSnapshotFile atomically persists a snapshot (temp file +
+	// rename), so a crash mid-write never truncates a good checkpoint.
+	WriteSnapshotFile = checkpoint.WriteFile
+	// ReadSnapshotFile loads a snapshot written by WriteSnapshotFile.
+	ReadSnapshotFile = checkpoint.ReadFile
+)
+
+// SimCheckpointFile is the rolling auto-checkpoint filename the
+// simulation loop writes inside SimConfig.CheckpointDir.
+const SimCheckpointFile = sim.CheckpointFile
+
+// Fault injection and resilience (see docs/RESILIENCE.md).
+type (
+	// FaultSchedule is a parsed deterministic fault-injection schedule.
+	FaultSchedule = fault.Schedule
+	// FaultInjector drives a schedule against the simulated devices.
+	FaultInjector = fault.Injector
+	// FaultKind identifies a fault class (fail-stop, hang, straggle,
+	// transient, corrupt).
+	FaultKind = fault.Kind
+	// WatchdogConfig tunes the device watchdog: heartbeat deadline,
+	// transient-retry budget and backoff, fallback chunking.
+	WatchdogConfig = vgpu.WatchdogConfig
+	// FaultReport summarizes fault handling for a solve's near field.
+	FaultReport = vgpu.FaultReport
+	// DeviceFault is one device transition recorded during a solve.
+	DeviceFault = vgpu.DeviceFault
+	// ValidationError reports a non-finite accumulator caught by the
+	// opt-in post-solve validation (GravityConfig.Validate).
+	ValidationError = core.ValidationError
+)
+
+// Fault-injection entry points.
+var (
+	// ParseFaultSchedule parses the fault spec grammar, e.g.
+	// "gpu1:failstop@step12,gpu0:straggle2.5@step20".
+	ParseFaultSchedule = fault.Parse
+	// RandomFaultSchedule draws a seeded random schedule (soak testing).
+	RandomFaultSchedule = fault.Random
+	// NewFaultInjector builds the injector a solver consults per chunk
+	// (GravityConfig.Faults / StokesConfig.Faults).
+	NewFaultInjector = fault.NewInjector
 )
 
 // Field sampling on regular lattices (visualization).

@@ -51,7 +51,7 @@ func main() {
 	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -65,7 +65,8 @@ func main() {
 	known := map[string]bool{"fig3": true, "fig4": true, "fig6": true,
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
 		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
-		"lists": true, "telemetry": true, "overlap": true, "all": true}
+		"lists": true, "telemetry": true, "overlap": true, "faults": true,
+		"all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -116,6 +117,47 @@ func main() {
 		fmt.Println("==== OVERLAP (concurrent near/far schedule vs sequential) ====")
 		runOverlap(p)
 	}
+	if which == "faults" { // resilience benchmark; not part of "all"
+		fmt.Println("==== FAULTS (device fault injection: detection, recovery, degradation) ====")
+		runFaults(p)
+	}
+}
+
+// runFaults drives every fault class through a paired fault-free/faulted
+// simulation and writes the machine-readable BENCH_faults.json: per-class
+// detection latency, recovery overhead and degraded throughput, the
+// checkpoint-restore path, and the balancer's reaction to a device loss.
+func runFaults(p experiments.Params) {
+	res := experiments.Faults(p)
+	fmt.Printf("trajectory: Plummer N=%d, S=%d, P=%d, %d GPUs, %d steps, fault at step %d\n",
+		res.N, res.S, res.P, res.GPUs, res.Steps, res.FaultStep)
+	fmt.Printf("%-10s %5s %9s %11s %11s %10s %6s %8s %8s\n",
+		"class", "ident", "detect", "recov-over", "throughput", "fallback", "dead", "retries", "recov")
+	for _, c := range res.Cases {
+		ident := "yes"
+		if !c.BitIdentical {
+			ident = "NO"
+		}
+		fmt.Printf("%-10s %5s %7.1fms %9.1fms %11.3f %7drow %6d %8d %8d\n",
+			c.Name, ident, float64(c.DetectNs)/1e6, float64(c.RecoveryOverheadNs)/1e6,
+			c.DegradedThroughput, c.FallbackRows, c.DeadDevices,
+			c.TransientRetries, c.Recoveries)
+	}
+	fmt.Printf("restore path (%s): %d recoveries, %d checkpoints, bit-identical=%v, overhead %.1fms\n",
+		res.Recovery.Spec, res.Recovery.Recoveries, res.Recovery.Checkpoints,
+		res.Recovery.BitIdentical, float64(res.Recovery.OverheadNs)/1e6)
+	fmt.Printf("balancer (full strategy): S %d -> %d, capacity drop %.0f%%, search re-entered=%v, alive devices %d\n",
+		res.Balancer.SPreFault, res.Balancer.SFinal, 100*res.Balancer.CapacityDropFrac,
+		res.Balancer.SearchReentered, res.Balancer.AliveDevices)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_faults.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_faults.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_faults.json")
 }
 
 // runOverlap benchmarks the concurrent-phase scheduler against sequential

@@ -4,8 +4,11 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 
 	"afmm"
@@ -30,38 +33,55 @@ func main() {
 	chromeFile := flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline (open in Perfetto) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar + net/http/pprof on this address (e.g. localhost:6060)")
 	noOverlap := flag.Bool("no-overlap", false, "run near and far phases sequentially instead of overlapped (results are bit-identical either way)")
+	faults := flag.String("faults", "", "fault-injection schedule, e.g. gpu1:failstop@step12,gpu0:straggle2.5@step20")
+	pinS := flag.Bool("pin-s", false, "hold S fixed at its initial value (no balancer-driven rebuilds) so paired runs can be compared for bit-identity")
+	validate := flag.Bool("validate", false, "check accumulators for NaN/Inf after every solve (fails the step, triggering checkpoint recovery)")
+	ckEvery := flag.Int("checkpoint-every", 0, "auto-checkpoint after every N completed steps (0 = keep only the initial state for recovery)")
+	ckDir := flag.String("checkpoint-dir", "", "persist the rolling auto-checkpoint atomically in this directory")
+	resume := flag.String("resume", "", "resume from this checkpoint file (overrides -dist/-n/-s with the snapshot's bodies and leaf capacity)")
+	finalHash := flag.Bool("final-hash", false, "print an FNV-64a hash of the final accelerations and potentials (input order) for bit-identity checks")
 	flag.Parse()
 
-	var sys *afmm.System
-	switch *dist {
-	case "plummer":
-		sys = afmm.Plummer(*n, 1, 1, *seed)
-	case "plummer-compressed":
-		sys = afmm.Plummer(*n, 1, 1, *seed)
-		for i := range sys.Pos {
-			sys.Pos[i] = sys.Pos[i].Scale(0.25)
+	var resumeSnap *afmm.Snapshot
+	if *resume != "" {
+		sn, err := afmm.ReadSnapshotFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-	case "uniform":
-		sys = afmm.UniformCube(*n, 1, *seed)
-	case "shell":
-		sys = afmm.UniformShell(*n, 1, *seed)
-	case "twocluster":
-		sys = afmm.TwoClusters(*n, 1, 1, 6, 0.5, *seed)
-	case "disk":
-		sys = afmm.SpiralDisk(*n, 1, 1, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *dist)
-		os.Exit(2)
+		resumeSnap = &sn
+		*s = sn.S
+	}
+
+	var sys *afmm.System
+	if resumeSnap != nil {
+		restored, err := resumeSnap.Restore()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sys = restored
+	} else {
+		sys = makeSystem(*dist, *n, *seed)
 	}
 
 	cfg := afmm.GravityConfig{
-		P:       *p,
-		S:       *s,
-		NumGPUs: *gpus,
-		Kernel:  afmm.GravityKernel{G: 1, Softening: *soft},
+		P:        *p,
+		S:        *s,
+		NumGPUs:  *gpus,
+		Kernel:   afmm.GravityKernel{G: 1, Softening: *soft},
+		Validate: *validate,
 	}
 	if *noOverlap {
 		cfg.Overlap = afmm.OverlapOff
+	}
+	if *faults != "" {
+		sch, err := afmm.ParseFaultSchedule(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = afmm.NewFaultInjector(sch)
 	}
 	cfg.CPU = afmm.DefaultCPU()
 	cfg.CPU.Cores = *cores
@@ -81,11 +101,22 @@ func main() {
 	default:
 		strat = afmm.StrategyFull
 	}
+	balCfg := afmm.BalanceConfig{Strategy: strat}
+	if *pinS {
+		// A single-point search space settles immediately without a
+		// rebuild: even strategy 1's initial search is suppressed, which
+		// timing-perturbing faults would otherwise steer to a different S.
+		balCfg.Strategy = afmm.StrategyStatic
+		balCfg.MinS, balCfg.MaxS = *s, *s
+	}
 
 	simCfg := afmm.SimConfig{
-		Dt:      *dt,
-		Steps:   *steps,
-		Balance: afmm.BalanceConfig{Strategy: strat},
+		Dt:              *dt,
+		Steps:           *steps,
+		Balance:         balCfg,
+		CheckpointEvery: *ckEvery,
+		CheckpointDir:   *ckDir,
+		Resume:          resumeSnap,
 	}
 	var rec *afmm.Recorder
 	if *traceFile != "" || *chromeFile != "" || *debugAddr != "" {
@@ -112,6 +143,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server (expvar, pprof) on http://%s/debug/\n", addr)
 	}
 	res := afmm.RunGravity(solver, simCfg)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "run aborted after %d recoveries: %v\n", res.Recoveries, res.Err)
+		os.Exit(1)
+	}
+	if res.Recoveries > 0 || res.Checkpoints > 0 {
+		fmt.Fprintf(os.Stderr, "resilience: %d recoveries, %d checkpoints\n",
+			res.Recoveries, res.Checkpoints)
+	}
 	if err := rec.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "trace sink: %v\n", err)
 		os.Exit(1)
@@ -148,4 +187,54 @@ func main() {
 		"total compute %.4fs, LB %.4fs (%.2f%%), refill %.4fs, mean/step %.6fs\n",
 		res.TotalCompute, res.TotalLB, res.LBPercent(), res.TotalRefill,
 		res.MeanTotalPerStep())
+	if *finalHash {
+		fmt.Printf("final-hash: %016x\n", stateHash(sys))
+	}
+}
+
+// makeSystem builds the initial body distribution.
+func makeSystem(dist string, n int, seed int64) *afmm.System {
+	switch dist {
+	case "plummer":
+		return afmm.Plummer(n, 1, 1, seed)
+	case "plummer-compressed":
+		sys := afmm.Plummer(n, 1, 1, seed)
+		for i := range sys.Pos {
+			sys.Pos[i] = sys.Pos[i].Scale(0.25)
+		}
+		return sys
+	case "uniform":
+		return afmm.UniformCube(n, 1, seed)
+	case "shell":
+		return afmm.UniformShell(n, 1, seed)
+	case "twocluster":
+		return afmm.TwoClusters(n, 1, 1, 6, 0.5, seed)
+	case "disk":
+		return afmm.SpiralDisk(n, 1, 1, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", dist)
+		os.Exit(2)
+		return nil
+	}
+}
+
+// stateHash digests the final accelerations and potentials in input
+// order (FNV-64a over the raw float bits), so two runs can be compared
+// for bit-identity from the command line.
+func stateHash(sys *afmm.System) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	acc := sys.AccInInputOrder()
+	phi := sys.PhiInInputOrder()
+	for i := range acc {
+		put(acc[i].X)
+		put(acc[i].Y)
+		put(acc[i].Z)
+		put(phi[i])
+	}
+	return h.Sum64()
 }

@@ -170,6 +170,11 @@ type Balancer struct {
 	dir        int // +1: raise S (CPU-bound), -1: lower S
 	prevDom    int // +1 CPU dominated, -1 GPU dominated
 	searchDone bool
+
+	// capacity bookkeeping (heterogeneous degradation; see CapacitySensor)
+	capSeen  bool
+	capEpoch int64
+	capVal   float64
 }
 
 // New creates a balancer for a system of n bodies starting at S0.
@@ -256,8 +261,25 @@ func (b *Balancer) withinSwitch(st StepTimes) bool {
 // AfterStep runs the balancing workflow of §VII.B after a completed solve
 // (and after the integrator moved the bodies and Refill re-binned them).
 // It mutates the solver's tree / S for the next step and returns what it
-// did along with the virtual time charged for it.
+// did along with the virtual time charged for it. When the target also
+// reports near-field capacity (CapacitySensor), a capacity epoch change —
+// a device loss, derating, or restore — is folded in first: the balance
+// point just moved for a reason no tree edit caused, so the full strategy
+// re-enters Search over the surviving capacity before the normal state
+// step runs.
 func (b *Balancer) AfterStep(s Target, st StepTimes) Report {
+	var pre Report
+	if cs, ok := s.(CapacitySensor); ok {
+		pre = b.noteCapacity(s, cs)
+	}
+	r := b.stepFSM(s, st)
+	if len(pre.Events) > 0 {
+		r.Events = append(pre.Events, r.Events...)
+	}
+	return r
+}
+
+func (b *Balancer) stepFSM(s Target, st StepTimes) Report {
 	switch b.State {
 	case Frozen:
 		return Report{State: Frozen, NewS: s.S()}

@@ -1,0 +1,87 @@
+package balance
+
+import (
+	"testing"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/fault"
+	"afmm/internal/telemetry"
+	"afmm/internal/vgpu"
+)
+
+// TestDeviceLossResplitAndResearch is the end-to-end acceptance
+// trajectory: a real two-device solver under the full balancing strategy
+// loses a device mid-run. The cluster must re-split the near field over
+// the survivor, the balancer must see the capacity epoch change and
+// re-enter Search on S, and the run must keep producing finite steps.
+func TestDeviceLossResplitAndResearch(t *testing.T) {
+	const faultStep = 6
+	sys := distrib.UniformCube(3000, 10, 11)
+	sch, err := fault.Parse("gpu1:failstop@step6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.New(telemetry.Options{Keep: true})
+	s := core.NewSolver(sys, core.Config{
+		P: 4, S: 48, NumGPUs: 2,
+		Faults:   fault.NewInjector(sch),
+		Watchdog: vgpu.WatchdogConfig{ChunkRows: 8},
+		Rec:      rec,
+		Validate: true,
+	})
+	b := New(Config{Strategy: StrategyFull, MinS: 4, MaxS: 512, Rec: rec}, sys.Len())
+	// Start in Observation with the pre-loss timing as baseline, as a
+	// long-settled run would be.
+	b.Import(Snapshot{State: Observation})
+
+	var stateAtFault State
+	for step := 0; step < faultStep+3; step++ {
+		rec.StartStep(step)
+		st, err := s.SolveChecked()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step == faultStep-1 {
+			stateAtFault = b.State
+		}
+		b.AfterStep(s, StepTimes{CPU: st.CPUTime, GPU: st.GPUTime})
+		rec.EndStep()
+	}
+
+	if stateAtFault != Observation {
+		t.Fatalf("balancer left Observation before the fault: %v", stateAtFault)
+	}
+	// Re-split: the survivor owns the whole near field.
+	if alive := s.Cluster.AliveDevices(); alive != 1 {
+		t.Fatalf("alive devices = %d, want 1", alive)
+	}
+	rep := s.Cluster.LastReport()
+	if rep.DeadDevices != 1 {
+		t.Fatalf("dead devices = %d, want 1", rep.DeadDevices)
+	}
+	// Re-search: the fault step's event log contains the capacity shift
+	// and the Observation -> Search transition.
+	steps := rec.Steps()
+	var sawCapacity, sawToSearch bool
+	for _, e := range steps[faultStep].Events {
+		switch e.Kind {
+		case telemetry.EventCapacity:
+			sawCapacity = true
+			if e.FA >= e.FB {
+				t.Fatalf("capacity did not drop: %g -> %g", e.FB, e.FA)
+			}
+		case telemetry.EventState:
+			if State(e.B) == Search {
+				sawToSearch = true
+			}
+		}
+	}
+	if !sawCapacity || !sawToSearch {
+		t.Fatalf("fault step events missing capacity/search transition: %v",
+			steps[faultStep].Events)
+	}
+	if b.State == Frozen {
+		t.Fatalf("full strategy ended frozen")
+	}
+}

@@ -1,20 +1,27 @@
 // Package checkpoint serializes simulation state so long runs can be
-// paused, archived and resumed deterministically. A snapshot captures the
-// bodies (in storage order, so the decomposition rebuilds identically),
-// the current leaf-capacity parameter, and step bookkeeping.
+// paused, archived and resumed deterministically — including after a
+// failed step, which is how the step loop recovers from device faults. A
+// snapshot captures the bodies (in storage order, so the decomposition
+// rebuilds identically), the current leaf-capacity parameter, the
+// balancer's FSM state (so a restored run resumes in Observation instead
+// of re-running the search), and step bookkeeping.
 package checkpoint
 
 import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
+	"afmm/internal/balance"
 	"afmm/internal/geom"
 	"afmm/internal/particle"
 )
 
-// Version tags the snapshot encoding.
-const Version = 1
+// Version tags the snapshot encoding. Version 2 added the balancer state;
+// version-1 snapshots (no balancer) are still restored.
+const Version = 2
 
 // Snapshot is a serializable simulation state.
 type Snapshot struct {
@@ -30,6 +37,10 @@ type Snapshot struct {
 	// Step and Time locate the snapshot in the run.
 	Step int
 	Time float64
+	// HasBal marks Bal as meaningful: the load balancer's FSM state at
+	// capture time (version >= 2).
+	HasBal bool
+	Bal    balance.Snapshot
 }
 
 // Capture copies the system state into a snapshot.
@@ -48,10 +59,21 @@ func Capture(sys *particle.System, s, step int, time float64) Snapshot {
 	}
 }
 
+// CaptureState copies the system and the balancer's FSM state into a
+// snapshot. A nil balancer produces a body-only snapshot (HasBal false).
+func CaptureState(sys *particle.System, s, step int, time float64, b *balance.Balancer) Snapshot {
+	sn := Capture(sys, s, step, time)
+	if b != nil {
+		sn.HasBal = true
+		sn.Bal = b.Export()
+	}
+	return sn
+}
+
 // Restore materializes a particle system from the snapshot.
 func (sn Snapshot) Restore() (*particle.System, error) {
-	if sn.Version != Version {
-		return nil, fmt.Errorf("checkpoint: version %d unsupported (want %d)",
+	if sn.Version < 1 || sn.Version > Version {
+		return nil, fmt.Errorf("checkpoint: version %d unsupported (want <= %d)",
 			sn.Version, Version)
 	}
 	if len(sn.Pos) != sn.N || len(sn.Vel) != sn.N || len(sn.Mass) != sn.N ||
@@ -80,6 +102,48 @@ func Read(r io.Reader) (Snapshot, error) {
 	var sn Snapshot
 	if err := gob.NewDecoder(r).Decode(&sn); err != nil {
 		return Snapshot{}, err
+	}
+	return sn, nil
+}
+
+// WriteFile atomically persists a snapshot: it encodes into a temporary
+// file in the target directory, fsyncs, and renames over the destination,
+// so a crash mid-write never leaves a truncated checkpoint where a good
+// one stood.
+func WriteFile(path string, sn Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Write(tmp, sn); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: encode %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: commit %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a snapshot written by WriteFile.
+func ReadFile(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	sn, err := Read(f)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("checkpoint: decode %s: %w", path, err)
 	}
 	return sn, nil
 }

@@ -2,12 +2,24 @@ package checkpoint
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"afmm/internal/balance"
 	"afmm/internal/core"
 	"afmm/internal/distrib"
-	"afmm/internal/sim"
+	"afmm/internal/particle"
 )
+
+// kickDrift is sim.KickDrift, inlined: the sim package now imports
+// checkpoint (for step-level recovery), so the test can't.
+func kickDrift(sys *particle.System, dt float64) {
+	for i := range sys.Pos {
+		sys.Vel[i] = sys.Vel[i].Add(sys.Acc[i].Scale(dt))
+		sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(dt))
+	}
+}
 
 func TestRoundTrip(t *testing.T) {
 	sys := distrib.Plummer(500, 1, 1, 42)
@@ -57,37 +69,44 @@ func TestRestoreRejectsCorruption(t *testing.T) {
 }
 
 // TestResumeDeterminism: advancing A for 5+5 steps with a tree rebuild in
-// the middle must equal advancing 5 steps, snapshotting, restoring into a
-// fresh solver (which rebuilds), and advancing 5 more.
+// the middle must equal advancing 5 steps, snapshotting (including the
+// load balancer's FSM state), restoring into a fresh solver and a fresh
+// balancer, and advancing 5 more. The resumed balancer must pick up in
+// the captured state rather than re-running its search.
 func TestResumeDeterminism(t *testing.T) {
 	const dt = 1e-4
-	mk := func() *core.Solver {
+	mk := func() (*core.Solver, *balance.Balancer) {
 		sys := distrib.Plummer(400, 1, 1, 9)
-		return core.NewSolver(sys, core.Config{P: 4, S: 16, NumGPUs: 1})
+		s := core.NewSolver(sys, core.Config{P: 4, S: 16, NumGPUs: 1})
+		b := balance.New(balance.Config{Strategy: balance.StrategyFull, MinS: 4, MaxS: 128},
+			sys.Len())
+		return s, b
 	}
-	step := func(s *core.Solver) {
-		s.Solve()
-		sim.KickDrift(s.Sys, dt)
+	step := func(s *core.Solver, b *balance.Balancer) {
+		st := s.Solve()
+		b.AfterStep(s, balance.StepTimes{CPU: st.CPUTime, GPU: st.GPUTime})
+		kickDrift(s.Sys, dt)
 		s.Refill()
 	}
 
-	// Continuous run with a mid-run rebuild.
-	a := mk()
+	// Continuous run with a mid-run rebuild (aligning the tree with what a
+	// resumed run builds from scratch).
+	a, ab := mk()
 	for i := 0; i < 5; i++ {
-		step(a)
+		step(a, ab)
 	}
-	a.Rebuild(16)
+	a.Rebuild(a.S())
 	for i := 0; i < 5; i++ {
-		step(a)
+		step(a, ab)
 	}
 
 	// Snapshot/resume run.
-	b := mk()
+	b, bb := mk()
 	for i := 0; i < 5; i++ {
-		step(b)
+		step(b, bb)
 	}
 	var buf bytes.Buffer
-	if err := Write(&buf, Capture(b.Sys, b.S(), 5, 5*dt)); err != nil {
+	if err := Write(&buf, CaptureState(b.Sys, b.S(), 5, 5*dt, bb)); err != nil {
 		t.Fatal(err)
 	}
 	sn, err := Read(&buf)
@@ -98,11 +117,23 @@ func TestResumeDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !sn.HasBal {
+		t.Fatal("snapshot lost the balancer state")
+	}
 	c := core.NewSolver(sysC, core.Config{P: 4, S: sn.S, NumGPUs: 1})
+	cb := balance.New(balance.Config{Strategy: balance.StrategyFull, MinS: 4, MaxS: 128},
+		sysC.Len())
+	cb.Import(sn.Bal)
+	if cb.State != bb.State {
+		t.Fatalf("restored balancer state %v, want %v", cb.State, bb.State)
+	}
 	for i := 0; i < 5; i++ {
-		step(c)
+		step(c, cb)
 	}
 
+	if cb.State != ab.State {
+		t.Fatalf("balancer states diverged after resume: %v vs %v", cb.State, ab.State)
+	}
 	accA := a.Sys.AccInInputOrder()
 	accC := c.Sys.AccInInputOrder()
 	posA := a.Sys.PhiInInputOrder()
@@ -111,5 +142,61 @@ func TestResumeDeterminism(t *testing.T) {
 		if accA[i] != accC[i] || posA[i] != posC[i] {
 			t.Fatalf("resumed run diverged at body %d", i)
 		}
+	}
+	if a.S() != c.S() {
+		t.Fatalf("leaf capacity diverged after resume: %d vs %d", a.S(), c.S())
+	}
+}
+
+// TestVersion1SnapshotStillRestores: pre-balancer snapshots load.
+func TestVersion1SnapshotStillRestores(t *testing.T) {
+	sys := distrib.Plummer(100, 1, 1, 4)
+	sn := Capture(sys, 16, 3, 0.3)
+	sn.Version = 1
+	var buf bytes.Buffer
+	if err := Write(&buf, sn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasBal {
+		t.Fatal("v1 snapshot claims balancer state")
+	}
+	if _, err := got.Restore(); err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+}
+
+// TestWriteFileAtomic: WriteFile replaces the destination atomically and
+// leaves no temp droppings; ReadFile round-trips.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.gob")
+	sys := distrib.Plummer(80, 1, 1, 2)
+	if err := WriteFile(path, Capture(sys, 16, 1, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a later snapshot; the old file must be replaced.
+	if err := WriteFile(path, Capture(sys, 24, 2, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.S != 24 || sn.Step != 2 {
+		t.Fatalf("stale snapshot survived: %+v", sn)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Fatal("missing checkpoint read succeeded")
 	}
 }

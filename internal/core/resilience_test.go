@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"afmm/internal/costmodel"
+	"afmm/internal/distrib"
+	"afmm/internal/fault"
+	"afmm/internal/kernels"
+	"afmm/internal/particle"
+	"afmm/internal/vgpu"
+)
+
+func testSystem(t *testing.T, n int) *particle.System {
+	t.Helper()
+	return distrib.UniformCube(n, 10, 42)
+}
+
+func faultCfg(spec string, t *testing.T) (Config, *fault.Injector) {
+	t.Helper()
+	var inj *fault.Injector
+	if spec != "" {
+		sch, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatalf("parse fault spec: %v", err)
+		}
+		inj = fault.NewInjector(sch)
+	}
+	return Config{
+		P: 4, S: 32, NumGPUs: 2,
+		Kernel: kernels.Gravity{G: 1, Softening: 1e-3},
+		Faults: inj,
+		Watchdog: vgpu.WatchdogConfig{
+			ChunkRows: 4,
+		},
+	}, inj
+}
+
+// TestValidateCatchesCorruptedChunk is the satellite guard test: a
+// transiently corrupted device chunk poisons an accumulator, and the
+// opt-in Validate scan fails the step before its results could reach an
+// integrator.
+func TestValidateCatchesCorruptedChunk(t *testing.T) {
+	sys := testSystem(t, 2000)
+	cfg, _ := faultCfg("gpu0:corrupt@step1", t)
+	cfg.Validate = true
+	s := NewSolver(sys, cfg)
+	if _, err := s.SolveChecked(); err != nil {
+		t.Fatalf("step 0 (pre-fault) failed: %v", err)
+	}
+	_, err := s.SolveChecked()
+	if err == nil {
+		t.Fatal("corrupted step passed validation")
+	}
+	verr, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("want *ValidationError, got %T: %v", err, err)
+	}
+	if !math.IsNaN(verr.Phi) {
+		t.Fatalf("expected NaN Phi at body %d, got %g", verr.Body, verr.Phi)
+	}
+}
+
+// TestValidatePassesCleanRun: the guard is quiet on healthy steps.
+func TestValidatePassesCleanRun(t *testing.T) {
+	sys := testSystem(t, 1500)
+	cfg, _ := faultCfg("", t)
+	cfg.Validate = true
+	s := NewSolver(sys, cfg)
+	for step := 0; step < 3; step++ {
+		if _, err := s.SolveChecked(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestSolveCheckedSurfacesUnrecoveredLoss: with the host fallback
+// disabled, a fail-stop device loss becomes a step error instead of a
+// silent partial result.
+func TestSolveCheckedSurfacesUnrecoveredLoss(t *testing.T) {
+	sys := testSystem(t, 2000)
+	cfg, _ := faultCfg("gpu1:failstop@step1", t)
+	cfg.Watchdog.DisableFallback = true
+	s := NewSolver(sys, cfg)
+	if _, err := s.SolveChecked(); err != nil {
+		t.Fatalf("step 0: %v", err)
+	}
+	if _, err := s.SolveChecked(); err == nil {
+		t.Fatal("unrecovered device loss did not fail the step")
+	}
+}
+
+// TestSolverFaultBitIdentical: end-to-end through the core solver, a
+// fail-stop device loss recovered by the host fallback produces
+// accelerations bit-identical to the fault-free run, and the GPU cost
+// coefficient is re-derived upward at the capacity epoch change.
+func TestSolverFaultBitIdentical(t *testing.T) {
+	sysA := testSystem(t, 2500)
+	sysB := testSystem(t, 2500)
+	cfgA, _ := faultCfg("", t)
+	cfgB, _ := faultCfg("gpu0:failstop@step1", t)
+	a := NewSolver(sysA, cfgA)
+	b := NewSolver(sysB, cfgB)
+	for step := 0; step < 3; step++ {
+		a.Solve()
+		stB, err := b.SolveChecked()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step >= 1 && stB.GPUTime <= 0 {
+			t.Fatalf("step %d: degraded step lost its GPU time", step)
+		}
+		for i := range sysA.Phi {
+			if sysA.Phi[i] != sysB.Phi[i] || sysA.Acc[i] != sysB.Acc[i] {
+				t.Fatalf("step %d: divergence at body %d: phi %g vs %g",
+					step, i, sysA.Phi[i], sysB.Phi[i])
+			}
+		}
+	}
+	rep := b.Cluster.LastReport()
+	if rep.DeadDevices != 1 {
+		t.Fatalf("want 1 dead device, got %d", rep.DeadDevices)
+	}
+	if a.Model.Coef[costmodel.P2P] >= b.Model.Coef[costmodel.P2P] {
+		t.Fatalf("degraded P2P coefficient %g not above fault-free %g",
+			b.Model.Coef[costmodel.P2P], a.Model.Coef[costmodel.P2P])
+	}
+	epoch, capacity := b.NearFieldCapacity()
+	if epoch == 0 || capacity <= 0 {
+		t.Fatalf("capacity epoch/value not advanced: %d %g", epoch, capacity)
+	}
+	if _, full := a.NearFieldCapacity(); capacity >= full {
+		t.Fatalf("degraded capacity %g not below full %g", capacity, full)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"afmm/internal/costmodel"
 	"afmm/internal/expansion"
+	"afmm/internal/fault"
 	"afmm/internal/geom"
 	"afmm/internal/kernels"
 	"afmm/internal/octree"
@@ -157,6 +158,19 @@ type Config struct {
 	// Solver.SetRecorder over mutating this after construction, so the
 	// device cluster picks up the recorder too.
 	Rec *telemetry.Recorder
+	// Validate enables the opt-in post-solve invariant guard: after each
+	// SolveChecked, every body's Phi/Acc accumulators are scanned for
+	// NaN/Inf in parallel and a non-finite value fails the step before
+	// its results can reach the integrator.
+	Validate bool
+	// Faults, when non-nil, arms the device cluster's deterministic
+	// fault injector: device runs consult it per chunk, the watchdog
+	// monitor starts, and dead devices' work is recovered by the host
+	// fallback. Nil (the default) executes the exact pre-fault paths.
+	Faults *fault.Injector
+	// Watchdog tunes fault detection and recovery (zero value =
+	// documented defaults); only consulted when Faults is set.
+	Watchdog vgpu.WatchdogConfig
 	// OffloadEndpoints moves the P2M and L2P work to the GPUs — the
 	// extension the paper proposes (§VIII.E) for configurations whose
 	// CPU is underpowered relative to the devices ("the way forward in
@@ -228,6 +242,11 @@ type Solver struct {
 	// gatherFree recycles per-chunk near-field source gathers (SoA packing
 	// buffers), one per concurrently executing chunk.
 	gatherFree chan *octree.SourceGather
+	// capEpoch/capVal track the cluster's last-seen capacity state, so
+	// Solve can re-derive the GPU prediction exactly once per topology
+	// change (device loss/derating).
+	capEpoch int64
+	capVal   float64
 }
 
 // NewSolver builds the decomposition and the device cluster.
@@ -251,6 +270,24 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 	if cfg.NumGPUs > 0 {
 		s.Cluster = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
 		s.Cluster.Rec = cfg.Rec
+		s.Cluster.Injector = cfg.Faults
+		s.Cluster.Watchdog = cfg.Watchdog
+		// Host fallback rate: how fast the virtual CPU would grind P2P
+		// interactions, for charging recovered rows in virtual time.
+		if base := cfg.CPU.Base[costmodel.P2P] * cfg.Profile.P2PCostFactor; base > 0 {
+			s.Cluster.HostP2PRate = float64(cfg.CPU.Cores) / base
+		}
+		// Corrupt faults poison one accumulator of the chunk's first
+		// target leaf — a silent-data-corruption stand-in the Validate
+		// guard must catch before integration.
+		s.Cluster.Corrupt = func(target int32) {
+			n := &s.Tree.Nodes[target]
+			if n.Count() > 0 {
+				s.Sys.Phi[n.Start] = math.NaN()
+			}
+		}
+		s.capEpoch = s.Cluster.CapacityEpoch()
+		s.capVal = s.Cluster.Capacity()
 	}
 	s.Model = costmodel.NewModel(s.priorCoefficients())
 	return s
@@ -381,8 +418,10 @@ func (s *Solver) Solve() StepTimes {
 		}
 		ovTimer := sched.StartTimer()
 		join := make(chan struct{})
+		var nearPanic any
 		go func() {
 			defer close(join)
+			defer func() { nearPanic = recover() }()
 			runNear()
 		}()
 		upTimer := sched.StartTimer()
@@ -394,6 +433,11 @@ func (s *Solver) Solve() StepTimes {
 		downDur = downTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
 		<-join // collect: both phases converge before L2P
+		if nearPanic != nil {
+			// Re-raise the driver goroutine's failure on the solve
+			// goroutine, where SolveChecked's recover can see it.
+			panic(nearPanic)
+		}
 		overlapRegion = ovTimer.Elapsed()
 		s.Cfg.Pool.SetReserved(0)
 		l2pTimer := sched.StartTimer()
@@ -482,6 +526,22 @@ func (s *Solver) Solve() StepTimes {
 		obs.Time[costmodel.P2P] = res.Makespan * res.BusyTime[costmodel.P2P] / opBusy
 	}
 	s.Model.Observe(obs)
+	// Capacity-change epoch: when the cluster lost a device (or a device
+	// was derated/restored) during this solve, re-derive the GPU-side
+	// prediction by the capacity ratio C/C' — the fault may have landed
+	// mid-step, so this step's own observation underestimates a fully
+	// degraded step. Applied after the fold so Observe cannot clobber it;
+	// the next full degraded step's observation refines the estimate.
+	if s.Cluster != nil {
+		if ep := s.Cluster.CapacityEpoch(); ep != s.capEpoch {
+			newCap := s.Cluster.Capacity()
+			if newCap > 0 && s.capVal > 0 {
+				s.Model.ScaleGPU(s.capVal / newCap)
+			}
+			s.capEpoch = ep
+			s.capVal = newCap
+		}
+	}
 	rec.AddSpan(telemetry.SpanObserve, 0, obsTimer.StartTime(), obsTimer.Elapsed())
 
 	if rec.Enabled() {

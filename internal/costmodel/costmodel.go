@@ -99,6 +99,18 @@ func (m *Model) Observe(o Observation) {
 	}
 }
 
+// ScaleGPU multiplies the P2P coefficient by factor — the immediate
+// re-derivation of the GPU-side prediction when the near-field capacity
+// changes (device loss or derating): the same interaction count spread
+// over capacity C' costs C/C' times the old coefficient. The next
+// Observe refines the estimate from the measured degraded step; ScaleGPU
+// keeps predictions honest in between.
+func (m *Model) ScaleGPU(factor float64) {
+	if factor > 0 {
+		m.Coef[P2P] *= factor
+	}
+}
+
 // PredictCPU returns the predicted far-field (CPU) time for the counts.
 func (m *Model) PredictCPU(c Counts) float64 {
 	var t float64

@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"afmm/internal/balance"
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/fault"
+	"afmm/internal/geom"
+	"afmm/internal/kernels"
+	"afmm/internal/sim"
+	"afmm/internal/telemetry"
+	"afmm/internal/vgpu"
+)
+
+// FaultCaseResult is one fault class driven through a full simulation,
+// paired step-for-step with a fault-free run of the same trajectory.
+type FaultCaseResult struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+	// Completed is false when the run aborted (it never should: every
+	// class is recoverable through retry, host fallback, or checkpoint
+	// restore).
+	Completed bool `json:"completed"`
+	// BitIdentical reports whether the final potentials and accelerations
+	// match the fault-free run bit for bit.
+	BitIdentical bool `json:"bit_identical"`
+	// Recoveries counts step-level checkpoint restores (non-zero only for
+	// classes that fail the whole step, e.g. corrupt caught by validation).
+	Recoveries int `json:"recoveries"`
+
+	// Fault-handling counters accumulated over the run.
+	DeadDevices      int   `json:"dead_devices"`
+	DegradedDevices  int   `json:"degraded_devices"`
+	TransientRetries int   `json:"transient_retries"`
+	FallbackRows     int   `json:"fallback_rows"`
+	FallbackHostNs   int64 `json:"fallback_host_ns"`
+
+	// DetectNs is the watchdog's hang-detection latency (host ns): the
+	// time between a device going silent and its abort. Zero for classes
+	// the device reports synchronously (fail-stop, transient, corrupt).
+	DetectNs int64 `json:"detect_ns"`
+	// RecoveryOverheadNs is the host-wall cost of absorbing the fault:
+	// the fault step's wall time minus the fault-free twin's wall for the
+	// same step (for corrupt, the whole-run wall delta, since the restore
+	// spans several steps).
+	RecoveryOverheadNs int64 `json:"recovery_overhead_ns"`
+
+	// Degraded throughput: mean virtual compute time per step before and
+	// after the fault step, and their ratio (1 = no slowdown; < 1 = the
+	// degraded cluster is slower).
+	PreFaultComputePerStep  float64 `json:"pre_fault_compute_per_step"`
+	PostFaultComputePerStep float64 `json:"post_fault_compute_per_step"`
+	DegradedThroughput      float64 `json:"degraded_throughput"`
+}
+
+// FaultRecoveryResult exercises the checkpoint-restore path: host
+// fallback disabled, so a device loss fails the step and the sim loop
+// must restore the last auto-checkpoint and re-run degraded.
+type FaultRecoveryResult struct {
+	Spec         string `json:"spec"`
+	Recoveries   int    `json:"recoveries"`
+	Checkpoints  int    `json:"checkpoints"`
+	BitIdentical bool   `json:"bit_identical"`
+	// OverheadNs is the total host-wall cost of the failure: faulted-run
+	// standing wall minus the fault-free run's (includes the lost work of
+	// the failed step, the restore, and the degraded re-run).
+	OverheadNs int64 `json:"overhead_ns"`
+}
+
+// FaultBalancerReaction summarizes how the full balancing strategy
+// responds to a device loss: capacity-epoch event, re-split over the
+// survivors, and a re-entered S search.
+type FaultBalancerReaction struct {
+	SPreFault        int     `json:"s_pre_fault"`
+	SFinal           int     `json:"s_final"`
+	AliveDevices     int     `json:"alive_devices"`
+	CapacityDropFrac float64 `json:"capacity_drop_frac"`
+	SearchReentered  bool    `json:"search_reentered"`
+}
+
+// FaultsBenchResult is the machine-readable payload of the "faults"
+// benchmark (written to BENCH_faults.json by afmm-bench): the three
+// headline resilience metrics — detection latency, recovery overhead,
+// degraded throughput — per fault class, plus the checkpoint-restore
+// path and the balancer's reaction to a device loss.
+type FaultsBenchResult struct {
+	N         int `json:"n"`
+	S         int `json:"s"`
+	P         int `json:"p"`
+	GPUs      int `json:"gpus"`
+	Steps     int `json:"steps"`
+	FaultStep int `json:"fault_step"`
+
+	Cases    []FaultCaseResult     `json:"cases"`
+	Recovery FaultRecoveryResult   `json:"recovery"`
+	Balancer FaultBalancerReaction `json:"balancer"`
+}
+
+// faultsS is the pinned leaf capacity of the paired trajectories (the
+// balancer is held static so the faulted and fault-free runs stay
+// structurally comparable and bit-identity is meaningful).
+const faultsS = 64
+
+// faultTraj is one manually-driven trajectory with per-step fault
+// accounting.
+type faultTraj struct {
+	phi     []float64
+	acc     []geom.Vec3
+	wallNs  []int64
+	compute []float64
+	detect  int64
+	retries int
+	fbRows  int
+	fbNs    int64
+	dead    int
+	degr    int
+	err     error
+}
+
+func (p Params) faultSolver(spec string, mut func(cfg *core.Config)) *core.Solver {
+	sys := distrib.Plummer(p.N, 1, 1, p.Seed)
+	cfg := core.Config{
+		P:        p.P,
+		S:        faultsS,
+		NumGPUs:  p.GPUs,
+		GPUSpec:  p.gpuSpec(),
+		CPU:      cpuSpec(p.Cores),
+		Kernel: kernels.Gravity{G: 1, Softening: 0.01},
+		// A generous deadline: on small or heavily shared hosts a GC
+		// pause can starve a device goroutine past the default 50ms
+		// floor, and a spurious watchdog abort (harmless for
+		// correctness — the fallback keeps the run bit-identical)
+		// would muddy the per-class metrics.
+		Watchdog: vgpu.WatchdogConfig{
+			ChunkRows:   16,
+			MinDeadline: 250 * time.Millisecond,
+			Slack:       20,
+		},
+	}
+	if spec != "" {
+		sch, err := fault.Parse(spec)
+		if err != nil {
+			panic("experiments: bad fault spec " + spec + ": " + err.Error())
+		}
+		cfg.Faults = fault.NewInjector(sch)
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return core.NewSolver(sys, cfg)
+}
+
+// runFaultTraj advances the solver for steps steps (solve, kick-drift,
+// refill — no balancer, S pinned) and accumulates the cluster's fault
+// reports.
+func runFaultTraj(sv *core.Solver, steps int, dt float64) faultTraj {
+	var tr faultTraj
+	for step := 0; step < steps; step++ {
+		st, err := sv.SolveChecked()
+		if err != nil {
+			tr.err = err
+			return tr
+		}
+		tr.wallNs = append(tr.wallNs, st.Host.Wall.Nanoseconds())
+		tr.compute = append(tr.compute, math.Max(st.CPUTime, st.GPUTime))
+		rep := sv.Cluster.LastReport()
+		tr.retries += rep.TransientRetries
+		tr.fbRows += rep.FallbackRows
+		tr.fbNs += rep.FallbackHostNs
+		for _, f := range rep.Faults {
+			if f.Detect > tr.detect {
+				tr.detect = f.Detect
+			}
+		}
+		tr.dead = rep.DeadDevices
+		tr.degr = rep.DegradedDevices
+		sim.KickDrift(sv.Sys, dt)
+		sv.Refill()
+	}
+	tr.phi = sv.Sys.PhiInInputOrder()
+	tr.acc = sv.Sys.AccInInputOrder()
+	return tr
+}
+
+func sameState(a, b faultTraj) bool {
+	if len(a.phi) != len(b.phi) {
+		return false
+	}
+	for i := range a.phi {
+		if a.phi[i] != b.phi[i] || a.acc[i] != b.acc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func meanF64(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Faults runs the resilience benchmark: every fault class against a
+// fault-free twin of the same trajectory, the checkpoint-restore path,
+// and the balancer's reaction to a device loss.
+func Faults(p Params) FaultsBenchResult {
+	if p.N <= 0 {
+		p.N = 20000
+	}
+	if p.Steps <= 0 {
+		p.Steps = 10
+	}
+	p.setDefaults()
+	if p.GPUs < 2 {
+		p.GPUs = 2 // fault classes target a second device
+	}
+	faultStep := p.Steps / 3
+	if faultStep < 1 {
+		faultStep = 1
+	}
+	res := FaultsBenchResult{
+		N: p.N, S: faultsS, P: p.P, GPUs: p.GPUs,
+		Steps: p.Steps, FaultStep: faultStep,
+	}
+
+	// Fault-free twin of the paired trajectories.
+	clean := runFaultTraj(p.faultSolver("", nil), p.Steps, p.Dt)
+
+	stepTag := func(kind string) string {
+		return kind + "@step" + strconv.Itoa(faultStep)
+	}
+	classes := []struct{ name, spec string }{
+		{"failstop", "gpu1:" + stepTag("failstop")},
+		{"hang", "gpu0:" + stepTag("hang")},
+		{"straggle", "gpu1:" + stepTag("straggle3")},
+		{"transient", "gpu0:" + stepTag("transient")},
+	}
+	for _, c := range classes {
+		tr := runFaultTraj(p.faultSolver(c.spec, nil), p.Steps, p.Dt)
+		cr := FaultCaseResult{
+			Name: c.name, Spec: c.spec,
+			Completed:        tr.err == nil,
+			BitIdentical:     tr.err == nil && sameState(clean, tr),
+			DeadDevices:      tr.dead,
+			DegradedDevices:  tr.degr,
+			TransientRetries: tr.retries,
+			FallbackRows:     tr.fbRows,
+			FallbackHostNs:   tr.fbNs,
+			DetectNs:         tr.detect,
+		}
+		if len(tr.wallNs) > faultStep {
+			cr.RecoveryOverheadNs = tr.wallNs[faultStep] - clean.wallNs[faultStep]
+			cr.PreFaultComputePerStep = meanF64(tr.compute[:faultStep])
+			cr.PostFaultComputePerStep = meanF64(tr.compute[faultStep+1:])
+			if cr.PostFaultComputePerStep > 0 {
+				cr.DegradedThroughput = cr.PreFaultComputePerStep / cr.PostFaultComputePerStep
+			}
+		}
+		res.Cases = append(res.Cases, cr)
+	}
+
+	// Corrupt: the poisoned chunk is caught by the post-solve validator,
+	// the step fails, and the loop restores the auto-checkpoint and
+	// re-runs (the injector fires once, so the re-run is clean). Dt = 0
+	// so the restore's tree rebuild reproduces the original decomposition
+	// and bit-identity is checkable.
+	corruptSpec := "gpu1:" + stepTag("corrupt")
+	res.Cases = append(res.Cases, p.runCorruptCase(corruptSpec, faultStep))
+
+	// Checkpoint-restore path: fallback disabled, so a fail-stop loss
+	// fails the step outright.
+	res.Recovery = p.runRecoveryCase("gpu1:"+stepTag("failstop"), faultStep)
+
+	// Balancer reaction to a device loss under the full strategy.
+	res.Balancer = p.runBalancerReaction("gpu1:" + stepTag("failstop"))
+	return res
+}
+
+// pinnedBalance holds S fixed so paired sim runs stay structurally
+// comparable.
+func pinnedBalance() balance.Config {
+	return balance.Config{Strategy: balance.StrategyStatic, MinS: faultsS, MaxS: faultsS}
+}
+
+func (p Params) runSimPair(spec string, mut func(cfg *core.Config)) (clean, faulted sim.Result, cs, fs *core.Solver) {
+	cs = p.faultSolver("", nil)
+	fs = p.faultSolver(spec, mut)
+	cfg := sim.Config{Dt: 0, Steps: p.Steps, Balance: pinnedBalance(), CheckpointEvery: 2}
+	clean = sim.RunGravity(cs, cfg)
+	faulted = sim.RunGravity(fs, cfg)
+	return clean, faulted, cs, fs
+}
+
+func sameFinalState(a, b *core.Solver) bool {
+	phiA, phiB := a.Sys.PhiInInputOrder(), b.Sys.PhiInInputOrder()
+	accA, accB := a.Sys.AccInInputOrder(), b.Sys.AccInInputOrder()
+	for i := range phiA {
+		if phiA[i] != phiB[i] || accA[i] != accB[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func totalWallNs(r sim.Result) int64 {
+	var s int64
+	for _, rec := range r.Records {
+		s += rec.WallNs
+	}
+	return s
+}
+
+func (p Params) runCorruptCase(spec string, faultStep int) FaultCaseResult {
+	clean, faulted, cs, fs := p.runSimPair(spec, func(cfg *core.Config) {
+		cfg.Validate = true
+	})
+	cr := FaultCaseResult{
+		Name: "corrupt", Spec: spec,
+		Completed:    clean.Err == nil && faulted.Err == nil,
+		Recoveries:   faulted.Recoveries,
+		BitIdentical: faulted.Err == nil && sameFinalState(cs, fs),
+	}
+	cr.RecoveryOverheadNs = totalWallNs(faulted) - totalWallNs(clean)
+	var pre, post []float64
+	for _, rec := range faulted.Records {
+		if rec.Step < faultStep {
+			pre = append(pre, rec.Compute)
+		} else if rec.Step > faultStep {
+			post = append(post, rec.Compute)
+		}
+	}
+	cr.PreFaultComputePerStep = meanF64(pre)
+	cr.PostFaultComputePerStep = meanF64(post)
+	if cr.PostFaultComputePerStep > 0 {
+		cr.DegradedThroughput = cr.PreFaultComputePerStep / cr.PostFaultComputePerStep
+	}
+	return cr
+}
+
+func (p Params) runRecoveryCase(spec string, faultStep int) FaultRecoveryResult {
+	clean, faulted, cs, fs := p.runSimPair(spec, func(cfg *core.Config) {
+		cfg.Watchdog.DisableFallback = true
+	})
+	return FaultRecoveryResult{
+		Spec:         spec,
+		Recoveries:   faulted.Recoveries,
+		Checkpoints:  faulted.Checkpoints,
+		BitIdentical: faulted.Err == nil && sameFinalState(cs, fs),
+		OverheadNs:   totalWallNs(faulted) - totalWallNs(clean),
+	}
+}
+
+func (p Params) runBalancerReaction(spec string) FaultBalancerReaction {
+	rec := telemetry.New(telemetry.Options{Keep: true})
+	sv := p.faultSolver(spec, func(cfg *core.Config) {
+		cfg.Rec = rec
+		cfg.Validate = true
+	})
+	b := balance.New(balance.Config{
+		Strategy: balance.StrategyFull, MinS: 4, MaxS: 512, Rec: rec,
+	}, sv.Sys.Len())
+	// Start long-settled: Observation with the pre-loss timing baseline.
+	b.Import(balance.Snapshot{State: balance.Observation})
+
+	faultStep := p.Steps / 3
+	if faultStep < 1 {
+		faultStep = 1
+	}
+	var out FaultBalancerReaction
+	steps := faultStep + 6
+	for step := 0; step < steps; step++ {
+		rec.StartStep(step)
+		if step == faultStep {
+			out.SPreFault = sv.S()
+		}
+		st, err := sv.SolveChecked()
+		if err != nil {
+			rec.EndStep()
+			break
+		}
+		sim.KickDrift(sv.Sys, p.Dt)
+		sv.Refill()
+		b.AfterStep(sv, balance.StepTimes{CPU: st.CPUTime, GPU: st.GPUTime})
+		rec.EndStep()
+	}
+	out.SFinal = sv.S()
+	out.AliveDevices = sv.Cluster.AliveDevices()
+	for _, sr := range rec.Steps() {
+		if sr.Step < faultStep {
+			continue
+		}
+		for _, e := range sr.Events {
+			switch e.Kind {
+			case telemetry.EventCapacity:
+				if e.FB > 0 && e.FA < e.FB {
+					out.CapacityDropFrac = (e.FB - e.FA) / e.FB
+				}
+			case telemetry.EventState:
+				if balance.State(e.B) == balance.Search {
+					out.SearchReentered = true
+				}
+			}
+		}
+	}
+	return out
+}

@@ -17,7 +17,9 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,6 +195,22 @@ func (p *Pool) ClassBusyNs(dst []int64) []int64 {
 	return dst
 }
 
+// TaskPanic wraps a panic recovered from a pool task. Worker panics do
+// not kill the process: the group captures the first one (with its
+// stack) and re-raises it at the join point — Wait re-panics it in the
+// waiting goroutine, WaitErr returns it as an error. Either way the
+// panicking task's worker slot is returned to the pool first, so a
+// crashing task can neither deadlock the pool nor poison a reserved
+// slot partition.
+type TaskPanic struct {
+	Value any    // the value passed to panic()
+	Stack []byte // stack of the panicking task
+}
+
+func (t *TaskPanic) Error() string {
+	return fmt.Sprintf("task panic: %v\n%s", t.Value, t.Stack)
+}
+
 // Group tracks a set of spawned tasks, the analogue of the implicit set
 // awaited by "#pragma omp taskwait". Groups may nest freely, and groups of
 // different classes may be driven concurrently from different goroutines —
@@ -201,6 +219,9 @@ type Group struct {
 	pool  *Pool
 	class Class
 	wg    sync.WaitGroup
+	// panicked holds the first TaskPanic recovered from this group's
+	// tasks; Wait/WaitErr surface it after the join.
+	panicked atomic.Pointer[TaskPanic]
 }
 
 // NewGroup returns a ClassGeneral task group bound to the pool.
@@ -222,6 +243,24 @@ func (g *Group) sems() chan int {
 	return g.pool.sem
 }
 
+// runTask executes f, converting a panic into a recorded TaskPanic
+// (first one wins) instead of letting it unwind past the task boundary.
+// A re-raised *TaskPanic from a nested group join propagates unwrapped.
+func (g *Group) runTask(f func()) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			tp = &TaskPanic{Value: r, Stack: debug.Stack()}
+		}
+		g.panicked.CompareAndSwap(nil, tp)
+	}()
+	f()
+}
+
 // Spawn runs f as a task: on a fresh goroutine when a worker slot is free,
 // otherwise inline in the caller (which preserves progress and bounds
 // parallelism without deadlock, as in help-first task runtimes).
@@ -240,12 +279,12 @@ func (g *Group) Spawn(f func()) {
 				sem <- slot
 				g.wg.Done()
 			}()
-			f()
+			g.runTask(f)
 		}()
 	default:
 		g.pool.inlined.Add(1)
 		start := time.Now()
-		f()
+		g.runTask(f)
 		dt := int64(time.Since(start))
 		g.pool.inlineBusy.Add(dt)
 		g.pool.classBusy[g.class].Add(dt)
@@ -253,8 +292,26 @@ func (g *Group) Spawn(f func()) {
 }
 
 // Wait blocks until every task spawned on the group has completed
-// (taskwait).
-func (g *Group) Wait() { g.wg.Wait() }
+// (taskwait). If any task panicked, the first recovered *TaskPanic is
+// re-panicked here, in the joining goroutine — after every slot has
+// been returned — so the failure surfaces where the work was awaited
+// rather than killing the process from a worker.
+func (g *Group) Wait() {
+	g.wg.Wait()
+	if tp := g.panicked.Load(); tp != nil {
+		panic(tp)
+	}
+}
+
+// WaitErr blocks like Wait but returns a recovered task panic as an
+// error instead of re-panicking, for callers that degrade gracefully.
+func (g *Group) WaitErr() error {
+	g.wg.Wait()
+	if tp := g.panicked.Load(); tp != nil {
+		return tp
+	}
+	return nil
+}
 
 // ParallelRange splits [0, n) into roughly equal chunks and processes them
 // concurrently, at most pool.Workers() at a time.

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"path/filepath"
+	"testing"
+
+	"afmm/internal/balance"
+	"afmm/internal/checkpoint"
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/fault"
+	"afmm/internal/kernels"
+	"afmm/internal/telemetry"
+	"afmm/internal/vgpu"
+)
+
+// faultSolver builds a two-device gravity solver with an optional fault
+// schedule. The balancer config used with it pins S (MinS == MaxS), so
+// the search settles immediately without a rebuild and paired runs stay
+// structurally comparable.
+func faultSolver(t *testing.T, n int, spec string, mut func(cfg *core.Config)) *core.Solver {
+	t.Helper()
+	sys := distrib.UniformCube(n, 10, 5)
+	cfg := core.Config{
+		P: 4, S: 32, NumGPUs: 2,
+		Kernel:   kernels.Gravity{G: 1, Softening: 1e-3},
+		Watchdog: vgpu.WatchdogConfig{ChunkRows: 8},
+	}
+	if spec != "" {
+		sch, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = fault.NewInjector(sch)
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return core.NewSolver(sys, cfg)
+}
+
+func pinnedCfg(steps int) Config {
+	return Config{
+		Dt:    1e-4,
+		Steps: steps,
+		Balance: balance.Config{
+			Strategy: balance.StrategyStatic,
+			MinS:     32, MaxS: 32,
+		},
+	}
+}
+
+func assertSameFinalState(t *testing.T, a, b *core.Solver) {
+	t.Helper()
+	phiA, phiB := a.Sys.PhiInInputOrder(), b.Sys.PhiInInputOrder()
+	accA, accB := a.Sys.AccInInputOrder(), b.Sys.AccInInputOrder()
+	posA, posB := a.Sys.Pos, b.Sys.Pos
+	for i := range phiA {
+		if phiA[i] != phiB[i] || accA[i] != accB[i] {
+			t.Fatalf("final state diverged at body %d: phi %x vs %x", i, phiA[i], phiB[i])
+		}
+	}
+	for i := range posA {
+		if posA[i] != posB[i] {
+			t.Fatalf("positions diverged at body %d", i)
+		}
+	}
+}
+
+// TestFaultySimBitIdenticalViaFallback: a run that loses a device to
+// fail-stop and has another straggling completes through the host
+// fallback — no failed steps, no recoveries — and its trajectory is
+// bit-for-bit the fault-free one.
+func TestFaultySimBitIdenticalViaFallback(t *testing.T) {
+	const steps = 6
+	a := faultSolver(t, 2000, "", nil)
+	b := faultSolver(t, 2000, "gpu0:failstop@step2,gpu1:straggle2@step4", nil)
+	ra := RunGravity(a, pinnedCfg(steps))
+	rb := RunGravity(b, pinnedCfg(steps))
+	if ra.Err != nil || rb.Err != nil {
+		t.Fatalf("runs errored: %v / %v", ra.Err, rb.Err)
+	}
+	if rb.Recoveries != 0 {
+		t.Fatalf("fallback path took %d recoveries, want 0", rb.Recoveries)
+	}
+	if len(rb.Records) != steps {
+		t.Fatalf("got %d records, want %d", len(rb.Records), steps)
+	}
+	assertSameFinalState(t, a, b)
+	if rep := b.Cluster.LastReport(); rep.DeadDevices != 1 {
+		t.Fatalf("dead devices = %d, want 1", rep.DeadDevices)
+	}
+}
+
+// TestRecoveryRestoresAndRerunsDegraded: with the host fallback disabled,
+// a fail-stop loss fails its step; the loop restores the auto-checkpoint
+// and re-runs degraded (survivor-only partition), finishing with the same
+// bits as the fault-free run. Dt is zero so the mid-run restore's tree
+// rebuild reproduces the original decomposition exactly.
+func TestRecoveryRestoresAndRerunsDegraded(t *testing.T) {
+	const steps = 6
+	rec := telemetry.New(telemetry.Options{Keep: true})
+	a := faultSolver(t, 2000, "", nil)
+	b := faultSolver(t, 2000, "gpu1:failstop@step3", func(cfg *core.Config) {
+		cfg.Watchdog.DisableFallback = true
+	})
+	cfgA := pinnedCfg(steps)
+	cfgA.Dt = 0
+	cfgB := pinnedCfg(steps)
+	cfgB.Dt = 0
+	cfgB.CheckpointEvery = 2
+	cfgB.Rec = rec
+	ra := RunGravity(a, cfgA)
+	rb := RunGravity(b, cfgB)
+	if ra.Err != nil || rb.Err != nil {
+		t.Fatalf("runs errored: %v / %v", ra.Err, rb.Err)
+	}
+	if rb.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", rb.Recoveries)
+	}
+	if len(rb.Records) != steps {
+		t.Fatalf("got %d standing records, want %d", len(rb.Records), steps)
+	}
+	assertSameFinalState(t, a, b)
+
+	// The trace shows the failure and the restore-from-step-2.
+	var sawFail, sawRestore bool
+	for _, sr := range rec.Steps() {
+		for _, e := range sr.Events {
+			switch e.Kind {
+			case telemetry.EventStepFail:
+				sawFail = true
+				if e.A != 3 {
+					t.Fatalf("step_fail at %d, want 3", e.A)
+				}
+			case telemetry.EventRestore:
+				sawRestore = true
+				if e.A != 3 || e.B != 2 {
+					t.Fatalf("restore = failing %d from snapshot %d, want 3 from 2", e.A, e.B)
+				}
+			}
+		}
+	}
+	if !sawFail || !sawRestore {
+		t.Fatal("trace missing step_fail/restore events")
+	}
+}
+
+// TestRecoveryGivesUpAfterMaxRecoveries: a fault that every re-run hits
+// again (all devices dead, fallback disabled) exhausts the recovery
+// budget and surfaces the error instead of looping forever.
+func TestRecoveryGivesUpAfterMaxRecoveries(t *testing.T) {
+	s := faultSolver(t, 1200, "gpu0:failstop@step1,gpu1:failstop@step1", func(cfg *core.Config) {
+		cfg.Watchdog.DisableFallback = true
+	})
+	cfg := pinnedCfg(6)
+	cfg.Dt = 0
+	cfg.MaxRecoveries = 2
+	res := RunGravity(s, cfg)
+	if res.Err == nil {
+		t.Fatal("unrecoverable run reported success")
+	}
+	if res.Recoveries != 3 { // 2 allowed + the failing third
+		t.Fatalf("recoveries = %d, want 3", res.Recoveries)
+	}
+}
+
+// TestAutoCheckpointAndResume: the rolling on-disk checkpoint restores
+// into a fresh solver and the resumed loop continues from the snapshot's
+// step to the target.
+func TestAutoCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	s := faultSolver(t, 1500, "", nil)
+	cfg := pinnedCfg(4)
+	cfg.CheckpointEvery = 2
+	cfg.CheckpointDir = dir
+	res := RunGravity(s, cfg)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Checkpoints != 2 {
+		t.Fatalf("checkpoints = %d, want 2", res.Checkpoints)
+	}
+
+	sn, err := checkpoint.ReadFile(filepath.Join(dir, CheckpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Step != 4 || !sn.HasBal {
+		t.Fatalf("snapshot step=%d hasBal=%v, want 4/true", sn.Step, sn.HasBal)
+	}
+	sys, err := sn.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := core.NewSolver(sys, core.Config{
+		P: 4, S: sn.S, NumGPUs: 2,
+		Kernel: kernels.Gravity{G: 1, Softening: 1e-3},
+	})
+	cfg2 := pinnedCfg(7)
+	cfg2.Resume = &sn
+	res2 := RunGravity(s2, cfg2)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if len(res2.Records) != 3 {
+		t.Fatalf("resumed run has %d records, want 3", len(res2.Records))
+	}
+	if res2.Records[0].Step != 4 || res2.Records[2].Step != 6 {
+		t.Fatalf("resumed steps %d..%d, want 4..6",
+			res2.Records[0].Step, res2.Records[2].Step)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 
 	"afmm/internal/balance"
+	"afmm/internal/checkpoint"
 	"afmm/internal/core"
 	"afmm/internal/geom"
 	"afmm/internal/particle"
@@ -19,11 +21,31 @@ import (
 	"afmm/internal/telemetry"
 )
 
+// CheckpointFile is the rolling auto-checkpoint filename inside
+// Config.CheckpointDir (atomically replaced on every write).
+const CheckpointFile = "auto.ckpt"
+
 // Config controls a run.
 type Config struct {
 	Dt      float64
 	Steps   int
 	Balance balance.Config
+	// CheckpointEvery K > 0 snapshots the run after every K completed
+	// steps: an in-memory snapshot is always kept for step-level recovery,
+	// and when CheckpointDir is set it is also persisted atomically
+	// (temp file + rename) as CheckpointDir/auto.ckpt. K <= 0 keeps only
+	// the run's initial state, so recovery restarts from the beginning.
+	CheckpointEvery int
+	CheckpointDir   string
+	// MaxRecoveries bounds how many failed steps the loop will recover
+	// from (restore the last snapshot, re-run degraded) before giving up
+	// and returning the error in Result.Err. Default 3.
+	MaxRecoveries int
+	// Resume, when non-nil, seeds the run from a checkpoint: the caller
+	// has already restored the bodies into the solver (and built it with
+	// the snapshot's S); the loop imports the balancer FSM state and
+	// continues step numbering from Snapshot.Step toward Steps.
+	Resume *checkpoint.Snapshot
 	// Trace, when non-nil, receives one JSON line per step — the
 	// telemetry.StepRecord schema (timings, S, balancer state and typed
 	// events, phase spans, cost-model observation). When Rec is nil a
@@ -78,6 +100,13 @@ type Result struct {
 	TotalLB      float64
 	TotalRefill  float64
 	TotalTime    float64
+	// Recoveries counts failed steps the loop recovered from (restore +
+	// degraded re-run); Checkpoints counts snapshots taken. Err is set
+	// when the run aborted — a step kept failing past MaxRecoveries, or a
+	// checkpoint could not be written.
+	Recoveries  int
+	Checkpoints int
+	Err         error
 }
 
 // LBPercent returns total LB time as a percentage of total compute time
@@ -126,12 +155,55 @@ type Stepper interface {
 	SetRecorder(*telemetry.Recorder)
 }
 
+// restoreInto copies a snapshot's bodies back into the stepper's system
+// (the arrays are same-length: snapshots never resize a run), rebuilds
+// the decomposition at the snapshot's S, and re-imports the balancer FSM.
+func restoreInto(s Stepper, bal *balance.Balancer, sn checkpoint.Snapshot) {
+	sys := s.System()
+	copy(sys.Pos, sn.Pos)
+	copy(sys.Vel, sn.Vel)
+	copy(sys.Aux, sn.Aux)
+	copy(sys.Mass, sn.Mass)
+	copy(sys.Index, sn.Index)
+	s.Rebuild(sn.S)
+	if sn.HasBal {
+		bal.Import(sn.Bal)
+	}
+}
+
+// trimTo drops records from failed-then-replayed steps (step >= from) and
+// recomputes the running totals, so a recovered run's Result reads like
+// the steps that actually stand.
+func (r *Result) trimTo(from int) {
+	keep := r.Records[:0]
+	for _, rec := range r.Records {
+		if rec.Step < from {
+			keep = append(keep, rec)
+		}
+	}
+	r.Records = keep
+	r.TotalCompute, r.TotalLB, r.TotalRefill, r.TotalTime = 0, 0, 0, 0
+	for _, rec := range r.Records {
+		r.TotalCompute += rec.Compute
+		r.TotalLB += rec.LBTime
+		r.TotalRefill += rec.Refill
+		r.TotalTime += rec.Total
+	}
+}
+
 // runLoop is the single step loop behind RunGravity and RunStokes, so the
 // refill/balance/trace accounting cannot drift between the two problems.
 // solveAndMove performs one solve plus the problem's position update and
 // returns the step's virtual CPU/GPU times and the solver's host phase
-// breakdown.
-func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases)) Result {
+// breakdown; a non-nil error marks the step failed with the system in an
+// untrusted state (the position update must not have run).
+//
+// Failed steps recover through the checkpoint machinery: the loop
+// restores the last snapshot (taken every CheckpointEvery steps; at least
+// the run's initial state), re-runs from there — degraded, since a lost
+// device stays lost across the restore — and gives up with Result.Err
+// after MaxRecoveries failures.
+func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases, err error)) Result {
 	rec := cfg.Rec
 	if rec == nil && cfg.Trace != nil {
 		rec = telemetry.New(telemetry.Options{JSONL: cfg.Trace})
@@ -140,16 +212,61 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 		s.SetRecorder(rec)
 		cfg.Balance.Rec = rec
 	}
+	if cfg.MaxRecoveries == 0 {
+		cfg.MaxRecoveries = 3
+	}
 	bal := balance.New(cfg.Balance, s.System().Len())
 	var res Result
+	startStep := 0
+	var lastSnap checkpoint.Snapshot
+	if cfg.Resume != nil {
+		lastSnap = *cfg.Resume
+		startStep = lastSnap.Step
+		if lastSnap.HasBal {
+			bal.Import(lastSnap.Bal)
+		}
+	} else {
+		lastSnap = checkpoint.CaptureState(s.System(), s.S(), 0, 0, bal)
+	}
+	saveSnap := func(step int) bool {
+		tok := rec.Begin(telemetry.SpanCheckpoint, 0)
+		defer rec.End(tok)
+		lastSnap = checkpoint.CaptureState(s.System(), s.S(), step, float64(step)*cfg.Dt, bal)
+		res.Checkpoints++
+		if cfg.CheckpointDir != "" {
+			if err := checkpoint.WriteFile(filepath.Join(cfg.CheckpointDir, CheckpointFile), lastSnap); err != nil {
+				res.Err = err
+				return false
+			}
+		}
+		return true
+	}
 	// Input-order observation buffers, reused across steps (see
 	// Config.Observe).
 	var phiBuf []float64
 	var accBuf []geom.Vec3
-	for step := 0; step < cfg.Steps; step++ {
+	for step := startStep; step < cfg.Steps; step++ {
 		rec.StartStep(step)
 		wallTimer := sched.StartTimer()
-		cpu, gpu, host := solveAndMove(rec)
+		cpu, gpu, host, serr := solveAndMove(rec)
+		if serr != nil {
+			rec.EmitEvent(telemetry.EventStepFail, int64(step), 0, 0, 0)
+			res.Recoveries++
+			if res.Recoveries > cfg.MaxRecoveries {
+				rec.EndStep()
+				res.Err = fmt.Errorf("sim: step %d failed after %d recoveries: %w",
+					step, cfg.MaxRecoveries, serr)
+				return res
+			}
+			rt := sched.StartTimer()
+			restoreInto(s, bal, lastSnap)
+			rec.AddSpan(telemetry.SpanRestore, 0, rt.StartTime(), rt.Elapsed())
+			rec.EmitEvent(telemetry.EventRestore, int64(step), int64(lastSnap.Step), 0, 0)
+			rec.EndStep()
+			res.trimTo(lastSnap.Step)
+			step = lastSnap.Step - 1 // re-run from the snapshot, degraded
+			continue
+		}
 		compute := math.Max(cpu, gpu)
 		if cfg.Observe != nil {
 			sys := s.System()
@@ -195,6 +312,13 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 		res.TotalLB += r.LBTime
 		res.TotalRefill += r.Refill
 		res.TotalTime += r.Total
+		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 {
+			// Snapshot after the completed step (post-move, post-balance),
+			// so a restore re-runs from exactly this boundary.
+			if !saveSnap(step + 1) {
+				return res
+			}
+		}
 	}
 	return res
 }
@@ -202,13 +326,18 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 // RunGravity advances the gravitational system for cfg.Steps steps with
 // the given balancing strategy. Each step: solve (compute time), kick-drift
 // integrate, refill the tree, then let the balancer act for the next step.
+// A failed solve (device fault with recovery disabled, validation error,
+// worker panic) skips the integrator and triggers checkpoint recovery.
 func RunGravity(s *core.Solver, cfg Config) Result {
-	return runLoop(s, cfg, func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases) {
-		st := s.Solve()
+	return runLoop(s, cfg, func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases, err error) {
+		st, err := s.SolveChecked()
+		if err != nil {
+			return 0, 0, st.Host, err
+		}
 		intTimer := sched.StartTimer()
 		KickDrift(s.Sys, cfg.Dt)
 		rec.AddSpan(telemetry.SpanIntegrate, 0, intTimer.StartTime(), intTimer.Elapsed())
-		return st.CPUTime, st.GPUTime, st.Host
+		return st.CPUTime, st.GPUTime, st.Host, nil
 	})
 }
 
@@ -216,20 +345,23 @@ func RunGravity(s *core.Solver, cfg Config) Result {
 // evaluated, the Stokes solve yields marker velocities, markers move with
 // the flow, and the balancer acts between steps.
 func RunStokes(s *stokes.Solver, boundaries []stokes.Boundary, cfg Config) Result {
-	return runLoop(s, cfg, func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases) {
+	return runLoop(s, cfg, func(rec *telemetry.Recorder) (cpu, gpu float64, host telemetry.HostPhases, err error) {
 		forceTimer := sched.StartTimer()
 		stokes.ClearForces(s.Sys)
 		for _, b := range boundaries {
 			b.AccumulateForces(s.Sys)
 		}
 		rec.AddSpan(telemetry.SpanForces, 0, forceTimer.StartTime(), forceTimer.Elapsed())
-		st := s.Solve()
+		st, err := s.SolveChecked()
+		if err != nil {
+			return 0, 0, st.Host, err
+		}
 		intTimer := sched.StartTimer()
 		for i := range s.Sys.Pos {
 			s.Sys.Pos[i] = s.Sys.Pos[i].Add(s.Sys.Acc[i].Scale(cfg.Dt))
 		}
 		rec.AddSpan(telemetry.SpanIntegrate, 0, intTimer.StartTime(), intTimer.Elapsed())
-		return st.CPUTime, st.GPUTime, st.Host
+		return st.CPUTime, st.GPUTime, st.Host, nil
 	})
 }
 

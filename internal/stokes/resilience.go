@@ -1,0 +1,88 @@
+package stokes
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"afmm/internal/sched"
+	"afmm/internal/telemetry"
+)
+
+// SolveChecked runs one Solve and surfaces the step's failure modes as an
+// error (see core.Solver.SolveChecked): worker/driver panics, device
+// faults with recovery disabled, and — under Config.Validate — non-finite
+// velocity accumulators.
+func (s *Solver) SolveChecked() (st StepTimes, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if tp, ok := r.(*sched.TaskPanic); ok {
+				err = tp
+				return
+			}
+			err = fmt.Errorf("stokes: solve panicked: %v", r)
+		}
+	}()
+	st = s.Solve()
+	if s.Cl != nil {
+		if rep := s.Cl.LastReport(); rep.Err != nil {
+			return st, rep.Err
+		}
+	}
+	if s.Cfg.Validate {
+		rec := s.Cfg.Rec
+		tok := rec.Begin(telemetry.SpanValidate, 0)
+		verr := s.ValidateAccumulators()
+		rec.End(tok)
+		if verr != nil {
+			return st, verr
+		}
+	}
+	return st, nil
+}
+
+// ValidateAccumulators scans the velocity accumulators of every visible
+// leaf's bodies for NaN/Inf, returning a core-style error for the lowest
+// offending body index (nil when all finite).
+func (s *Solver) ValidateAccumulators() error {
+	t := s.Tree
+	leaves := t.VisibleLeaves()
+	if len(leaves) == 0 {
+		return nil
+	}
+	if cap(s.weightBuf) < len(leaves) {
+		s.weightBuf = make([]int64, len(leaves))
+	}
+	weights := s.weightBuf[:len(leaves)]
+	for i, ni := range leaves {
+		weights[i] = int64(t.Nodes[ni].Count()) + 1
+	}
+	var worst atomic.Int64
+	worst.Store(-1)
+	sys := s.Sys
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	s.Cfg.Pool.ParallelRangeWeighted(weights, func(lo, hi int) {
+		for _, ni := range leaves[lo:hi] {
+			n := &t.Nodes[ni]
+			for i := n.Start; i < n.End; i++ {
+				u := sys.Acc[i]
+				if finite(u.X) && finite(u.Y) && finite(u.Z) {
+					continue
+				}
+				for {
+					cur := worst.Load()
+					if cur >= 0 && cur <= int64(i) {
+						break
+					}
+					if worst.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+			}
+		}
+	})
+	if bi := worst.Load(); bi >= 0 {
+		return fmt.Errorf("stokes: non-finite velocity at body %d (u=%v)", bi, sys.Acc[bi])
+	}
+	return nil
+}

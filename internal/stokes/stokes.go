@@ -21,6 +21,7 @@ import (
 	"afmm/internal/core"
 	"afmm/internal/costmodel"
 	"afmm/internal/expansion"
+	"afmm/internal/fault"
 	"afmm/internal/geom"
 	"afmm/internal/kernels"
 	"afmm/internal/octree"
@@ -82,6 +83,16 @@ type Config struct {
 	// core.Config.Rec); nil compiles to no-ops. Prefer Solver.SetRecorder
 	// after construction.
 	Rec *telemetry.Recorder
+	// Validate enables the opt-in post-solve NaN/Inf scan over the
+	// velocity accumulators (see core.Config.Validate); checked by
+	// SolveChecked.
+	Validate bool
+	// Faults arms the device cluster's deterministic fault injector (see
+	// core.Config.Faults); nil executes the exact pre-fault paths.
+	Faults *fault.Injector
+	// Watchdog tunes fault detection/recovery; consulted when Faults is
+	// set.
+	Watchdog vgpu.WatchdogConfig
 }
 
 func (c *Config) setDefaults() {
@@ -129,6 +140,10 @@ type Solver struct {
 	weightBuf []int64
 	// gatherFree recycles per-chunk near-field source gathers.
 	gatherFree chan *octree.SourceGather
+	// capEpoch/capVal track the last-seen cluster capacity (see
+	// core.Solver).
+	capEpoch int64
+	capVal   float64
 }
 
 // NewSolver builds the decomposition for the body positions.
@@ -148,6 +163,23 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 	if cfg.NumGPUs > 0 {
 		s.Cl = vgpu.NewCluster(cfg.NumGPUs, cfg.GPUSpec)
 		s.Cl.Rec = cfg.Rec
+		s.Cl.Injector = cfg.Faults
+		s.Cl.Watchdog = cfg.Watchdog
+		factor := float64(kernels.FlopsPerStokesletInteraction) /
+			float64(kernels.FlopsPerGravityInteraction)
+		if base := cfg.CPU.Base[costmodel.P2P] * factor; base > 0 {
+			s.Cl.HostP2PRate = float64(cfg.CPU.Cores) / base
+		}
+		// Corrupt faults poison one velocity component of the chunk's
+		// first target leaf, for the Validate guard to catch.
+		s.Cl.Corrupt = func(target int32) {
+			n := &s.Tree.Nodes[target]
+			if n.Count() > 0 {
+				s.Sys.Acc[n.Start].X = math.NaN()
+			}
+		}
+		s.capEpoch = s.Cl.CapacityEpoch()
+		s.capVal = s.Cl.Capacity()
 	}
 	s.Model = costmodel.NewModel(s.prior())
 	return s
@@ -285,8 +317,10 @@ func (s *Solver) Solve() StepTimes {
 		}
 		ovTimer := sched.StartTimer()
 		join := make(chan struct{})
+		var nearPanic any
 		go func() {
 			defer close(join)
+			defer func() { nearPanic = recover() }()
 			runNear()
 		}()
 		upTimer := sched.StartTimer()
@@ -298,6 +332,9 @@ func (s *Solver) Solve() StepTimes {
 		downDur = downTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanDownSweep, 0, downTimer.StartTime(), downDur)
 		<-join
+		if nearPanic != nil {
+			panic(nearPanic)
+		}
 		overlapRegion = ovTimer.Elapsed()
 		s.Cfg.Pool.SetReserved(0)
 		l2pTimer := sched.StartTimer()
@@ -354,6 +391,17 @@ func (s *Solver) Solve() StepTimes {
 		obs.Time[costmodel.P2P] = gpuTime
 	}
 	s.Model.Observe(obs)
+	// Re-derive the GPU prediction on capacity change (see core.Solver).
+	if s.Cl != nil {
+		if ep := s.Cl.CapacityEpoch(); ep != s.capEpoch {
+			newCap := s.Cl.Capacity()
+			if newCap > 0 && s.capVal > 0 {
+				s.Model.ScaleGPU(s.capVal / newCap)
+			}
+			s.capEpoch = ep
+			s.capVal = newCap
+		}
+	}
 	rec.AddSpan(telemetry.SpanObserve, 0, obsTimer.StartTime(), obsTimer.Elapsed())
 
 	if rec.Enabled() {

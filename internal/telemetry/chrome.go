@@ -23,6 +23,10 @@ const (
 	// solve path it runs concurrently with the host far-field track.
 	chromeTIDNear = 2
 	chromeTIDBal  = 3
+	// Fault, watchdog, fallback, checkpoint and recovery activity renders
+	// on a dedicated track, so resilience transitions read as their own
+	// timeline next to the phases they interrupt.
+	chromeTIDFault = 4
 	// Device tracks start here; device i renders on chromeTIDDev + i.
 	chromeTIDDev = 100
 )
@@ -46,8 +50,21 @@ func spanTID(k SpanKind, arg int32) int {
 		return chromeTIDNear
 	case SpanBalance, SpanPredict, SpanFineGrain, SpanTreeBuild, SpanEnforceS:
 		return chromeTIDBal
+	case SpanFallback, SpanCheckpoint, SpanRestore, SpanValidate:
+		return chromeTIDFault
 	}
 	return chromeTIDHost
+}
+
+// eventTID routes instant events to their track: resilience events render
+// on the fault track, balancer decisions on the balancer track.
+func eventTID(k EventKind) int {
+	switch k {
+	case EventFault, EventWatchdog, EventFallback, EventCapacity,
+		EventStepFail, EventRestore:
+		return chromeTIDFault
+	}
+	return chromeTIDBal
 }
 
 func spanName(k SpanKind, arg int32) string {
@@ -68,6 +85,7 @@ func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDHost, Args: map[string]any{"name": "host"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDNear, Args: map[string]any{"name": "near"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDBal, Args: map[string]any{"name": "balancer"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDFault, Args: map[string]any{"name": "faults"}},
 	}
 	maxDev := 0
 	for i := range steps {
@@ -103,10 +121,15 @@ func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
 			})
 		}
 		for _, ev := range rec.Events {
+			tid := eventTID(ev.Kind)
+			cat := "balancer"
+			if tid == chromeTIDFault {
+				cat = "fault"
+			}
 			events = append(events, chromeEvent{
 				Name: ev.Kind.String(),
-				Ph:   "i", PID: chromePID, TID: chromeTIDBal,
-				TS: base, Cat: "balancer",
+				Ph:   "i", PID: chromePID, TID: tid,
+				TS: base, Cat: cat,
 				Args: map[string]any{"a": ev.A, "b": ev.B, "fa": ev.FA, "fb": ev.FB},
 			})
 		}

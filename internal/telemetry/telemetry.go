@@ -96,6 +96,15 @@ const (
 	SpanBalance
 	SpanPredict
 	SpanFineGrain
+	// SpanFallback is the host re-execution of a dead device's remaining
+	// near-field chunks (Arg = device id); it nests inside SpanNearExec.
+	SpanFallback
+	// SpanValidate is the opt-in post-solve NaN/Inf accumulator scan.
+	SpanValidate
+	// SpanCheckpoint / SpanRestore bracket snapshot capture+write and
+	// snapshot restoration in the step loop (Arg = step).
+	SpanCheckpoint
+	SpanRestore
 	numSpanKinds
 )
 
@@ -124,6 +133,10 @@ var spanNames = [numSpanKinds]string{
 	SpanBalance:    "balance",
 	SpanPredict:    "balance.predict",
 	SpanFineGrain:  "balance.finegrain",
+	SpanFallback:   "near.fallback",
+	SpanValidate:   "validate",
+	SpanCheckpoint: "ckpt.save",
+	SpanRestore:    "ckpt.restore",
 }
 
 func (k SpanKind) String() string {
@@ -146,7 +159,7 @@ func (k SpanKind) TopLevel() bool {
 	case SpanPrep, SpanRefill, SpanListFull, SpanListRepair, SpanListSkip,
 		SpanUpSweep, SpanDownSweep, SpanL2P, SpanNearCPU, SpanNearExec,
 		SpanGraph, SpanVCPUSim, SpanObserve, SpanIntegrate, SpanForces,
-		SpanBalance:
+		SpanBalance, SpanValidate, SpanCheckpoint, SpanRestore:
 		return true
 	}
 	return false
@@ -199,6 +212,27 @@ const (
 	// EventFineGrain: A = batch node count, FA = predicted compute after
 	// the batch.
 	EventFineGrain
+	// EventFault: an injected or detected device fault. A = device id,
+	// B = fault kind (fault.Kind integer), FA = straggle factor when the
+	// fault is a derating (0 otherwise).
+	EventFault
+	// EventWatchdog: the watchdog aborted a hung device. A = device id,
+	// B = chunk index at abort, FA = detection latency in seconds.
+	EventWatchdog
+	// EventFallback: host re-execution of a dead device's remaining
+	// chunks. A = device id, B = rows re-executed, FA = virtual seconds
+	// charged for the fallback work.
+	EventFallback
+	// EventCapacity: aggregate near-field capacity changed (device loss,
+	// derating, or restoration). A = capacity epoch, FA = new capacity
+	// (interactions/s), FB = previous capacity.
+	EventCapacity
+	// EventStepFail: a simulation step failed after exhausting retries.
+	// A = step index.
+	EventStepFail
+	// EventRestore: the step loop restored a snapshot. A = failing step,
+	// B = snapshot step execution resumes from.
+	EventRestore
 	numEventKinds
 )
 
@@ -213,6 +247,12 @@ var eventNames = [numEventKinds]string{
 	EventPrediction:  "prediction",
 	EventEnforceS:    "enforce_s",
 	EventFineGrain:   "fine_grain",
+	EventFault:       "fault",
+	EventWatchdog:    "watchdog",
+	EventFallback:    "fallback",
+	EventCapacity:    "capacity",
+	EventStepFail:    "step_fail",
+	EventRestore:     "restore",
 }
 
 func (k EventKind) String() string {

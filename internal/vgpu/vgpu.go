@@ -25,8 +25,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"afmm/internal/fault"
 	"afmm/internal/octree"
 	"afmm/internal/sched"
 	"afmm/internal/telemetry"
@@ -91,6 +94,35 @@ type Device struct {
 	// HostTime is the host wall clock of the last run's numeric execution
 	// (the real cost of simulating this device's kernel).
 	HostTime time.Duration
+
+	// Fault state. Health persists across steps (a dead device stays
+	// dead and is skipped by the Partition methods); the per-run fields
+	// below describe the last Execute only.
+	Health Health
+	// StraggleFactor derates the device's virtual rate (1 = full speed);
+	// set from the injector's active straggle events.
+	StraggleFactor float64
+	// FaultKind is the fault that killed the device (None while alive).
+	FaultKind fault.Kind
+	// CompletedRows counts assignment rows fully executed on-device in
+	// the last run; rows beyond it were recovered by the host fallback.
+	CompletedRows int
+	// Retries counts transient-error chunk retries in the last run.
+	Retries int
+	// DetectNs is the watchdog's hang-detection latency in the last run
+	// (host ns; 0 when no hang was detected).
+	DetectNs int64
+
+	// Watchdog runtime state, valid during one Execute call.
+	beat       atomic.Int64 // UnixNano of the last completed chunk
+	deadlineNs atomic.Int64 // allowed heartbeat silence for the current chunk
+	running    atomic.Bool
+	aborted    atomic.Bool
+	abort      chan struct{}
+	// nsPerInter is the device's measured host cost per interaction
+	// (EWMA over completed chunks), feeding the watchdog's predicted
+	// chunk time. Only the device's own run goroutine touches it.
+	nsPerInter float64
 }
 
 // Efficiency returns useful / slot interactions of the last kernel — the
@@ -126,6 +158,28 @@ type Cluster struct {
 	// Execute (Arg = device ID). Devices run concurrently under
 	// ExecuteParallel; the recorder is safe for that.
 	Rec *telemetry.Recorder
+
+	// Injector, when non-nil, is consulted once per chunk of every
+	// device run and arms the watchdog (heartbeat monitor + host
+	// fallback). A nil injector executes exactly the pre-fault code
+	// path with no monitor goroutine.
+	Injector *fault.Injector
+	// Watchdog tunes detection and recovery; the zero value uses the
+	// documented defaults.
+	Watchdog WatchdogConfig
+	// Corrupt, set by the solver, poisons the accumulator of the first
+	// body of a target leaf; it is the payload of fault.Corrupt events
+	// (the device model itself has no access to the accumulators).
+	Corrupt func(target int32)
+	// HostP2PRate is the host's near-field throughput in
+	// interactions/second (set by the solver from its CPU spec); the
+	// fallback charges recovered work against it on the virtual clock.
+	HostP2PRate float64
+
+	capEpoch  atomic.Int64
+	execCount atomic.Int64
+	mu        sync.Mutex
+	report    FaultReport
 }
 
 // NewCluster creates n devices with the given spec.
@@ -134,7 +188,7 @@ func NewCluster(n int, spec Spec) *Cluster {
 	for i := 0; i < n; i++ {
 		s := spec
 		s.Name = fmt.Sprintf("%s[%d]", spec.Name, i)
-		c.Devices = append(c.Devices, &Device{Spec: s, ID: i})
+		c.Devices = append(c.Devices, &Device{Spec: s, ID: i, StraggleFactor: 1})
 	}
 	return c
 }
@@ -152,26 +206,43 @@ func (c *Cluster) resetAssignments() {
 	}
 }
 
+// alive returns the devices eligible for work: everything not Dead.
+// Partitioning over the survivors is the "re-split" half of the
+// degradation story — after a device loss the same total interaction
+// count divides over fewer devices, and the balancer sees the capacity
+// change through Capacity()/CapacityEpoch().
+func (c *Cluster) alive() []*Device {
+	out := make([]*Device, 0, len(c.Devices))
+	for _, d := range c.Devices {
+		if d.Health != Dead {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Partition assigns the tree's visible leaves to devices by walking the
 // near-field schedule rows and accumulating Interactions(t) until a
 // device's share meets total/numDevices, then moving to the next device
-// (the paper's scheme). Every leaf lands on exactly one device.
+// (the paper's scheme). Every leaf lands on exactly one surviving
+// device; dead devices receive no work.
 func (c *Cluster) Partition(t *octree.Tree) {
 	sch := t.NearField()
 	c.resetAssignments()
-	if len(c.Devices) == 0 {
+	devs := c.alive()
+	if len(devs) == 0 {
 		return
 	}
-	share := sch.Total() / int64(len(c.Devices))
+	share := sch.Total() / int64(len(devs))
 	if share < 1 {
 		share = 1
 	}
 	di := 0
 	var acc int64
 	for r := 0; r < sch.Rows(); r++ {
-		assign(c.Devices[di], sch, r)
+		assign(devs[di], sch, r)
 		acc += sch.Weights[r]
-		if acc >= share && di < len(c.Devices)-1 {
+		if acc >= share && di < len(devs)-1 {
 			di++
 			acc = 0
 		}
@@ -187,7 +258,8 @@ func (c *Cluster) Partition(t *octree.Tree) {
 func (c *Cluster) PartitionLPT(t *octree.Tree) {
 	sch := t.NearField()
 	c.resetAssignments()
-	nd := len(c.Devices)
+	devs := c.alive()
+	nd := len(devs)
 	if nd == 0 {
 		return
 	}
@@ -205,7 +277,7 @@ func (c *Cluster) PartitionLPT(t *octree.Tree) {
 				k = j
 			}
 		}
-		assign(c.Devices[k], sch, idx)
+		assign(devs[k], sch, idx)
 		load[k] += inter[idx]
 	}
 }
@@ -217,7 +289,8 @@ func (c *Cluster) PartitionLPT(t *octree.Tree) {
 func (c *Cluster) PartitionByLeafCount(t *octree.Tree) {
 	sch := t.NearField()
 	c.resetAssignments()
-	nd := len(c.Devices)
+	devs := c.alive()
+	nd := len(devs)
 	if nd == 0 {
 		return
 	}
@@ -227,7 +300,7 @@ func (c *Cluster) PartitionByLeafCount(t *octree.Tree) {
 		if di >= nd {
 			di = nd - 1
 		}
-		assign(c.Devices[di], sch, r)
+		assign(devs[di], sch, r)
 	}
 }
 
@@ -250,17 +323,11 @@ func (c *Cluster) schedule(t *octree.Tree) *octree.NearSchedule {
 
 // Execute runs each device's assigned near-field work: the numeric P2P via
 // fn and the SIMT timing model. It returns the maximum kernel time across
-// devices (the paper's GPU Time definition, one kernel per device).
+// devices (the paper's GPU Time definition, one kernel per device) plus
+// the virtual time of any host fallback re-execution for devices that
+// died during the call.
 func (c *Cluster) Execute(t *octree.Tree, fn P2PFunc) float64 {
-	sch := c.schedule(t)
-	var maxTime float64
-	for _, d := range c.Devices {
-		d.run(t, sch, fn, c.Rec)
-		if d.KernelTime > maxTime {
-			maxTime = d.KernelTime
-		}
-	}
-	return maxTime
+	return c.executeWith(t, fn, nil)
 }
 
 // ExecuteParallel is Execute with the numeric work spread over the host
@@ -273,17 +340,60 @@ func (c *Cluster) Execute(t *octree.Tree, fn P2PFunc) float64 {
 // Timing is identical to Execute (the virtual clock does not depend on
 // host scheduling).
 func (c *Cluster) ExecuteParallel(t *octree.Tree, fn P2PFunc, pool *sched.Pool) float64 {
-	if pool == nil {
-		return c.Execute(t, fn)
-	}
+	return c.executeWith(t, fn, pool)
+}
+
+func (c *Cluster) executeWith(t *octree.Tree, fn P2PFunc, pool *sched.Pool) float64 {
 	sch := c.schedule(t)
-	g := pool.NewGroupClass(sched.ClassNear)
-	for _, d := range c.Devices {
-		d := d
-		g.Spawn(func() { d.run(t, sch, fn, c.Rec) })
+	stopWatch := c.beginExecute()
+	// With every device dead the whole schedule is fallback work: the
+	// cluster still completes the near field, entirely on the host.
+	if c.Injector != nil && len(c.Devices) > 0 && c.AliveDevices() == 0 {
+		stopWatch()
+		nsch := t.NearField()
+		lw := lostWork{dev: -1, rows: make([]int32, nsch.Rows()), targets: make([]int32, nsch.Rows())}
+		for r := 0; r < nsch.Rows(); r++ {
+			lw.rows[r] = int32(r)
+			lw.targets[r] = nsch.Leaves[r]
+		}
+		virtual := c.fallback(t, nsch, fn, pool, []lostWork{lw})
+		c.mu.Lock()
+		c.report.DeadDevices = len(c.Devices)
+		c.mu.Unlock()
+		for _, d := range c.Devices {
+			d.KernelTime, d.Interactions, d.SlotWork, d.Warps, d.HostTime = 0, 0, 0, 0, 0
+		}
+		return virtual
 	}
-	g.Wait()
-	return c.MaxKernelTime()
+	for _, d := range c.Devices {
+		if d.Health == Dead {
+			// A device dead from an earlier step holds no assignment;
+			// clear its stale last-run results so cluster aggregates
+			// (MaxKernelTime, TotalInteractions) see only survivors.
+			d.KernelTime, d.Interactions, d.SlotWork, d.Warps, d.HostTime = 0, 0, 0, 0, 0
+		}
+	}
+	if pool == nil {
+		for _, d := range c.Devices {
+			if d.Health == Dead {
+				continue
+			}
+			d.run(c, t, sch, fn)
+		}
+	} else {
+		g := pool.NewGroupClass(sched.ClassNear)
+		for _, d := range c.Devices {
+			if d.Health == Dead {
+				continue
+			}
+			d := d
+			g.Spawn(func() { d.run(c, t, sch, fn) })
+		}
+		g.Wait()
+	}
+	stopWatch()
+	virtual := c.finishExecute(t, sch, fn, pool)
+	return c.MaxKernelTime() + virtual
 }
 
 // MaxKernelTime returns the slowest device time of the last Execute.
@@ -307,9 +417,19 @@ func (c *Cluster) TotalInteractions() int64 {
 	return n
 }
 
-func (d *Device) run(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc, rec *telemetry.Recorder) {
+// run executes the device's assignment in heartbeat chunks of
+// Watchdog.ChunkRows rows each. With no injector on the cluster every
+// chunk takes the fault-free fast path and the walk is exactly the
+// pre-fault code; with an injector, each chunk first publishes its
+// watchdog deadline, then consults the injector (retrying transient
+// errors with backoff), then executes — so a fault always lands at a
+// chunk boundary and the executed-rows prefix is well defined for the
+// host fallback.
+func (d *Device) run(c *Cluster, t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc) {
+	rec := c.Rec
 	hostTimer := sched.StartTimer()
 	defer func() {
+		d.running.Store(false)
 		d.HostTime = hostTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanDeviceP2P, int32(d.ID), hostTimer.StartTime(), d.HostTime)
 	}()
@@ -317,22 +437,40 @@ func (d *Device) run(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc, rec *
 	d.Interactions = 0
 	d.SlotWork = 0
 	d.Warps = 0
+	d.Retries = 0
+	d.DetectNs = 0
+	d.CompletedRows = 0
 	if len(d.Targets) == 0 {
 		d.KernelTime = 0
 		return
 	}
 	useRows := sch != nil && len(d.Rows) == len(d.Targets)
+	cfg := c.Watchdog.withDefaults()
 	// Per-warp compute times for the scheduling makespan. An SM retires
 	// one warp-source step per issue slot, so a warp over ns sources
 	// costs ns*WarpSize lane-interactions plus tile-staging overhead.
 	var warpTimes []float64
 	var targetBodies, sourceBodies int64
 	ws := float64(spec.WarpSize)
-	for k, ti := range d.Targets {
+
+	// finish folds whatever executed — all rows, or the prefix before a
+	// fault — into the device's virtual kernel time. A straggle factor
+	// divides the device's compute rate, i.e. multiplies the makespan.
+	finish := func() {
+		makespan := greedyMakespan(warpTimes, spec.SMs)
+		if f := d.StraggleFactor; f > 1 {
+			makespan *= f
+		}
+		transfer := float64((targetBodies*2+sourceBodies)*int64(spec.BytesPerBody)) / spec.PCIeBandwidth
+		d.KernelTime = spec.KernelLaunch + transfer + makespan
+	}
+
+	runRow := func(k int) {
+		ti := d.Targets[k]
 		tn := &t.Nodes[ti]
 		nt := tn.Count()
 		if nt == 0 {
-			continue
+			return
 		}
 		var ns int64
 		if useRows {
@@ -340,12 +478,12 @@ func (d *Device) run(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc, rec *
 			// the cached CSR schedule, with no per-source Node indirection.
 			row := int(d.Rows[k])
 			for j := sch.RowPtr[row]; j < sch.RowPtr[row+1]; j++ {
-				c := int64(sch.SrcEnd[j] - sch.SrcStart[j])
-				ns += c
+				cnt := int64(sch.SrcEnd[j] - sch.SrcStart[j])
+				ns += cnt
 				if fn != nil {
 					fn(ti, sch.Srcs[j])
 				}
-				sourceBodies += c
+				sourceBodies += cnt
 			}
 		} else {
 			for _, si := range tn.U {
@@ -369,9 +507,105 @@ func (d *Device) run(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc, rec *
 			warpTimes = append(warpTimes, perWarp)
 		}
 	}
-	makespan := greedyMakespan(warpTimes, spec.SMs)
-	transfer := float64((targetBodies*2+sourceBodies)*int64(spec.BytesPerBody)) / spec.PCIeBandwidth
-	d.KernelTime = spec.KernelLaunch + transfer + makespan
+
+	n := len(d.Targets)
+	for k0 := 0; k0 < n; k0 += cfg.ChunkRows {
+		k1 := k0 + cfg.ChunkRows
+		if k1 > n {
+			k1 = n
+		}
+		chunkIdx := k0 / cfg.ChunkRows
+		if d.aborted.Load() {
+			// The watchdog declared us hung while a previous chunk ran
+			// long; stop at this boundary.
+			d.die(c, fault.Hang, chunkIdx, k0, 0)
+			finish()
+			return
+		}
+		corrupt := false
+		if c.Injector != nil {
+			// Publish this chunk's heartbeat deadline: predicted chunk
+			// host time (measured per-interaction rate × chunk
+			// interactions) × slack, floored at MinDeadline.
+			var predNs float64
+			if useRows && d.nsPerInter > 0 {
+				var ci int64
+				for k := k0; k < k1; k++ {
+					ci += sch.Weights[d.Rows[k]]
+				}
+				predNs = float64(ci) * d.nsPerInter
+			}
+			dl := int64(cfg.Slack * predNs)
+			if min := int64(cfg.MinDeadline); dl < min {
+				dl = min
+			}
+			d.deadlineNs.Store(dl)
+
+			attempt := 0
+		consult:
+			for {
+				out := c.Injector.Chunk(d.ID, chunkIdx)
+				switch out.Kind {
+				case fault.FailStop:
+					d.die(c, fault.FailStop, chunkIdx, k0, 0)
+					finish()
+					return
+				case fault.Hang:
+					// Park until the watchdog misses our heartbeat and
+					// aborts us; the elapsed park time is the detection
+					// latency.
+					park := sched.StartTimer()
+					if d.abort != nil {
+						<-d.abort
+					}
+					d.die(c, fault.Hang, chunkIdx, k0, int64(park.Elapsed()))
+					finish()
+					return
+				case fault.Transient:
+					d.Retries++
+					c.mu.Lock()
+					c.report.TransientRetries++
+					c.mu.Unlock()
+					attempt++
+					if attempt > cfg.MaxRetries {
+						// Retry budget exhausted: escalate to device loss.
+						d.die(c, fault.Transient, chunkIdx, k0, 0)
+						finish()
+						return
+					}
+					time.Sleep(cfg.Backoff << (attempt - 1))
+					continue
+				case fault.Corrupt:
+					corrupt = true
+				}
+				break consult
+			}
+		}
+		chunkTimer := sched.StartTimer()
+		before := d.Interactions
+		for k := k0; k < k1; k++ {
+			runRow(k)
+		}
+		if c.Injector != nil {
+			if ci := d.Interactions - before; ci > 0 {
+				per := float64(chunkTimer.Elapsed()) / float64(ci)
+				if d.nsPerInter == 0 {
+					d.nsPerInter = per
+				} else {
+					d.nsPerInter = 0.5*d.nsPerInter + 0.5*per
+				}
+			}
+			d.beat.Store(time.Now().UnixNano())
+		}
+		d.CompletedRows = k1
+		if corrupt {
+			if c.Corrupt != nil {
+				c.Corrupt(d.Targets[k0])
+			}
+			rec.EmitEvent(telemetry.EventFault, int64(d.ID), int64(fault.Corrupt), 0, 0)
+		}
+	}
+	finish()
 }
 
 // greedyMakespan schedules jobs in order onto m identical machines, each

@@ -1,0 +1,431 @@
+package vgpu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"afmm/internal/fault"
+	"afmm/internal/octree"
+	"afmm/internal/sched"
+	"afmm/internal/telemetry"
+)
+
+// Health is the device's position on the degradation ladder.
+type Health uint8
+
+const (
+	// Healthy devices run at full speed.
+	Healthy Health = iota
+	// Degraded devices still complete their work but at a derated
+	// virtual rate (an active straggle fault).
+	Degraded
+	// Dead devices are excluded from partitioning; their in-flight work
+	// is re-executed by the host fallback.
+	Dead
+)
+
+var healthNames = [...]string{"healthy", "degraded", "dead"}
+
+func (h Health) String() string {
+	if int(h) < len(healthNames) {
+		return healthNames[h]
+	}
+	return fmt.Sprintf("health(%d)", uint8(h))
+}
+
+// WatchdogConfig tunes fault detection and recovery. The zero value
+// selects the defaults documented per field.
+type WatchdogConfig struct {
+	// Slack multiplies the predicted chunk time to form the heartbeat
+	// deadline: a device silent for longer than
+	// max(MinDeadline, Slack × predicted chunk host time) is declared
+	// hung and aborted. Default 8.
+	Slack float64
+	// MinDeadline floors the heartbeat deadline so noisy early
+	// predictions (or empty chunks) cannot trigger spurious aborts.
+	// Default 50ms.
+	MinDeadline time.Duration
+	// MaxRetries bounds transient-error retries per chunk; a chunk
+	// still failing after MaxRetries attempts escalates to a device
+	// fail-stop. Default 3.
+	MaxRetries int
+	// Backoff is the base delay between transient retries, doubled on
+	// each subsequent attempt. Default 200µs.
+	Backoff time.Duration
+	// ChunkRows is the number of near-field schedule rows per heartbeat
+	// chunk (the unit of retry, abort, and fallback). Default 32.
+	ChunkRows int
+	// DisableFallback turns off host re-execution of dead devices' rows:
+	// lost rows are reported via FaultReport.Err instead. For tests.
+	DisableFallback bool
+}
+
+func (w WatchdogConfig) withDefaults() WatchdogConfig {
+	if w.Slack <= 0 {
+		w.Slack = 8
+	}
+	if w.MinDeadline <= 0 {
+		w.MinDeadline = 50 * time.Millisecond
+	}
+	if w.MaxRetries <= 0 {
+		w.MaxRetries = 3
+	}
+	if w.Backoff <= 0 {
+		w.Backoff = 200 * time.Microsecond
+	}
+	if w.ChunkRows <= 0 {
+		w.ChunkRows = 32
+	}
+	return w
+}
+
+// DeviceFault describes one device transition recorded during an
+// Execute call.
+type DeviceFault struct {
+	Device int
+	Kind   fault.Kind
+	Chunk  int   // chunk index at which the device stopped
+	Rows   int   // assignment rows completed on-device before the fault
+	Detect int64 // hang-detection latency (host ns; 0 for non-hang faults)
+}
+
+// FaultReport summarizes fault handling for the last Execute call.
+type FaultReport struct {
+	// Faults lists devices that died during the call.
+	Faults []DeviceFault
+	// DeadDevices / DegradedDevices count the cluster state after the
+	// call (cumulative across steps, not just this call's transitions).
+	DeadDevices      int
+	DegradedDevices  int
+	TransientRetries int // chunk attempts retried after transient errors
+	// Host fallback accounting: rows and interactions re-executed on
+	// the host for dead devices, the virtual time charged for them, and
+	// the host wall clock they actually took.
+	FallbackRows         int
+	FallbackInteractions int64
+	FallbackVirtual      float64
+	FallbackHostNs       int64
+	// LostRows counts schedule rows that were neither executed on a
+	// device nor recovered (only possible with DisableFallback); any
+	// loss also sets Err.
+	LostRows int
+	Err      error
+}
+
+// LastReport returns the fault report of the most recent Execute call.
+func (c *Cluster) LastReport() FaultReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := c.report
+	rep.Faults = append([]DeviceFault(nil), c.report.Faults...)
+	return rep
+}
+
+// Capacity returns the cluster's aggregate near-field throughput in
+// interactions/second: dead devices contribute nothing, degraded
+// devices their derated rate. The balancer consumes this through the
+// solver's CapacitySensor.
+func (c *Cluster) Capacity() float64 {
+	var sum float64
+	for _, d := range c.Devices {
+		if d.Health == Dead {
+			continue
+		}
+		rate := d.Spec.InteractionsPerSecPerSM * float64(d.Spec.SMs)
+		if f := d.StraggleFactor; f > 1 {
+			rate /= f
+		}
+		sum += rate
+	}
+	return sum
+}
+
+// CapacityEpoch increments whenever a device dies, derates, or
+// recovers; consumers compare epochs to detect topology change without
+// re-deriving the capacity every step.
+func (c *Cluster) CapacityEpoch() int64 { return c.capEpoch.Load() }
+
+// AliveDevices counts devices still eligible for work.
+func (c *Cluster) AliveDevices() int {
+	n := 0
+	for _, d := range c.Devices {
+		if d.Health != Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// beginExecute arms the injector and straggle state for one Execute
+// call and resets the per-call fault report. Returns the watchdog
+// shutdown func (nil-safe to call).
+func (c *Cluster) beginExecute() func() {
+	step := int(c.execCount.Add(1)) - 1
+	c.mu.Lock()
+	c.report = FaultReport{}
+	c.mu.Unlock()
+	for _, d := range c.Devices {
+		if d.StraggleFactor == 0 {
+			d.StraggleFactor = 1
+		}
+	}
+	if c.Injector == nil {
+		return func() {}
+	}
+	c.Injector.BeginStep(step)
+	// Fold newly armed straggle factors into device health before the
+	// run, so partitioning and timing see the derated state.
+	for _, d := range c.Devices {
+		if d.Health == Dead {
+			continue
+		}
+		f := c.Injector.StraggleFactor(d.ID)
+		if f != d.StraggleFactor {
+			d.StraggleFactor = f
+			was := d.Health
+			if f > 1 {
+				d.Health = Degraded
+			} else {
+				d.Health = Healthy
+			}
+			if d.Health != was {
+				c.capEpoch.Add(1)
+			}
+			c.Rec.EmitEvent(telemetry.EventFault, int64(d.ID), int64(fault.Straggle), f, 0)
+		}
+	}
+	// Arm heartbeats and start the monitor.
+	now := time.Now().UnixNano()
+	for _, d := range c.Devices {
+		if d.Health == Dead {
+			continue
+		}
+		d.abort = make(chan struct{})
+		d.aborted.Store(false)
+		d.beat.Store(now)
+		d.deadlineNs.Store(0)
+		d.running.Store(true)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go c.watch(stop, &wg)
+	return func() {
+		close(stop)
+		wg.Wait()
+		for _, d := range c.Devices {
+			d.running.Store(false)
+		}
+	}
+}
+
+// watch is the watchdog monitor: it polls device heartbeats and aborts
+// any running device whose silence exceeds its published deadline.
+func (c *Cluster) watch(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	cfg := c.Watchdog.withDefaults()
+	tick := cfg.MinDeadline / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for _, d := range c.Devices {
+			if !d.running.Load() || d.aborted.Load() {
+				continue
+			}
+			dl := d.deadlineNs.Load()
+			if dl <= 0 {
+				continue
+			}
+			if now-d.beat.Load() > dl {
+				if d.aborted.CompareAndSwap(false, true) {
+					close(d.abort)
+				}
+			}
+		}
+	}
+}
+
+// lostWork is the un-executed remainder of a dead device's assignment.
+type lostWork struct {
+	dev     int
+	rows    []int32 // schedule rows to re-execute (CSR path)
+	targets []int32 // parallel target nodes; authoritative when rows is empty
+}
+
+// collectLosses gathers the rows each device failed to execute this
+// call. A device dead before the call has an empty assignment (the
+// Partition methods skip dead devices), so only fresh casualties
+// contribute.
+func (c *Cluster) collectLosses() []lostWork {
+	var losses []lostWork
+	for _, d := range c.Devices {
+		if d.Health != Dead || d.CompletedRows >= len(d.Targets) {
+			continue
+		}
+		lw := lostWork{dev: d.ID, targets: d.Targets[d.CompletedRows:]}
+		if len(d.Rows) == len(d.Targets) {
+			lw.rows = d.Rows[d.CompletedRows:]
+		}
+		losses = append(losses, lw)
+	}
+	return losses
+}
+
+// fallback re-executes lost rows on the host. Rows are independent
+// (each owns its target leaf) and within a row the source order is the
+// schedule order — the same order the device walk uses — so the
+// recovered accumulators are bit-identical to a fault-free run. The
+// rows run as ClassNear tasks when a pool is available.
+//
+// Returns the virtual seconds charged for the recovered work: the
+// fallback executes after detection, serialized behind the surviving
+// kernels, at the host's P2P rate.
+func (c *Cluster) fallback(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc, pool *sched.Pool, losses []lostWork) float64 {
+	if len(losses) == 0 {
+		return 0
+	}
+	cfg := c.Watchdog.withDefaults()
+	if cfg.DisableFallback {
+		lost := 0
+		for _, lw := range losses {
+			lost += len(lw.targets)
+		}
+		c.mu.Lock()
+		c.report.LostRows += lost
+		c.report.Err = fmt.Errorf("vgpu: %d near-field rows lost to dead devices (fallback disabled)", lost)
+		c.mu.Unlock()
+		return 0
+	}
+	timer := sched.StartTimer()
+	var totalRows int
+	var totalInter int64
+	for _, lw := range losses {
+		rows := len(lw.targets)
+		var inter int64
+		runRow := func(k int) {
+			ti := lw.targets[k]
+			if lw.rows != nil && sch != nil {
+				row := int(lw.rows[k])
+				for j := sch.RowPtr[row]; j < sch.RowPtr[row+1]; j++ {
+					if fn != nil {
+						fn(ti, sch.Srcs[j])
+					}
+				}
+			} else {
+				for _, si := range t.Nodes[ti].U {
+					if fn != nil {
+						fn(ti, si)
+					}
+				}
+			}
+		}
+		devTimer := sched.StartTimer()
+		if lw.rows != nil && sch != nil {
+			weights := make([]int64, rows)
+			for k := range weights {
+				w := sch.Weights[lw.rows[k]]
+				weights[k] = w
+				inter += w
+			}
+			if pool != nil {
+				pool.ParallelRangeWeightedClass(sched.ClassNear, weights, func(lo, hi int) {
+					for k := lo; k < hi; k++ {
+						runRow(k)
+					}
+				})
+			} else {
+				for k := 0; k < rows; k++ {
+					runRow(k)
+				}
+			}
+		} else {
+			// Ad-hoc assignment without schedule rows: serial walk over
+			// the node U lists (contents identical to the device walk).
+			for k := 0; k < rows; k++ {
+				tn := &t.Nodes[lw.targets[k]]
+				for _, si := range tn.U {
+					inter += int64(tn.Count()) * int64(t.Nodes[si].Count())
+					_ = si
+				}
+				runRow(k)
+			}
+		}
+		dt := devTimer.Elapsed()
+		c.Rec.AddSpan(telemetry.SpanFallback, int32(lw.dev), devTimer.StartTime(), dt)
+		rate := c.HostP2PRate
+		if rate <= 0 {
+			// No host rate supplied: charge at the (healthy) device rate
+			// as a conservative stand-in.
+			rate = c.Devices[0].Spec.InteractionsPerSecPerSM * float64(c.Devices[0].Spec.SMs)
+		}
+		c.Rec.EmitEvent(telemetry.EventFallback, int64(lw.dev), int64(rows), float64(inter)/rate, 0)
+		totalRows += rows
+		totalInter += inter
+	}
+	rate := c.HostP2PRate
+	if rate <= 0 {
+		rate = c.Devices[0].Spec.InteractionsPerSecPerSM * float64(c.Devices[0].Spec.SMs)
+	}
+	virtual := float64(totalInter) / rate
+	c.mu.Lock()
+	c.report.FallbackRows += totalRows
+	c.report.FallbackInteractions += totalInter
+	c.report.FallbackVirtual += virtual
+	c.report.FallbackHostNs += int64(timer.Elapsed())
+	c.mu.Unlock()
+	return virtual
+}
+
+// finishExecute runs fallback recovery and fills the cluster-state
+// counters of the report; returns the fallback's virtual-time charge.
+func (c *Cluster) finishExecute(t *octree.Tree, sch *octree.NearSchedule, fn P2PFunc, pool *sched.Pool) float64 {
+	var virtual float64
+	if c.Injector != nil {
+		virtual = c.fallback(t, sch, fn, pool, c.collectLosses())
+	}
+	dead, degraded := 0, 0
+	for _, d := range c.Devices {
+		switch d.Health {
+		case Dead:
+			dead++
+		case Degraded:
+			degraded++
+		}
+	}
+	c.mu.Lock()
+	c.report.DeadDevices = dead
+	c.report.DegradedDevices = degraded
+	c.mu.Unlock()
+	return virtual
+}
+
+// die transitions the device to Dead at chunk boundary `chunk`,
+// records the fault, and bumps the capacity epoch. completed is the
+// number of assignment rows fully executed on-device.
+func (d *Device) die(c *Cluster, kind fault.Kind, chunk, completed int, detectNs int64) {
+	d.Health = Dead
+	d.FaultKind = kind
+	d.StraggleFactor = 1
+	d.CompletedRows = completed
+	d.DetectNs = detectNs
+	c.capEpoch.Add(1)
+	c.mu.Lock()
+	c.report.Faults = append(c.report.Faults, DeviceFault{
+		Device: d.ID, Kind: kind, Chunk: chunk, Rows: completed, Detect: detectNs,
+	})
+	c.mu.Unlock()
+	c.Rec.EmitEvent(telemetry.EventFault, int64(d.ID), int64(kind), 0, 0)
+	if kind == fault.Hang {
+		c.Rec.EmitEvent(telemetry.EventWatchdog, int64(d.ID), int64(chunk), float64(detectNs)/1e9, 0)
+	}
+}
