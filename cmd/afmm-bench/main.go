@@ -51,7 +51,7 @@ func main() {
 	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults|kernels")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -66,7 +66,7 @@ func main() {
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
 		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
 		"lists": true, "telemetry": true, "overlap": true, "faults": true,
-		"all": true}
+		"kernels": true, "all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -121,6 +121,51 @@ func main() {
 		fmt.Println("==== FAULTS (device fault injection: detection, recovery, degradation) ====")
 		runFaults(p)
 	}
+	if which == "kernels" { // host wall-clock benchmark; not part of "all"
+		fmt.Println("==== KERNELS (M2L class table, blocked P2P, float32 near field) ====")
+		runKernels(p, pSet)
+	}
+}
+
+// runKernels benchmarks the raw translation and P2P kernels on the host
+// (single core) and writes the machine-readable BENCH_kernels.json. The
+// acceptance targets are >= 1.3x M2L throughput over the per-direction
+// cache and a measurable blocked-P2P win over the scalar kernel.
+func runKernels(p experiments.Params, pSet bool) {
+	if !pSet {
+		// Like the sweeps benchmark: the kernels under test are the
+		// accuracy-grade rotation path, so default to order 8 rather than
+		// the cost-model default.
+		p.P = 8
+	}
+	res := experiments.Kernels(p)
+	fmt.Printf("workload: Plummer N=%d, S=%d, P=%d — %d M2L pairs, %d classes, %d rotation setups (%.1f%% pair coverage), table build %.1f ms\n",
+		res.N, res.S, res.P, res.M2LPairs, res.M2LClasses, res.M2LRotations,
+		100*res.M2LRotCoverage, float64(res.TableBuildNs)/1e6)
+	fmt.Printf("%-34s %12.1f ns/translation\n", "M2L class table", res.M2LNsTable)
+	fmt.Printf("%-34s %12.1f ns/translation\n", "M2L per-direction cache", res.M2LNsCache)
+	fmt.Printf("%-34s %12.1f ns/translation\n", "M2L uncached (per-pair rotation)", res.M2LNsDirect)
+	fmt.Printf("%-34s %12.2fx vs cache (target >= 1.3x), %.2fx vs uncached\n",
+		"M2L table speedup", res.M2LSpeedupVsCache, res.M2LSpeedupVsDirect)
+	fmt.Printf("P2P call shape: %d targets x %d sources\n", res.P2PTargets, res.P2PSources)
+	fmt.Printf("%-34s %12.1f Mpairs/s (blocked) %10.1f (scalar) %10.1f (f32): %.2fx blocked, %.2fx f32\n",
+		"gravity", res.GravPairRateBlocked/1e6, res.GravPairRateScalar/1e6,
+		res.GravPairRateF32/1e6, res.GravBlockedSpeedup, res.GravF32Speedup)
+	fmt.Printf("%-34s %12.1f Mpairs/s (blocked) %10.1f (scalar) %10.1f (f32): %.2fx blocked, %.2fx f32\n",
+		"stokeslet", res.StokesPairRateBlocked/1e6, res.StokesPairRateScalar/1e6,
+		res.StokesPairRateF32/1e6, res.StokesBlockedSpeedup, res.StokesF32Speedup)
+	fmt.Printf("%-34s %12.3f ms/step (table) vs %.3f ms/step (no table): %.3fx over %d steps\n",
+		"end-to-end step, 1 worker", float64(res.StepNsTable)/1e6,
+		float64(res.StepNsNoTable)/1e6, res.EndToEndSpeedup, res.EndToEndSteps)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_kernels.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_kernels.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_kernels.json")
 }
 
 // runFaults drives every fault class through a paired fault-free/faulted

@@ -70,6 +70,35 @@ func CaptureState(sys *particle.System, s, step int, time float64, b *balance.Ba
 	return sn
 }
 
+// CaptureInto copies the system state into sn, reusing sn's slices when
+// they have capacity. This is the allocation-free form of Capture for
+// step loops that snapshot every step (double-buffered streaming writes):
+// after the first two captures the per-step cost is pure memcpy.
+func CaptureInto(sn *Snapshot, sys *particle.System, s, step int, time float64) {
+	sn.Version = Version
+	sn.N = sys.Len()
+	sn.Pos = append(sn.Pos[:0], sys.Pos...)
+	sn.Vel = append(sn.Vel[:0], sys.Vel...)
+	sn.Aux = append(sn.Aux[:0], sys.Aux...)
+	sn.Mass = append(sn.Mass[:0], sys.Mass...)
+	sn.Index = append(sn.Index[:0], sys.Index...)
+	sn.S = s
+	sn.Step = step
+	sn.Time = time
+	sn.HasBal = false
+	sn.Bal = balance.Snapshot{}
+}
+
+// CaptureStateInto is CaptureInto plus the balancer's FSM state (see
+// CaptureState).
+func CaptureStateInto(sn *Snapshot, sys *particle.System, s, step int, time float64, b *balance.Balancer) {
+	CaptureInto(sn, sys, s, step, time)
+	if b != nil {
+		sn.HasBal = true
+		sn.Bal = b.Export()
+	}
+}
+
 // Restore materializes a particle system from the snapshot.
 func (sn Snapshot) Restore() (*particle.System, error) {
 	if sn.Version < 1 || sn.Version > Version {

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"afmm/internal/expansion"
+	"afmm/internal/kernels"
+	"afmm/internal/telemetry"
+)
+
+// Kernel-speed layer: the shared M2L translation-class table and the
+// gated float32 near field. Both are prepared once per Solve, before the
+// near/far fork, so workers only ever read settled state.
+
+// m2lRotCap bounds the shared rotation setups the table precomputes (the
+// expensive per-angle Wigner stacks, ~8 KB each at p=8). The top
+// pair-weighted angles cover most translations (~70% at 1024 on a
+// Plummer tree at N=100k); the tail falls back to the per-workspace
+// cache, which is the same bit-identical arithmetic.
+const m2lRotCap = 1024
+
+// m2lClassCap is a sanity bound on the class count itself (per-class cost
+// is only a rot index plus 2p+2 radial powers, ~160 B at p=8).
+const m2lClassCap = 1 << 20
+
+// prepareM2LTable builds (or revalidates) the shared per-class M2L
+// operator table for the current lists. The table replaces the
+// per-workspace direction cache on the level-synchronous sweep: one
+// Wigner/radial/phase setup per translation class, built in parallel and
+// shared read-only by every worker, invalidated by the list epoch.
+func (s *Solver) prepareM2LTable() {
+	useTable := !s.Cfg.DisableM2LTable && s.Cfg.SweepMode == SweepLevelSync &&
+		!s.Cfg.SkipFarField
+	if !useTable {
+		s.m2lTab, s.m2lCls = nil, nil
+		s.m2lEpoch = 0
+		return
+	}
+	rec := s.Cfg.Rec
+	t := s.Tree
+	rebuilt := false
+	if s.m2lTab == nil || s.m2lEpoch != t.ListEpoch() {
+		cls := t.M2LClasses()
+		if cls.Classes() > m2lClassCap {
+			// Degenerate geometry (almost no repeated directions): the
+			// table would outgrow its payoff; fall back to the cache.
+			s.m2lTab, s.m2lCls = nil, nil
+			s.m2lEpoch = 0
+			return
+		}
+		tok := rec.Begin(telemetry.SpanM2LTable, int32(cls.Classes()))
+		if s.m2lTab == nil {
+			s.m2lTab = expansion.NewM2LTable(s.Cfg.P)
+		}
+		nrot := s.m2lTab.Plan(cls.Dirs, cls.PairsPerClass, m2lRotCap)
+		s.Cfg.Pool.ParallelRange(nrot, func(lo, hi int) {
+			s.m2lTab.BuildRotRange(lo, hi)
+		})
+		s.m2lCls = cls
+		s.m2lEpoch = t.ListEpoch()
+		rebuilt = true
+		rec.End(tok)
+	}
+	if rec.Enabled() && s.m2lCls != nil {
+		rec.SetM2LTable(s.m2lCls.Classes(), s.m2lCls.Pairs,
+			s.m2lCls.KeyHits, s.m2lCls.KeyMisses, rebuilt)
+	}
+}
+
+// nearF32ErrorEstimate bounds the relative rounding error of the float32
+// near field for the current schedule: per-pair forces are computed in
+// float32 and accumulated per target, so the worst row's error grows like
+// eps32 * n_src with n_src the row's total source count.
+func (s *Solver) nearF32ErrorEstimate() float64 {
+	t := s.Tree
+	sch := t.NearField()
+	var maxRow int64
+	for r := range sch.Leaves {
+		tn := t.Nodes[sch.Leaves[r]].Count()
+		if tn == 0 {
+			continue
+		}
+		if v := sch.Weights[r] / int64(tn); v > maxRow {
+			maxRow = v
+		}
+	}
+	return kernels.Eps32 * float64(maxRow)
+}
+
+// updateNearPrecision runs the NearFloat32 gate for this step: estimate
+// the float32 rounding error of the current near-field schedule, compare
+// it against the accuracy target (the user's Config.AccuracyTarget, or the
+// a-priori truncation bound of the lists when unset), and activate or
+// deactivate the float32 path. A violation while the option is on disables
+// the path for the rest of the run (sticky), so a drifting system cannot
+// oscillate across the bound. Every toggle pre-scales the cost model's P2P
+// coefficient so the balancer re-converges without a mispredicted step.
+func (s *Solver) updateNearPrecision() {
+	rec := s.Cfg.Rec
+	want := s.Cfg.NearFloat32 && !s.f32Blocked && !s.Cfg.SkipNearField
+	if !want {
+		if s.f32Active {
+			s.f32Active = false
+			s.Model.ScaleP2P(kernels.NearFloat32Speedup)
+		}
+		rec.SetNearPrecision(false)
+		return
+	}
+	est := s.nearF32ErrorEstimate()
+	target := s.Cfg.AccuracyTarget
+	if target <= 0 {
+		// Default target: the truncation error already being paid by the
+		// far field (cached per list epoch — the walk is O(pairs)).
+		if s.gateEpoch != s.Tree.ListEpoch() || s.gateBound == 0 {
+			s.gateBound = s.EstimateError().MeanPair
+			s.gateEpoch = s.Tree.ListEpoch()
+		}
+		target = s.gateBound
+	}
+	active := target > 0 && est <= target
+	if !active && target > 0 {
+		// Bound violated: sticky disable, reported once.
+		s.f32Blocked = true
+		rec.EmitEvent(telemetry.EventPrecision, 0, 1, est, target)
+	}
+	if active != s.f32Active {
+		if active {
+			s.Model.ScaleP2P(1 / kernels.NearFloat32Speedup)
+			rec.EmitEvent(telemetry.EventPrecision, 1, 0, est, target)
+		} else {
+			s.Model.ScaleP2P(kernels.NearFloat32Speedup)
+		}
+		s.f32Active = active
+	}
+	rec.SetNearPrecision(s.f32Active)
+}
+
+// NearFloat32Active reports whether the last gate evaluation enabled the
+// float32 near field (tests and benchmarks).
+func (s *Solver) NearFloat32Active() bool { return s.f32Active }
+
+// M2LTableStats returns the current class schedule stats (zero-valued
+// when the table path is off or not yet built).
+func (s *Solver) M2LTableStats() (classes int, pairs, keyHits, keyMisses int64) {
+	if s.m2lCls == nil {
+		return 0, 0, 0, 0
+	}
+	return s.m2lCls.Classes(), s.m2lCls.Pairs, s.m2lCls.KeyHits, s.m2lCls.KeyMisses
+}

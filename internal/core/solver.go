@@ -144,6 +144,24 @@ type Config struct {
 	// OverlapMode). The default OverlapAuto enables it on eligible solves;
 	// cmd tools expose -no-overlap to force OverlapOff.
 	Overlap OverlapMode
+	// DisableM2LTable turns off the shared M2L translation-class table and
+	// falls back to the per-workspace direction cache inside M2LBatch.
+	// Kept for A/B measurement; results are bit-identical either way.
+	DisableM2LTable bool
+	// NearFloat32 opts the near field into the float32 kernel path:
+	// source spans are packed into float32 SoA and the P2P arithmetic runs
+	// in single precision, halving source bandwidth and using the cheaper
+	// sqrt. The path is gated per step against the accuracy target (see
+	// AccuracyTarget): it only activates while the estimated float32
+	// rounding error (~eps32 * worst-row source count) stays below the
+	// target, and a violation disables it for the rest of the run.
+	NearFloat32 bool
+	// AccuracyTarget is the relative accuracy the user asks of the solve,
+	// used by the NearFloat32 gate. Zero means "as accurate as the far
+	// field": the gate compares against the a-priori truncation bound of
+	// the current lists (EstimateError().MeanPair), so float32 is allowed
+	// only where its rounding is buried under the expansion error.
+	AccuracyTarget float64
 	// ReservedDrivers is the number of pool worker slots dedicated to the
 	// near-field class while the phases overlap — the paper's "one core
 	// per GPU driver thread". 0 (default) reserves one slot per simulated
@@ -247,6 +265,23 @@ type Solver struct {
 	// change (device loss/derating).
 	capEpoch int64
 	capVal   float64
+
+	// M2L translation-class table state (see kernelspeed.go): the shared
+	// per-class operator table, the class schedule it was built from, the
+	// list epoch it is valid for, and whether the current sweep may use it.
+	m2lTab   *expansion.M2LTable
+	m2lCls   *octree.M2LClassSchedule
+	m2lEpoch uint64
+	m2lUse   bool
+
+	// Near-field precision gate state (see kernelspeed.go): whether the
+	// float32 path is active this step, whether a bound violation disabled
+	// it for the rest of the run, and the cached truncation bound per list
+	// epoch backing the default accuracy target.
+	f32Active  bool
+	f32Blocked bool
+	gateEpoch  uint64
+	gateBound  float64
 }
 
 // NewSolver builds the decomposition and the device cluster.
@@ -373,6 +408,12 @@ func (s *Solver) Solve() StepTimes {
 	s.Sys.ResetAccumulatorsParallel(s.Cfg.Pool)
 	s.ensureSlabs()
 	rec.AddSpan(telemetry.SpanPrep, 0, prepTimer.StartTime(), prepTimer.Elapsed())
+
+	// Kernel-speed preparation, before the near/far fork: the shared M2L
+	// class table must be complete before any worker translates, and the
+	// precision gate must settle before the near-field drivers launch.
+	s.prepareM2LTable()
+	s.updateNearPrecision()
 
 	// Execute the near-field "kernels" and the far-field traversal. The
 	// near phase is launched exactly like the paper's concurrent kernel
@@ -628,6 +669,7 @@ func (s *Solver) SweepBench() (up, down, near time.Duration) {
 	s.Tree.BuildLists()
 	s.Sys.ResetAccumulators()
 	s.ensureSlabs()
+	s.prepareM2LTable()
 	upT := sched.StartTimer()
 	s.upSweep()
 	up = upT.Elapsed()
@@ -715,12 +757,25 @@ func (s *Solver) putGather(g *octree.SourceGather) {
 }
 
 // p2pPair executes the direct interaction of one target/source leaf pair
-// (the numeric work the simulated device performs).
+// (the numeric work the simulated device performs). When the precision
+// gate activated NearFloat32 for this step, the pair runs the float32
+// arithmetic (converting AoS sources on the fly — the device walk has no
+// gather buffer).
 func (s *Solver) p2pPair(target, source int32) {
 	t := s.Tree
 	sys := s.Sys
 	tn := &t.Nodes[target]
 	sn := &t.Nodes[source]
+	if s.f32Active {
+		s.Cfg.Kernel.P2P32AoS(
+			sys.Pos[tn.Start:tn.End],
+			sys.Phi[tn.Start:tn.End],
+			sys.Acc[tn.Start:tn.End],
+			sys.Pos[sn.Start:sn.End],
+			sys.Mass[sn.Start:sn.End],
+		)
+		return
+	}
 	s.Cfg.Kernel.P2P(
 		sys.Pos[tn.Start:tn.End],
 		sys.Phi[tn.Start:tn.End],
@@ -752,7 +807,27 @@ func (s *Solver) runCPUNearField() {
 	}
 	sch := t.NearField()
 	sys := s.Sys
+	f32 := s.f32Active
 	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassNear, sch.Weights, func(lo, hi int) {
+		if f32 {
+			// Float32 path: pack the chunk's sources once into float32 SoA
+			// and stream the single-precision kernel over them.
+			g := s.getGather()
+			g.Pack32(t, sch, lo, hi, true, false)
+			for r := lo; r < hi; r++ {
+				tn := &t.Nodes[sch.Leaves[r]]
+				xt := sys.Pos[tn.Start:tn.End]
+				pot := sys.Phi[tn.Start:tn.End]
+				acc := sys.Acc[tn.Start:tn.End]
+				for _, si := range sch.Row(r) {
+					a, b := g.Span(si)
+					s.Cfg.Kernel.P2P32(xt, pot, acc,
+						g.X32[a:b], g.Y32[a:b], g.Z32[a:b], g.M32[a:b])
+				}
+			}
+			s.putGather(g)
+			return
+		}
 		if s.Cfg.GatherSources {
 			g := s.getGather()
 			g.Pack(t, sch, lo, hi, true, false)
@@ -857,6 +932,10 @@ func (s *Solver) upNode(w *expansion.Workspace, ni int32) {
 // body accumulators while the near field is still writing them).
 func (s *Solver) downSweepLevels(withL2P bool) {
 	t := s.Tree
+	// Resolve table eligibility once per sweep: the table must have been
+	// built for exactly the current list topology (SweepBench and other
+	// direct sweep callers may run without prepareM2LTable).
+	s.m2lUse = s.m2lTab != nil && s.m2lEpoch == t.ListEpoch()
 	levels := t.LevelOrder()
 	for lv := 0; lv < len(levels); lv++ {
 		nodes := levels[lv]
@@ -896,7 +975,11 @@ func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2L
 		for _, vi := range n.V {
 			srcs = append(srcs, expansion.M2LSource{M: s.mpole(vi), From: t.Nodes[vi].Box.Center})
 		}
-		w.M2LBatch(l, n.Box.Center, srcs)
+		if s.m2lUse {
+			w.M2LBatchTable(l, n.Box.Center, srcs, s.m2lCls.Row(ni), s.m2lTab)
+		} else {
+			w.M2LBatch(l, n.Box.Center, srcs)
+		}
 	}
 	if withL2P && n.IsVisibleLeaf() {
 		s.leafL2P(w, ni)

@@ -1,0 +1,325 @@
+package expansion
+
+import (
+	"math/cmplx"
+	"sort"
+
+	"afmm/internal/geom"
+	"afmm/internal/sphharm"
+)
+
+// M2L translation-class tables: the per-direction setup M2LBatch hoists
+// into its per-workspace cache — Wigner stack, azimuthal phases, radial
+// powers — precomputed per translation class (see octree.M2LClassSchedule)
+// into a table shared read-only by every worker.
+//
+// The operator factors by what each piece actually depends on:
+//
+//   - the rotation setup (Wigner d-matrices and e^{im phi} phases) depends
+//     only on the direction's angles (theta, phi). Angles recur massively
+//     across classes — the same lattice offset at every level and scale
+//     shares them — so rotation ops are built once per distinct angle pair,
+//     for the top pair-weighted angles up to a cap;
+//   - the radial powers rho^-(j+n+1) are per class but tiny (2p+2 floats);
+//   - the axial coefficients sk * A_n^k * A_j^k * (j+n)! are
+//     direction-independent and stored once per table; the inner loop
+//     multiplies them by the class's radial power.
+//
+// Every folded factor is an exact product in the same order as the
+// uncached path evaluates it (the basis-conversion signs are ±1, so
+// folding them into the Wigner entries is exact), which keeps table
+// translations bit-identical to M2LBatch. Classes whose angles fall
+// outside the rotation cap carry rot == -1 and are translated through the
+// per-workspace cache path, which is the same bit-identical arithmetic.
+type M2LTable struct {
+	p   int
+	axb []float64 // sk * Anm(n,k) * Anm(j,k) * Fact[j+n], flattened (j,k,n)
+	ops []M2LOp
+	// rots holds the shared rotation setups; rotAng their angles, in the
+	// deterministic popularity order Plan assigned.
+	rots   []m2lRot
+	rotAng []angKey
+	// classAng is per-class plan scratch (angle of each class direction).
+	classAng []angKey
+}
+
+// M2LOp is the per-class part of the operator.
+type M2LOp struct {
+	// rot indexes the shared rotation setup, or -1 when the class's angle
+	// was not popular enough for the cap (fallback to the workspace cache).
+	rot int32
+	// rpow holds rho^-(i+1), i = 0..2p, exactly as the uncached path
+	// computes them.
+	rpow []float64
+}
+
+// m2lRot is the rotation setup shared by all classes with one angle pair.
+type m2lRot struct {
+	stack [][]float64  // pre-signed Wigner d^l(theta), l = 0..p
+	zph   []complex128 // e^{i m phi}, m = 0..p
+}
+
+type angKey struct{ theta, phi float64 }
+
+// NewM2LTable creates an empty table for order-p translations.
+func NewM2LTable(p int) *M2LTable { return &M2LTable{p: p} }
+
+// Order returns the expansion order the table serves.
+func (tb *M2LTable) Order() int { return tb.p }
+
+// Len returns the number of classes currently in the table.
+func (tb *M2LTable) Len() int { return len(tb.ops) }
+
+// Rotations returns the number of shared rotation setups the last Plan
+// kept (the expensive part of the table).
+func (tb *M2LTable) Rotations() int { return len(tb.rots) }
+
+// HasRot reports whether class c translates through a precomputed rotation
+// setup (false means the class falls back to the per-workspace cache).
+func (tb *M2LTable) HasRot(c int) bool { return tb.ops[c].rot >= 0 }
+
+// axialLen is the flattened length of the (j, k, n) axial coefficient
+// loop: j = 0..p, k = 0..j, n = k..p.
+func axialLen(p int) int {
+	n := 0
+	for j := 0; j <= p; j++ {
+		for k := 0; k <= j; k++ {
+			n += p - k + 1
+		}
+	}
+	return n
+}
+
+func (tb *M2LTable) buildAxialBase() {
+	p := tb.p
+	t := sphharm.NewTables(p)
+	tb.axb = make([]float64, axialLen(p))
+	idx := 0
+	for j := 0; j <= p; j++ {
+		sj := 1.0
+		if j%2 == 1 {
+			sj = -1
+		}
+		for k := 0; k <= j; k++ {
+			sk := sj
+			if k%2 == 1 {
+				sk = -sk
+			}
+			ajk := t.Anm(j, k)
+			for n := k; n <= p; n++ {
+				// Exactly the leading factors of the uncached per-term
+				// expression, in its evaluation order; the radial power is
+				// applied per class in the inner loop.
+				tb.axb[idx] = sk * t.Anm(n, k) * ajk * t.Fact[j+n]
+				idx++
+			}
+		}
+	}
+}
+
+// Plan sizes the table for the class directions, fills the cheap per-class
+// radial parts, and elects the rotation setups: distinct angle pairs
+// ranked by their summed pair weight, keeping the top rotCap. It returns
+// the number of rotation setups to build; the caller then builds them
+// (concurrently, if desired) with BuildRotRange before first use.
+// pairsPerClass weights the ranking (the schedule's per-class pair
+// counts); nil weights every class equally.
+func (tb *M2LTable) Plan(dirs []geom.Vec3, pairsPerClass []int64, rotCap int) int {
+	if tb.axb == nil {
+		tb.buildAxialBase()
+	}
+	p := tb.p
+	n := len(dirs)
+	if cap(tb.ops) < n {
+		ops := make([]M2LOp, n)
+		copy(ops, tb.ops)
+		tb.ops = ops
+	} else {
+		tb.ops = tb.ops[:n]
+	}
+	if cap(tb.classAng) < n {
+		tb.classAng = make([]angKey, n)
+	} else {
+		tb.classAng = tb.classAng[:n]
+	}
+	weight := make(map[angKey]int64, 1024)
+	for ci, d := range dirs {
+		rho, theta, phi := d.Spherical()
+		op := &tb.ops[ci]
+		if op.rpow == nil {
+			op.rpow = make([]float64, 2*p+2)
+		}
+		inv := 1 / rho
+		op.rpow[0] = inv
+		for i := 1; i < len(op.rpow); i++ {
+			op.rpow[i] = op.rpow[i-1] * inv
+		}
+		op.rot = -1
+		a := angKey{theta, phi}
+		tb.classAng[ci] = a
+		w := int64(1)
+		if pairsPerClass != nil {
+			w = pairsPerClass[ci]
+		}
+		weight[a] += w
+	}
+	type angWeight struct {
+		k angKey
+		w int64
+	}
+	ranked := make([]angWeight, 0, len(weight))
+	for k, w := range weight {
+		ranked = append(ranked, angWeight{k, w})
+	}
+	// Deterministic order: weight descending, angles as tie-break (map
+	// iteration order must not leak into the table layout).
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].w != ranked[j].w {
+			return ranked[i].w > ranked[j].w
+		}
+		if ranked[i].k.theta != ranked[j].k.theta {
+			return ranked[i].k.theta < ranked[j].k.theta
+		}
+		return ranked[i].k.phi < ranked[j].k.phi
+	})
+	if rotCap > 0 && len(ranked) > rotCap {
+		ranked = ranked[:rotCap]
+	}
+	if cap(tb.rots) < len(ranked) {
+		rots := make([]m2lRot, len(ranked))
+		copy(rots, tb.rots)
+		tb.rots = rots
+	} else {
+		tb.rots = tb.rots[:len(ranked)]
+	}
+	if cap(tb.rotAng) < len(ranked) {
+		tb.rotAng = make([]angKey, len(ranked))
+	} else {
+		tb.rotAng = tb.rotAng[:len(ranked)]
+	}
+	idx := make(map[angKey]int32, len(ranked))
+	for i, a := range ranked {
+		idx[a.k] = int32(i)
+		tb.rotAng[i] = a.k
+	}
+	for ci := range tb.ops {
+		if ri, ok := idx[tb.classAng[ci]]; ok {
+			tb.ops[ci].rot = ri
+		}
+	}
+	return len(tb.rots)
+}
+
+// BuildRotRange fills rotation setups [lo, hi) from their planned angles.
+// Distinct ranges may build concurrently (each call allocates its own
+// scratch).
+func (tb *M2LTable) BuildRotRange(lo, hi int) {
+	p := tb.p
+	raw := make([][]float64, p+1)
+	for l := 0; l <= p; l++ {
+		raw[l] = make([]float64, (2*l+1)*(2*l+1))
+	}
+	for ri := lo; ri < hi; ri++ {
+		rot := &tb.rots[ri]
+		if rot.stack == nil {
+			rot.stack = make([][]float64, p+1)
+			for l := 0; l <= p; l++ {
+				rot.stack[l] = make([]float64, (2*l+1)*(2*l+1))
+			}
+			rot.zph = make([]complex128, p+1)
+		}
+		a := tb.rotAng[ri]
+
+		// Pre-signed Wigner stack: entry (m', m) times sigma(m') sigma(m).
+		// The sign matrix is symmetric, so the same stack serves the
+		// transposed forward rotation and the untransposed back rotation.
+		WignerStackInto(raw, p, a.theta)
+		for n := 0; n <= p; n++ {
+			dim := 2*n + 1
+			src, dst := raw[n], rot.stack[n]
+			for i := 0; i < dim; i++ {
+				si := sigma(i - n)
+				for j := 0; j < dim; j++ {
+					dst[i*dim+j] = src[i*dim+j] * si * sigma(j-n)
+				}
+			}
+		}
+		for m := 0; m <= p; m++ {
+			rot.zph[m] = cmplx.Exp(complex(0, float64(m)*a.phi))
+		}
+	}
+}
+
+// rotateYSigned applies a pre-signed Wigner stack (signs already folded
+// into the matrix entries): identical to rotateY minus the per-entry sigma
+// products. The w == 0 skip is kept so the accumulation order over nonzero
+// entries matches rotateY bit-for-bit.
+func rotateYSigned(p int, out, in []complex128, stack [][]float64, transpose bool) {
+	for n := 0; n <= p; n++ {
+		dim := 2*n + 1
+		d := stack[n]
+		for mp := 0; mp <= n; mp++ {
+			var acc complex128
+			for m := -n; m <= n; m++ {
+				var w float64
+				if transpose {
+					w = d[(m+n)*dim+(mp+n)]
+				} else {
+					w = d[(mp+n)*dim+(m+n)]
+				}
+				if w == 0 {
+					continue
+				}
+				acc += complex(w, 0) * get(in[:], n, m)
+			}
+			out[sphharm.Idx(n, mp)] = acc
+		}
+	}
+}
+
+// M2LBatchTable is M2LBatch driven by a prebuilt class table: classes[i]
+// is the translation class of srcs[i] (from the octree class schedule),
+// and to is the target center (used only by the fallback for classes
+// outside the rotation cap). Results are bit-identical to M2LBatch for
+// the same sources.
+func (w *Workspace) M2LBatchTable(l Expansion, to geom.Vec3, srcs []M2LSource, classes []int32, tb *M2LTable) {
+	p := l.P
+	r := w.rot
+	axb := tb.axb
+	for i := range srcs {
+		op := &tb.ops[classes[i]]
+		if op.rot < 0 {
+			// Rare angle: the per-workspace cache path, same arithmetic.
+			w.M2LBatch(l, to, srcs[i:i+1])
+			continue
+		}
+		rot := &tb.rots[op.rot]
+
+		// Forward frame change: phase e^{im phi}, transposed stack.
+		copy(r.buf1, srcs[i].M.C)
+		rotateZCached(p, r.buf1, rot.zph, false)
+		rotateYSigned(p, r.buf2, r.buf1, rot.stack, true)
+
+		// Axial M2L along +z: global coefficient base times the class's
+		// radial power, in the uncached path's factor order.
+		rpow := op.rpow
+		idx := 0
+		for j := 0; j <= p; j++ {
+			for k := 0; k <= j; k++ {
+				var acc complex128
+				for n := k; n <= p; n++ {
+					acc += complex(axb[idx]*rpow[j+n], 0) * r.buf2[sphharm.Idx(n, k)]
+					idx++
+				}
+				r.buf1[sphharm.Idx(j, k)] = acc
+			}
+		}
+
+		// Back rotation: untransposed stack, conjugate phases; accumulate.
+		rotateYSigned(p, r.buf2, r.buf1, rot.stack, false)
+		rotateZCached(p, r.buf2, rot.zph, true)
+		for ci := range l.C {
+			l.C[ci] += r.buf2[ci]
+		}
+	}
+}

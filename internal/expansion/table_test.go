@@ -1,0 +1,180 @@
+package expansion
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"afmm/internal/geom"
+)
+
+// tableFor builds a table + class indices for a source batch: one class
+// per distinct direction, exactly as the octree schedule would key them.
+// rotCap limits the precomputed rotation setups (0 = unlimited), so tests
+// can force the fallback path for tail classes.
+func tableFor(p int, to geom.Vec3, srcs []M2LSource, rotCap int) (*M2LTable, []int32) {
+	byDir := map[geom.Vec3]int32{}
+	var dirs []geom.Vec3
+	classes := make([]int32, len(srcs))
+	for i, s := range srcs {
+		d := s.From.Sub(to)
+		c, ok := byDir[d]
+		if !ok {
+			c = int32(len(dirs))
+			byDir[d] = c
+			dirs = append(dirs, d)
+		}
+		classes[i] = c
+	}
+	tb := NewM2LTable(p)
+	nrot := tb.Plan(dirs, nil, rotCap)
+	tb.BuildRotRange(0, nrot)
+	return tb, classes
+}
+
+// TestM2LBatchTableBitIdentical is the central kernel-speed invariant:
+// table-driven translations must equal the per-direction-cached batch
+// bit-for-bit, over random expansions, orders, and direction sets
+// (repeated V-list-like offsets plus arbitrary fresh ones).
+func TestM2LBatchTableBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, p := range []int{2, 3, 5, 8, 12} {
+		to := geom.Vec3{X: 0.3, Y: -0.1, Z: 0.2}
+		var srcs []M2LSource
+		lattice := []geom.Vec3{
+			{X: 3, Y: 0, Z: 0}, {X: 0, Y: 3, Z: 1.5}, {X: -3, Y: 3, Z: -3},
+			{X: 2, Y: -2, Z: 2},
+		}
+		for rep := 0; rep < 3; rep++ {
+			for _, d := range lattice {
+				srcs = append(srcs, M2LSource{M: randomExpansion(p, rng), From: to.Add(d)})
+			}
+		}
+		for i := 0; i < 6; i++ {
+			srcs = append(srcs, M2LSource{
+				M:    randomExpansion(p, rng),
+				From: to.Add(geom.Vec3{X: 3 + rng.Float64(), Y: -2 + rng.Float64(), Z: 2 + rng.Float64()}),
+			})
+		}
+		// Full table, and a capped table that forces the fallback path for
+		// the less popular angles — both must be bit-identical to M2LBatch.
+		for _, rotCap := range []int{0, 3} {
+			tb, classes := tableFor(p, to, srcs, rotCap)
+
+			got := NewExpansion(p)
+			NewWorkspace(p).M2LBatchTable(got, to, srcs, classes, tb)
+
+			want := NewExpansion(p)
+			NewWorkspace(p).M2LBatch(want, to, srcs)
+
+			for i := range got.C {
+				if got.C[i] != want.C[i] {
+					t.Fatalf("p=%d rotCap=%d: coefficient %d differs: table %v vs batch %v",
+						p, rotCap, i, got.C[i], want.C[i])
+				}
+			}
+		}
+	}
+}
+
+// TestM2LBatchTableRandomTrees fuzzes the bit-identity over many random
+// batch shapes: random direction counts, random repeats, random nonzero
+// accumulator seeds.
+func TestM2LBatchTableRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const p = 6
+	for trial := 0; trial < 50; trial++ {
+		to := geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		nd := 1 + rng.Intn(8)
+		dirs := make([]geom.Vec3, nd)
+		for i := range dirs {
+			// Well-separated offsets, as the MAC guarantees.
+			dirs[i] = geom.Vec3{
+				X: (2 + rng.Float64()*3) * float64(1-2*rng.Intn(2)),
+				Y: (2 + rng.Float64()*3) * float64(1-2*rng.Intn(2)),
+				Z: (2 + rng.Float64()*3) * float64(1-2*rng.Intn(2)),
+			}
+		}
+		var srcs []M2LSource
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			srcs = append(srcs, M2LSource{
+				M:    randomExpansion(p, rng),
+				From: to.Add(dirs[rng.Intn(nd)]),
+			})
+		}
+		tb, classes := tableFor(p, to, srcs, 1+rng.Intn(nd+2))
+
+		got := NewExpansion(p)
+		want := NewExpansion(p)
+		for i := range got.C {
+			c := complex(rng.NormFloat64(), rng.NormFloat64())
+			got.C[i] = c
+			want.C[i] = c
+		}
+		NewWorkspace(p).M2LBatchTable(got, to, srcs, classes, tb)
+		NewWorkspace(p).M2LBatch(want, to, srcs)
+		for i := range got.C {
+			if got.C[i] != want.C[i] {
+				t.Fatalf("trial %d: coefficient %d differs: %v vs %v",
+					trial, i, got.C[i], want.C[i])
+			}
+		}
+	}
+}
+
+// TestM2LTableConcurrentBuildAndUse builds ranges concurrently and then
+// consumes the table from several workspaces at once (the production
+// access pattern: parallel build, read-only shared use).
+func TestM2LTableConcurrentBuildAndUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const p = 5
+	to := geom.Vec3{}
+	var dirs []geom.Vec3
+	for i := 0; i < 64; i++ {
+		dirs = append(dirs, geom.Vec3{
+			X: 3 + rng.Float64(), Y: -3 - rng.Float64(), Z: 2 + rng.Float64(),
+		})
+	}
+	tb := NewM2LTable(p)
+	nrot := tb.Plan(dirs, nil, 0)
+	var wg sync.WaitGroup
+	for lo := 0; lo < nrot; lo += 16 {
+		hi := lo + 16
+		if hi > nrot {
+			hi = nrot
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			tb.BuildRotRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	var srcs []M2LSource
+	var classes []int32
+	for i := 0; i < 40; i++ {
+		c := rng.Intn(len(dirs))
+		srcs = append(srcs, M2LSource{M: randomExpansion(p, rng), From: to.Add(dirs[c])})
+		classes = append(classes, int32(c))
+	}
+	want := NewExpansion(p)
+	NewWorkspace(p).M2LBatch(want, to, srcs)
+
+	var uwg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		uwg.Add(1)
+		go func() {
+			defer uwg.Done()
+			got := NewExpansion(p)
+			NewWorkspace(p).M2LBatchTable(got, to, srcs, classes, tb)
+			for i := range got.C {
+				if got.C[i] != want.C[i] {
+					t.Errorf("coefficient %d differs under concurrent use", i)
+					return
+				}
+			}
+		}()
+	}
+	uwg.Wait()
+}

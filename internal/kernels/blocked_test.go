@@ -1,0 +1,200 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"afmm/internal/geom"
+)
+
+func randVec(rng *rand.Rand) geom.Vec3 {
+	return geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+}
+
+// TestGravityP2PBlockedBitIdentical checks the tiled P2P against the
+// scalar reference bit-for-bit: the tiling reorders targets into blocks
+// but every pair's arithmetic and every target's source-accumulation
+// order are unchanged, so results must be exactly equal — including
+// remainder rows (nt % tile != 0), pre-seeded accumulators, and
+// coincident points.
+func TestGravityP2PBlockedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, soft := range []float64{0, 0.01} {
+		k := Gravity{G: 1.25, Softening: soft}
+		for _, nt := range []int{0, 1, 2, 3, 4, 5, 7, 8, 33} {
+			for _, ns := range []int{0, 1, 6, 29} {
+				xt := make([]geom.Vec3, nt)
+				ys := make([]geom.Vec3, ns)
+				ms := make([]float64, ns)
+				for i := range xt {
+					xt[i] = randVec(rng)
+				}
+				for j := range ys {
+					ys[j] = randVec(rng)
+					ms[j] = rng.Float64() + 0.1
+				}
+				if nt > 0 && ns > 0 {
+					// Include a coincident pair to exercise the r2 == 0 skip.
+					ys[0] = xt[nt/2]
+				}
+				phiA := make([]float64, nt)
+				accA := make([]geom.Vec3, nt)
+				phiB := make([]float64, nt)
+				accB := make([]geom.Vec3, nt)
+				for i := 0; i < nt; i++ {
+					phiA[i] = rng.NormFloat64()
+					accA[i] = randVec(rng)
+					phiB[i] = phiA[i]
+					accB[i] = accA[i]
+				}
+				k.P2P(xt, phiA, accA, ys, ms)
+				k.P2PScalar(xt, phiB, accB, ys, ms)
+				for i := 0; i < nt; i++ {
+					if phiA[i] != phiB[i] || accA[i] != accB[i] {
+						t.Fatalf("soft=%v nt=%d ns=%d: target %d differs: phi %v vs %v, acc %v vs %v",
+							soft, nt, ns, i, phiA[i], phiB[i], accA[i], accB[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStokesletP2PBlockedBitIdentical is the Stokeslet analogue.
+func TestStokesletP2PBlockedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := Stokeslet{Mu: 0.9, Eps: 0.02}
+	for _, nt := range []int{0, 1, 3, 4, 6, 8, 21} {
+		for _, ns := range []int{0, 1, 5, 17} {
+			xt := make([]geom.Vec3, nt)
+			ys := make([]geom.Vec3, ns)
+			fs := make([]geom.Vec3, ns)
+			for i := range xt {
+				xt[i] = randVec(rng)
+			}
+			for j := range ys {
+				ys[j] = randVec(rng)
+				fs[j] = randVec(rng)
+			}
+			if nt > 0 && ns > 0 {
+				ys[0] = xt[0] // self pair stays finite but exercises r2 == 0
+			}
+			velA := make([]geom.Vec3, nt)
+			velB := make([]geom.Vec3, nt)
+			for i := 0; i < nt; i++ {
+				velA[i] = randVec(rng)
+				velB[i] = velA[i]
+			}
+			k.P2P(xt, velA, ys, fs)
+			k.P2PScalar(xt, velB, ys, fs)
+			for i := 0; i < nt; i++ {
+				if velA[i] != velB[i] {
+					t.Fatalf("nt=%d ns=%d: target %d differs: %v vs %v",
+						nt, ns, i, velA[i], velB[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGravityP2P32NearScalar bounds the float32 path against the float64
+// reference: relative error must stay within a small multiple of
+// eps32 * ns (the gate's own bound).
+func TestGravityP2P32NearScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	k := Gravity{G: 1, Softening: 0.05}
+	const nt, ns = 19, 40
+	xt := make([]geom.Vec3, nt)
+	ys := make([]geom.Vec3, ns)
+	ms := make([]float64, ns)
+	sx := make([]float32, ns)
+	sy := make([]float32, ns)
+	sz := make([]float32, ns)
+	sm := make([]float32, ns)
+	for i := range xt {
+		xt[i] = randVec(rng)
+	}
+	for j := range ys {
+		ys[j] = randVec(rng)
+		ms[j] = rng.Float64() + 0.1
+		sx[j] = float32(ys[j].X)
+		sy[j] = float32(ys[j].Y)
+		sz[j] = float32(ys[j].Z)
+		sm[j] = float32(ms[j])
+	}
+	phiRef := make([]float64, nt)
+	accRef := make([]geom.Vec3, nt)
+	k.P2PScalar(xt, phiRef, accRef, ys, ms)
+
+	phi32 := make([]float64, nt)
+	acc32 := make([]geom.Vec3, nt)
+	k.P2P32(xt, phi32, acc32, sx, sy, sz, sm)
+
+	phiAoS := make([]float64, nt)
+	accAoS := make([]geom.Vec3, nt)
+	k.P2P32AoS(xt, phiAoS, accAoS, ys, ms)
+
+	bound := 64 * Eps32 * float64(ns)
+	for i := 0; i < nt; i++ {
+		if d := math.Abs(phi32[i]-phiRef[i]) / (1 + math.Abs(phiRef[i])); d > bound {
+			t.Fatalf("P2P32 phi[%d] off by %g (bound %g)", i, d, bound)
+		}
+		if d := acc32[i].Sub(accRef[i]).Norm() / (1 + accRef[i].Norm()); d > bound {
+			t.Fatalf("P2P32 acc[%d] off by %g (bound %g)", i, d, bound)
+		}
+		if d := math.Abs(phiAoS[i]-phiRef[i]) / (1 + math.Abs(phiRef[i])); d > bound {
+			t.Fatalf("P2P32AoS phi[%d] off by %g (bound %g)", i, d, bound)
+		}
+		if d := accAoS[i].Sub(accRef[i]).Norm() / (1 + accRef[i].Norm()); d > bound {
+			t.Fatalf("P2P32AoS acc[%d] off by %g (bound %g)", i, d, bound)
+		}
+	}
+}
+
+// TestStokesletP2P32NearScalar is the Stokeslet float32 analogue.
+func TestStokesletP2P32NearScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	k := Stokeslet{Mu: 1.1, Eps: 0.03}
+	const nt, ns = 11, 31
+	xt := make([]geom.Vec3, nt)
+	ys := make([]geom.Vec3, ns)
+	fs := make([]geom.Vec3, ns)
+	sx := make([]float32, ns)
+	sy := make([]float32, ns)
+	sz := make([]float32, ns)
+	fx := make([]float32, ns)
+	fy := make([]float32, ns)
+	fz := make([]float32, ns)
+	for i := range xt {
+		xt[i] = randVec(rng)
+	}
+	for j := range ys {
+		ys[j] = randVec(rng)
+		fs[j] = randVec(rng)
+		sx[j] = float32(ys[j].X)
+		sy[j] = float32(ys[j].Y)
+		sz[j] = float32(ys[j].Z)
+		fx[j] = float32(fs[j].X)
+		fy[j] = float32(fs[j].Y)
+		fz[j] = float32(fs[j].Z)
+	}
+	velRef := make([]geom.Vec3, nt)
+	k.P2PScalar(xt, velRef, ys, fs)
+
+	vel32 := make([]geom.Vec3, nt)
+	k.P2P32(xt, vel32, sx, sy, sz, fx, fy, fz)
+
+	velAoS := make([]geom.Vec3, nt)
+	k.P2P32AoS(xt, velAoS, ys, fs)
+
+	bound := 64 * Eps32 * float64(ns)
+	for i := 0; i < nt; i++ {
+		if d := vel32[i].Sub(velRef[i]).Norm() / (1 + velRef[i].Norm()); d > bound {
+			t.Fatalf("P2P32 vel[%d] off by %g (bound %g)", i, d, bound)
+		}
+		if d := velAoS[i].Sub(velRef[i]).Norm() / (1 + velRef[i].Norm()); d > bound {
+			t.Fatalf("P2P32AoS vel[%d] off by %g (bound %g)", i, d, bound)
+		}
+	}
+}

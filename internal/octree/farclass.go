@@ -1,0 +1,137 @@
+package octree
+
+import (
+	"math"
+
+	"afmm/internal/geom"
+)
+
+// M2LClassSchedule annotates every V-list (M2L) pair with its translation
+// class: cell centers on the cubic octree differ by (near-)integer
+// multiples of the finer cell's half width, and translated subdivision
+// chains reproduce the same float64 rounding, so the exact center
+// difference of many pairs coincides bit-for-bit. The expensive
+// per-direction setup (Wigner stack, radial powers, phases) can then be
+// precomputed once per class and shared read-only across all workers.
+//
+// Row ni of the CSR mirrors Tree.Nodes[ni].V element-for-element: the
+// class of pair (ni, V[k]) is Class[RowPtr[ni]+k], and Dirs[class] holds
+// the exact translation vector src.Center - target.Center of every pair in
+// the class (pairs are only merged when their float64 direction vectors
+// are bit-identical, so a class-table translation is bit-for-bit equal to
+// the per-pair path). The schedule is cached on the tree and keyed on
+// ListEpoch, like the near-field schedule.
+type M2LClassSchedule struct {
+	RowPtr []int32
+	Class  []int32
+	// Dirs holds the exact representative direction of each class.
+	Dirs []geom.Vec3
+	// PairsPerClass counts the V-list pairs in each class (parallel to
+	// Dirs) — the popularity weight the table build uses to elect which
+	// rotation setups are worth precomputing.
+	PairsPerClass []int64
+
+	// Pairs counts V-list pairs; KeyHits is how many were classified by
+	// the O(1) integer-offset key, KeyMisses how many fell back to the
+	// exact-vector map (rounding collisions or out-of-range offsets).
+	Pairs     int64
+	KeyHits   int64
+	KeyMisses int64
+}
+
+// Row returns the per-pair classes of node ni's V list (parallel to it).
+func (s *M2LClassSchedule) Row(ni int32) []int32 {
+	return s.Class[s.RowPtr[ni]:s.RowPtr[ni+1]]
+}
+
+// Classes returns the number of distinct translation classes.
+func (s *M2LClassSchedule) Classes() int { return len(s.Dirs) }
+
+// M2LClasses returns the cached translation-class schedule for the current
+// lists. BuildLists must have run. The returned schedule is owned by the
+// tree and valid until the next list topology change.
+func (t *Tree) M2LClasses() *M2LClassSchedule {
+	if t.farEpoch == t.listEpoch && t.farEpoch != 0 {
+		return &t.farSched
+	}
+	t.buildM2LClasses()
+	return &t.farSched
+}
+
+// classKeyRange bounds the per-axis quantized offset representable in the
+// packed integer key (10 bits signed per axis).
+const classKeyRange = 511
+
+// buildM2LClasses walks every node's V list and assigns each pair a class.
+// Fast path: quantize d by the finer cell's half width and pack both
+// levels plus the three integer offsets into one int64 key; the candidate
+// class is accepted only if its stored direction equals d exactly, so
+// float rounding can never merge two distinct directions. Any pair the
+// integer key cannot serve exactly falls back to a map keyed on the exact
+// vector.
+func (t *Tree) buildM2LClasses() {
+	s := &t.farSched
+	s.RowPtr = append(s.RowPtr[:0], 0)
+	s.Class = s.Class[:0]
+	s.Dirs = s.Dirs[:0]
+	s.PairsPerClass = s.PairsPerClass[:0]
+	s.Pairs, s.KeyHits, s.KeyMisses = 0, 0, 0
+	byKey := make(map[int64]int32, 512)
+	// byVec is authoritative for class creation (the same exact direction
+	// can recur at several level pairs — one class serves them all); it is
+	// only consulted when a new key appears or the key fast path fails, so
+	// steady-state classification stays one int64 lookup per pair.
+	byVec := make(map[geom.Vec3]int32, 512)
+	classOf := func(d geom.Vec3) int32 {
+		if c, ok := byVec[d]; ok {
+			return c
+		}
+		c := int32(len(s.Dirs))
+		s.Dirs = append(s.Dirs, d)
+		s.PairsPerClass = append(s.PairsPerClass, 0)
+		byVec[d] = c
+		return c
+	}
+	for ni := range t.Nodes {
+		n := &t.Nodes[ni]
+		for _, vi := range n.V {
+			sv := &t.Nodes[vi]
+			d := sv.Box.Center.Sub(n.Box.Center)
+			q := n.Box.Half
+			if sv.Box.Half < q {
+				q = sv.Box.Half
+			}
+			ci := int32(-1)
+			ox := math.Round(d.X / q)
+			oy := math.Round(d.Y / q)
+			oz := math.Round(d.Z / q)
+			if ox >= -classKeyRange && ox <= classKeyRange &&
+				oy >= -classKeyRange && oy <= classKeyRange &&
+				oz >= -classKeyRange && oz <= classKeyRange {
+				key := int64(n.Level)<<38 | int64(sv.Level)<<30 |
+					(int64(ox)+512)<<20 | (int64(oy)+512)<<10 | (int64(oz) + 512)
+				if c, ok := byKey[key]; ok {
+					if s.Dirs[c] == d {
+						ci = c
+						s.KeyHits++
+					}
+				} else {
+					ci = classOf(d)
+					byKey[key] = ci
+					s.KeyHits++
+				}
+			}
+			if ci < 0 {
+				// Rounding collision or out-of-range offset: exact-vector
+				// fallback, never merging distinct directions.
+				s.KeyMisses++
+				ci = classOf(d)
+			}
+			s.Class = append(s.Class, ci)
+			s.PairsPerClass[ci]++
+			s.Pairs++
+		}
+		s.RowPtr = append(s.RowPtr, int32(len(s.Class)))
+	}
+	t.farEpoch = t.listEpoch
+}

@@ -1,0 +1,100 @@
+package octree
+
+import (
+	"testing"
+
+	"afmm/internal/distrib"
+	"afmm/internal/geom"
+)
+
+// TestM2LClassesExactDirections verifies the defining invariant of the
+// class schedule: every V-list pair's class direction equals the pair's
+// exact float64 translation vector, rows mirror V element-for-element,
+// and no two classes share a direction (so the table is minimal).
+func TestM2LClassesExactDirections(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		sys := distrib.Plummer(2500, 1, 1, seed)
+		tr := Build(sys, Config{S: 24})
+		tr.BuildLists()
+		cls := tr.M2LClasses()
+
+		var pairs int64
+		for ni := range tr.Nodes {
+			n := &tr.Nodes[ni]
+			row := cls.Row(int32(ni))
+			if len(row) != len(n.V) {
+				t.Fatalf("node %d: row has %d classes for %d V entries", ni, len(row), len(n.V))
+			}
+			for k, vi := range n.V {
+				d := tr.Nodes[vi].Box.Center.Sub(n.Box.Center)
+				c := row[k]
+				if c < 0 || int(c) >= cls.Classes() {
+					t.Fatalf("node %d pair %d: class %d out of range", ni, k, c)
+				}
+				if cls.Dirs[c] != d {
+					t.Fatalf("node %d pair %d: class dir %v != exact dir %v", ni, k, cls.Dirs[c], d)
+				}
+				pairs++
+			}
+		}
+		if pairs != cls.Pairs {
+			t.Fatalf("schedule counts %d pairs, walk found %d", cls.Pairs, pairs)
+		}
+		if cls.KeyHits+cls.KeyMisses != cls.Pairs {
+			t.Fatalf("hits %d + misses %d != pairs %d", cls.KeyHits, cls.KeyMisses, cls.Pairs)
+		}
+		seen := map[geom.Vec3]bool{}
+		for _, d := range cls.Dirs {
+			if seen[d] {
+				t.Fatalf("duplicate class direction %v", d)
+			}
+			seen[d] = true
+		}
+		// Classes must be far fewer than pairs (the whole point of the
+		// schedule): exact direction vectors repeat across the tree, so
+		// each class is shared by several pairs on average.
+		if cls.Pairs > 1000 && int64(cls.Classes()) > cls.Pairs/2 {
+			t.Fatalf("classes (%d) do not compress pairs (%d)", cls.Classes(), cls.Pairs)
+		}
+		if int64(cls.Classes()) != int64(len(cls.PairsPerClass)) {
+			t.Fatalf("PairsPerClass length %d != classes %d", len(cls.PairsPerClass), cls.Classes())
+		}
+		var sum int64
+		for _, c := range cls.PairsPerClass {
+			sum += c
+		}
+		if sum != cls.Pairs {
+			t.Fatalf("PairsPerClass sums to %d, want %d", sum, cls.Pairs)
+		}
+	}
+}
+
+// TestM2LClassesEpochCache checks the schedule is reused while the lists
+// stand and rebuilt when the topology changes.
+func TestM2LClassesEpochCache(t *testing.T) {
+	sys := distrib.Plummer(1200, 1, 1, 11)
+	tr := Build(sys, Config{S: 24})
+	tr.BuildLists()
+	a := tr.M2LClasses()
+	b := tr.M2LClasses()
+	if a != b {
+		t.Fatal("schedule rebuilt without a topology change")
+	}
+	ep := tr.ListEpoch()
+	tr.Rebuild(tr.Cfg.S)
+	tr.BuildLists()
+	if tr.ListEpoch() == ep {
+		t.Fatal("rebuild did not bump the list epoch")
+	}
+	c := tr.M2LClasses()
+	for ni := range tr.Nodes {
+		n := &tr.Nodes[ni]
+		row := c.Row(int32(ni))
+		for k, vi := range n.V {
+			d := tr.Nodes[vi].Box.Center.Sub(n.Box.Center)
+			if c.Dirs[row[k]] != d {
+				t.Fatalf("stale class after rebuild: node %d pair %d", ni, k)
+			}
+		}
+	}
+}

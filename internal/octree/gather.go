@@ -20,11 +20,17 @@ type SourceGather struct {
 	Pos  []geom.Vec3
 	Mass []float64 // packed only when Pack's needMass is set
 	Aux  []geom.Vec3
+
+	// Float32 SoA views, packed by Pack32 for the NearFloat32 kernels:
+	// positions X32/Y32/Z32, masses M32, aux vectors AX32/AY32/AZ32.
+	X32, Y32, Z32    []float32
+	M32              []float32
+	AX32, AY32, AZ32 []float32
 }
 
-// Pack gathers the sources of schedule rows [lo, hi). Positions are
-// always packed; masses and aux vectors (Stokeslet forces) on request.
-func (g *SourceGather) Pack(t *Tree, sch *NearSchedule, lo, hi int, needMass, needAux bool) {
+// dedupe collects the distinct source leaves of schedule rows [lo, hi)
+// into g.ids (ascending).
+func (g *SourceGather) dedupe(sch *NearSchedule, lo, hi int) {
 	g.ids = g.ids[:0]
 	g.ids = append(g.ids, sch.Srcs[sch.RowPtr[lo]:sch.RowPtr[hi]]...)
 	slices.Sort(g.ids)
@@ -36,6 +42,12 @@ func (g *SourceGather) Pack(t *Tree, sch *NearSchedule, lo, hi int, needMass, ne
 		}
 	}
 	g.ids = g.ids[:w]
+}
+
+// Pack gathers the sources of schedule rows [lo, hi). Positions are
+// always packed; masses and aux vectors (Stokeslet forces) on request.
+func (g *SourceGather) Pack(t *Tree, sch *NearSchedule, lo, hi int, needMass, needAux bool) {
+	g.dedupe(sch, lo, hi)
 
 	g.off = g.off[:0]
 	g.Pos = g.Pos[:0]
@@ -56,8 +68,43 @@ func (g *SourceGather) Pack(t *Tree, sch *NearSchedule, lo, hi int, needMass, ne
 	g.off = append(g.off, int32(len(g.Pos)))
 }
 
+// Pack32 gathers the same rows as Pack but into float32 SoA slices for
+// the NearFloat32 kernels: one widening conversion per source body per
+// chunk, after which the inner P2P loop streams pure float32.
+func (g *SourceGather) Pack32(t *Tree, sch *NearSchedule, lo, hi int, needMass, needAux bool) {
+	g.dedupe(sch, lo, hi)
+
+	g.off = g.off[:0]
+	g.X32, g.Y32, g.Z32 = g.X32[:0], g.Y32[:0], g.Z32[:0]
+	g.M32 = g.M32[:0]
+	g.AX32, g.AY32, g.AZ32 = g.AX32[:0], g.AY32[:0], g.AZ32[:0]
+	sys := t.Sys
+	for _, id := range g.ids {
+		n := &t.Nodes[id]
+		g.off = append(g.off, int32(len(g.X32)))
+		for _, p := range sys.Pos[n.Start:n.End] {
+			g.X32 = append(g.X32, float32(p.X))
+			g.Y32 = append(g.Y32, float32(p.Y))
+			g.Z32 = append(g.Z32, float32(p.Z))
+		}
+		if needMass {
+			for _, m := range sys.Mass[n.Start:n.End] {
+				g.M32 = append(g.M32, float32(m))
+			}
+		}
+		if needAux {
+			for _, a := range sys.Aux[n.Start:n.End] {
+				g.AX32 = append(g.AX32, float32(a.X))
+				g.AY32 = append(g.AY32, float32(a.Y))
+				g.AZ32 = append(g.AZ32, float32(a.Z))
+			}
+		}
+	}
+	g.off = append(g.off, int32(len(g.X32)))
+}
+
 // Span returns the packed body range of source leaf s, which must have
-// been covered by the last Pack.
+// been covered by the last Pack (or Pack32).
 func (g *SourceGather) Span(s int32) (lo, hi int) {
 	k := sort.Search(len(g.ids), func(i int) bool { return g.ids[i] >= s })
 	return int(g.off[k]), int(g.off[k+1])

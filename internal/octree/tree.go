@@ -158,6 +158,11 @@ type Tree struct {
 	nearSched     NearSchedule
 	nearEpoch     uint64 // listEpoch the topology was built at (0 = never)
 	nearWeightsOK bool
+
+	// M2L translation-class schedule cache (see farclass.go), keyed on
+	// listEpoch like the near-field schedule.
+	farSched M2LClassSchedule
+	farEpoch uint64
 }
 
 // Build constructs a tree over sys with the given configuration.

@@ -165,6 +165,52 @@ func TestRecoveryGivesUpAfterMaxRecoveries(t *testing.T) {
 	}
 }
 
+// TestCheckpointStreamingOverlapBitIdentical: with CheckpointEvery=1 every
+// step computes while the previous snapshot's gob encode + fsync streams to
+// disk in the background. The overlap must not perturb the trajectory — the
+// run is bit-for-bit the checkpoint-free one — and the final on-disk
+// snapshot must be the last captured boundary.
+func TestCheckpointStreamingOverlapBitIdentical(t *testing.T) {
+	const steps = 6
+	dir := t.TempDir()
+	plain := faultSolver(t, 1500, "", nil)
+	if res := RunGravity(plain, pinnedCfg(steps)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	ckpt := faultSolver(t, 1500, "", nil)
+	cfg := pinnedCfg(steps)
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointDir = dir
+	res := RunGravity(ckpt, cfg)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Checkpoints != steps {
+		t.Fatalf("checkpoints = %d, want %d", res.Checkpoints, steps)
+	}
+	assertSameFinalState(t, plain, ckpt)
+
+	sn, err := checkpoint.ReadFile(filepath.Join(dir, CheckpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Step != steps {
+		t.Fatalf("final snapshot at step %d, want %d", sn.Step, steps)
+	}
+	// The persisted snapshot must restore to exactly the final state the
+	// checkpointed run ended with.
+	sys, err := sn.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sys.Pos {
+		if p != ckpt.Sys.Pos[i] {
+			t.Fatalf("restored pos[%d] %v != live %v", i, p, ckpt.Sys.Pos[i])
+		}
+	}
+}
+
 // TestAutoCheckpointAndResume: the rolling on-disk checkpoint restores
 // into a fresh solver and the resumed loop continues from the snapshot's
 // step to the target.

@@ -158,7 +158,7 @@ type Stepper interface {
 // restoreInto copies a snapshot's bodies back into the stepper's system
 // (the arrays are same-length: snapshots never resize a run), rebuilds
 // the decomposition at the snapshot's S, and re-imports the balancer FSM.
-func restoreInto(s Stepper, bal *balance.Balancer, sn checkpoint.Snapshot) {
+func restoreInto(s Stepper, bal *balance.Balancer, sn *checkpoint.Snapshot) {
 	sys := s.System()
 	copy(sys.Pos, sn.Pos)
 	copy(sys.Vel, sn.Vel)
@@ -218,26 +218,59 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 	bal := balance.New(cfg.Balance, s.System().Len())
 	var res Result
 	startStep := 0
-	var lastSnap checkpoint.Snapshot
+	// Snapshots double-buffer: the capture (a memcpy of the bodies) runs on
+	// the step boundary, but the gob encode + fsync + rename streams to disk
+	// on a background goroutine while the next step computes. Alternating
+	// buffers let the writer encode one snapshot while the loop captures the
+	// next; a buffer is only reused after its write has been joined. The
+	// in-memory lastSnap pointer always names the newest capture, so
+	// step-level recovery never waits on the disk.
+	var snapBufs [2]checkpoint.Snapshot
+	snapCur := 0
+	var lastSnap *checkpoint.Snapshot
+	var writeDone chan error // nil when no write is in flight
+	joinWrite := func() error {
+		if writeDone == nil {
+			return nil
+		}
+		tok := rec.Begin(telemetry.SpanCkptWait, 0)
+		err := <-writeDone
+		rec.End(tok)
+		writeDone = nil
+		return err
+	}
 	if cfg.Resume != nil {
-		lastSnap = *cfg.Resume
+		snapBufs[0] = *cfg.Resume
+		lastSnap = &snapBufs[0]
+		snapCur = 1
 		startStep = lastSnap.Step
 		if lastSnap.HasBal {
 			bal.Import(lastSnap.Bal)
 		}
 	} else {
-		lastSnap = checkpoint.CaptureState(s.System(), s.S(), 0, 0, bal)
+		checkpoint.CaptureStateInto(&snapBufs[0], s.System(), s.S(), 0, 0, bal)
+		lastSnap = &snapBufs[0]
+		snapCur = 1
 	}
 	saveSnap := func(step int) bool {
 		tok := rec.Begin(telemetry.SpanCheckpoint, 0)
 		defer rec.End(tok)
-		lastSnap = checkpoint.CaptureState(s.System(), s.S(), step, float64(step)*cfg.Dt, bal)
+		// Writes to the rolling file must commit in order, and the buffer
+		// about to be recaptured may still be under encode — join first.
+		if err := joinWrite(); err != nil {
+			res.Err = err
+			return false
+		}
+		sn := &snapBufs[snapCur]
+		snapCur = 1 - snapCur
+		checkpoint.CaptureStateInto(sn, s.System(), s.S(), step, float64(step)*cfg.Dt, bal)
+		lastSnap = sn
 		res.Checkpoints++
 		if cfg.CheckpointDir != "" {
-			if err := checkpoint.WriteFile(filepath.Join(cfg.CheckpointDir, CheckpointFile), lastSnap); err != nil {
-				res.Err = err
-				return false
-			}
+			path := filepath.Join(cfg.CheckpointDir, CheckpointFile)
+			writeDone = make(chan error, 1)
+			done := writeDone
+			go func() { done <- checkpoint.WriteFile(path, *sn) }()
 		}
 		return true
 	}
@@ -256,6 +289,7 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 				rec.EndStep()
 				res.Err = fmt.Errorf("sim: step %d failed after %d recoveries: %w",
 					step, cfg.MaxRecoveries, serr)
+				joinWrite()
 				return res
 			}
 			rt := sched.StartTimer()
@@ -316,9 +350,15 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 			// Snapshot after the completed step (post-move, post-balance),
 			// so a restore re-runs from exactly this boundary.
 			if !saveSnap(step + 1) {
+				joinWrite()
 				return res
 			}
 		}
+	}
+	// Drain the last streaming write so the on-disk checkpoint is committed
+	// (and its error reported) before the run returns.
+	if err := joinWrite(); err != nil && res.Err == nil {
+		res.Err = err
 	}
 	return res
 }

@@ -1,0 +1,132 @@
+package stokes
+
+import (
+	"afmm/internal/core"
+	"afmm/internal/expansion"
+	"afmm/internal/kernels"
+	"afmm/internal/telemetry"
+)
+
+// Kernel-speed layer for the Stokes solver: the shared M2L
+// translation-class table and the gated float32 near field. Mirrors
+// core.Solver's layer; the table is especially profitable here because
+// all four harmonic passes translate over the same class schedule.
+
+// m2lRotCap/m2lClassCap mirror core's table bounds.
+const (
+	m2lRotCap   = 1024
+	m2lClassCap = 1 << 20
+)
+
+// prepareM2LTable builds (or revalidates) the shared per-class M2L
+// operator table for the current lists (see core.Solver.prepareM2LTable).
+func (s *Solver) prepareM2LTable() {
+	useTable := !s.Cfg.DisableM2LTable && s.Cfg.SweepMode == core.SweepLevelSync &&
+		!s.Cfg.SkipFarField
+	if !useTable {
+		s.m2lTab, s.m2lCls = nil, nil
+		s.m2lEpoch = 0
+		return
+	}
+	rec := s.Cfg.Rec
+	t := s.Tree
+	rebuilt := false
+	if s.m2lTab == nil || s.m2lEpoch != t.ListEpoch() {
+		cls := t.M2LClasses()
+		if cls.Classes() > m2lClassCap {
+			// See core: degenerate geometry, table would outgrow its payoff.
+			s.m2lTab, s.m2lCls = nil, nil
+			s.m2lEpoch = 0
+			return
+		}
+		tok := rec.Begin(telemetry.SpanM2LTable, int32(cls.Classes()))
+		if s.m2lTab == nil {
+			s.m2lTab = expansion.NewM2LTable(s.Cfg.P)
+		}
+		nrot := s.m2lTab.Plan(cls.Dirs, cls.PairsPerClass, m2lRotCap)
+		s.Cfg.Pool.ParallelRange(nrot, func(lo, hi int) {
+			s.m2lTab.BuildRotRange(lo, hi)
+		})
+		s.m2lCls = cls
+		s.m2lEpoch = t.ListEpoch()
+		rebuilt = true
+		rec.End(tok)
+	}
+	if rec.Enabled() && s.m2lCls != nil {
+		rec.SetM2LTable(s.m2lCls.Classes(), s.m2lCls.Pairs,
+			s.m2lCls.KeyHits, s.m2lCls.KeyMisses, rebuilt)
+	}
+}
+
+// nearF32ErrorEstimate bounds the relative rounding error of the float32
+// Stokeslet near field (see core.Solver.nearF32ErrorEstimate).
+func (s *Solver) nearF32ErrorEstimate() float64 {
+	t := s.Tree
+	sch := t.NearField()
+	var maxRow int64
+	for r := range sch.Leaves {
+		tn := t.Nodes[sch.Leaves[r]].Count()
+		if tn == 0 {
+			continue
+		}
+		if v := sch.Weights[r] / int64(tn); v > maxRow {
+			maxRow = v
+		}
+	}
+	return kernels.Eps32 * float64(maxRow)
+}
+
+// updateNearPrecision runs the NearFloat32 gate for this step (see
+// core.Solver.updateNearPrecision). The default target is the truncation
+// bound of the current lists — the four harmonic passes carry the same
+// per-pair Laplace truncation error, so the shared tree-level bound
+// applies unchanged.
+func (s *Solver) updateNearPrecision() {
+	rec := s.Cfg.Rec
+	want := s.Cfg.NearFloat32 && !s.f32Blocked
+	if !want {
+		if s.f32Active {
+			s.f32Active = false
+			s.Model.ScaleP2P(kernels.NearFloat32Speedup)
+		}
+		rec.SetNearPrecision(false)
+		return
+	}
+	est := s.nearF32ErrorEstimate()
+	target := s.Cfg.AccuracyTarget
+	if target <= 0 {
+		if s.gateEpoch != s.Tree.ListEpoch() || s.gateBound == 0 {
+			s.gateBound = core.TreeTruncationBound(s.Tree, s.Cfg.P).MeanPair
+			s.gateEpoch = s.Tree.ListEpoch()
+		}
+		target = s.gateBound
+	}
+	active := target > 0 && est <= target
+	if !active && target > 0 {
+		s.f32Blocked = true
+		rec.EmitEvent(telemetry.EventPrecision, 0, 1, est, target)
+	}
+	if active != s.f32Active {
+		if active {
+			s.Model.ScaleP2P(1 / kernels.NearFloat32Speedup)
+			rec.EmitEvent(telemetry.EventPrecision, 1, 0, est, target)
+		} else {
+			s.Model.ScaleP2P(kernels.NearFloat32Speedup)
+		}
+		s.f32Active = active
+	}
+	rec.SetNearPrecision(s.f32Active)
+}
+
+// NearFloat32Active reports whether the last gate evaluation enabled the
+// float32 near field (tests and benchmarks).
+func (s *Solver) NearFloat32Active() bool { return s.f32Active }
+
+// M2LTableStats returns the current class schedule stats (zero-valued
+// when the table path is off or not yet built).
+func (s *Solver) M2LTableStats() (classes int, pairs, keyHits, keyMisses int64) {
+	if s.m2lCls == nil {
+		return 0, 0, 0, 0
+	}
+	return s.m2lCls.Classes(), s.m2lCls.Pairs, s.m2lCls.KeyHits, s.m2lCls.KeyMisses
+}

@@ -79,6 +79,17 @@ type Config struct {
 	// the phases overlap (see core.Config.ReservedDrivers; 0 = one per
 	// device, -1 = none).
 	ReservedDrivers int
+	// DisableM2LTable turns off the shared M2L translation-class table
+	// (see core.Config.DisableM2LTable); the table pays off four-fold here
+	// because all four harmonic passes translate over the same geometry.
+	DisableM2LTable bool
+	// NearFloat32 opts the Stokeslet near field into the gated float32
+	// kernel path (see core.Config.NearFloat32).
+	NearFloat32 bool
+	// AccuracyTarget is the relative accuracy for the NearFloat32 gate;
+	// zero compares against the truncation bound of the current lists
+	// (see core.Config.AccuracyTarget).
+	AccuracyTarget float64
 	// Rec receives per-phase telemetry from every Solve (see
 	// core.Config.Rec); nil compiles to no-ops. Prefer Solver.SetRecorder
 	// after construction.
@@ -144,6 +155,19 @@ type Solver struct {
 	// core.Solver).
 	capEpoch int64
 	capVal   float64
+
+	// M2L translation-class table state (see core.Solver): one table
+	// serves all four harmonic passes.
+	m2lTab   *expansion.M2LTable
+	m2lCls   *octree.M2LClassSchedule
+	m2lEpoch uint64
+	m2lUse   bool
+
+	// NearFloat32 precision-gate state (see core.Solver).
+	f32Active  bool
+	f32Blocked bool
+	gateEpoch  uint64
+	gateBound  float64
 }
 
 // NewSolver builds the decomposition for the body positions.
@@ -281,6 +305,11 @@ func (s *Solver) Solve() StepTimes {
 	s.Sys.ResetAccumulatorsParallel(s.Cfg.Pool)
 	s.ensureSlabs()
 	rec.AddSpan(telemetry.SpanPrep, 0, prepTimer.StartTime(), prepTimer.Elapsed())
+
+	// Kernel-speed preparation before the near/far fork (see core.Solver):
+	// the shared class table and the float32 precision gate.
+	s.prepareM2LTable()
+	s.updateNearPrecision()
 
 	// Near and far phases, overlapped exactly as in core.Solver.Solve: a
 	// driver goroutine executes the Stokeslet near field while this
@@ -497,6 +526,15 @@ func (s *Solver) p2pPair(target, source int32) {
 	sys := s.Sys
 	tn := &t.Nodes[target]
 	sn := &t.Nodes[source]
+	if s.f32Active {
+		s.Cfg.Kernel.P2P32AoS(
+			sys.Pos[tn.Start:tn.End],
+			sys.Acc[tn.Start:tn.End],
+			sys.Pos[sn.Start:sn.End],
+			sys.Aux[sn.Start:sn.End],
+		)
+		return
+	}
 	s.Cfg.Kernel.P2P(
 		sys.Pos[tn.Start:tn.End],
 		sys.Acc[tn.Start:tn.End],
@@ -523,7 +561,25 @@ func (s *Solver) runCPUNearField() {
 	}
 	sch := t.NearField()
 	sys := s.Sys
+	f32 := s.f32Active
 	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassNear, sch.Weights, func(lo, hi int) {
+		if f32 {
+			g := s.getGather()
+			g.Pack32(t, sch, lo, hi, false, true)
+			for r := lo; r < hi; r++ {
+				tn := &t.Nodes[sch.Leaves[r]]
+				xt := sys.Pos[tn.Start:tn.End]
+				vel := sys.Acc[tn.Start:tn.End]
+				for _, si := range sch.Row(r) {
+					a, b := g.Span(si)
+					s.Cfg.Kernel.P2P32(xt, vel,
+						g.X32[a:b], g.Y32[a:b], g.Z32[a:b],
+						g.AX32[a:b], g.AY32[a:b], g.AZ32[a:b])
+				}
+			}
+			s.putGather(g)
+			return
+		}
 		if s.Cfg.GatherSources {
 			g := s.getGather()
 			g.Pack(t, sch, lo, hi, false, true)
@@ -652,6 +708,8 @@ func (s *Solver) upNode(w *expansion.Workspace, ni int32) {
 
 func (s *Solver) downSweepLevels(withL2P bool) {
 	t := s.Tree
+	// Resolve table eligibility once per sweep (see core.Solver).
+	s.m2lUse = s.m2lTab != nil && s.m2lEpoch == t.ListEpoch()
 	levels := t.LevelOrder()
 	for lv := 0; lv < len(levels); lv++ {
 		nodes := levels[lv]
@@ -688,7 +746,11 @@ func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2L
 			for _, vi := range n.V {
 				srcs = append(srcs, expansion.M2LSource{M: s.mpole(k, vi), From: t.Nodes[vi].Box.Center})
 			}
-			w.M2LBatch(l, n.Box.Center, srcs)
+			if s.m2lUse {
+				w.M2LBatchTable(l, n.Box.Center, srcs, s.m2lCls.Row(ni), s.m2lTab)
+			} else {
+				w.M2LBatch(l, n.Box.Center, srcs)
+			}
 		}
 	}
 	if withL2P && n.IsVisibleLeaf() {

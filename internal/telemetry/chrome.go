@@ -27,6 +27,9 @@ const (
 	// on a dedicated track, so resilience transitions read as their own
 	// timeline next to the phases they interrupt.
 	chromeTIDFault = 4
+	// Kernel-layer activity — M2L translation-class table builds and the
+	// per-step class/hit-rate counters — renders on its own track.
+	chromeTIDKern = 5
 	// Device tracks start here; device i renders on chromeTIDDev + i.
 	chromeTIDDev = 100
 )
@@ -50,8 +53,10 @@ func spanTID(k SpanKind, arg int32) int {
 		return chromeTIDNear
 	case SpanBalance, SpanPredict, SpanFineGrain, SpanTreeBuild, SpanEnforceS:
 		return chromeTIDBal
-	case SpanFallback, SpanCheckpoint, SpanRestore, SpanValidate:
+	case SpanFallback, SpanCheckpoint, SpanRestore, SpanCkptWait, SpanValidate:
 		return chromeTIDFault
+	case SpanM2LTable:
+		return chromeTIDKern
 	}
 	return chromeTIDHost
 }
@@ -86,6 +91,7 @@ func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDNear, Args: map[string]any{"name": "near"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDBal, Args: map[string]any{"name": "balancer"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDFault, Args: map[string]any{"name": "faults"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDKern, Args: map[string]any{"name": "kernels"}},
 	}
 	maxDev := 0
 	for i := range steps {
@@ -139,6 +145,20 @@ func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
 			chromeEvent{Name: "virtual time", Ph: "C", PID: chromePID, TID: chromeTIDHost, TS: base,
 				Args: map[string]any{"cpu": rec.CPU, "gpu": rec.GPU}},
 		)
+		if rec.M2LClasses > 0 {
+			f32 := 0
+			if rec.NearF32 {
+				f32 = 1
+			}
+			events = append(events, chromeEvent{
+				Name: "m2l table", Ph: "C", PID: chromePID, TID: chromeTIDKern, TS: base,
+				Args: map[string]any{
+					"classes": rec.M2LClasses, "pairs": rec.M2LPairs,
+					"key_hits": rec.M2LKeyHits, "key_misses": rec.M2LKeyMisses,
+					"near_f32": f32,
+				},
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{

@@ -105,6 +105,14 @@ const (
 	// snapshot restoration in the step loop (Arg = step).
 	SpanCheckpoint
 	SpanRestore
+	// SpanCkptWait is the time the step loop blocked waiting for a
+	// still-in-flight asynchronous checkpoint write (streaming checkpoints;
+	// zero-duration when the writer kept up).
+	SpanCkptWait
+	// SpanM2LTable is the shared M2L translation-class table build
+	// (classification + per-class operator precompute), rendered on the
+	// kernels track. Arg = number of classes built.
+	SpanM2LTable
 	numSpanKinds
 )
 
@@ -137,6 +145,8 @@ var spanNames = [numSpanKinds]string{
 	SpanValidate:   "validate",
 	SpanCheckpoint: "ckpt.save",
 	SpanRestore:    "ckpt.restore",
+	SpanCkptWait:   "ckpt.wait",
+	SpanM2LTable:   "kernels.m2ltable",
 }
 
 func (k SpanKind) String() string {
@@ -159,7 +169,8 @@ func (k SpanKind) TopLevel() bool {
 	case SpanPrep, SpanRefill, SpanListFull, SpanListRepair, SpanListSkip,
 		SpanUpSweep, SpanDownSweep, SpanL2P, SpanNearCPU, SpanNearExec,
 		SpanGraph, SpanVCPUSim, SpanObserve, SpanIntegrate, SpanForces,
-		SpanBalance, SpanValidate, SpanCheckpoint, SpanRestore:
+		SpanBalance, SpanValidate, SpanCheckpoint, SpanRestore,
+		SpanCkptWait, SpanM2LTable:
 		return true
 	}
 	return false
@@ -233,6 +244,11 @@ const (
 	// EventRestore: the step loop restored a snapshot. A = failing step,
 	// B = snapshot step execution resumes from.
 	EventRestore
+	// EventPrecision: the near-field precision gate toggled. A = 1 when
+	// float32 was enabled, 0 when disabled; B = 1 when the disable is
+	// sticky (error-bound violation); FA = estimated float32 relative
+	// error, FB = the accuracy target it was compared against.
+	EventPrecision
 	numEventKinds
 )
 
@@ -253,6 +269,7 @@ var eventNames = [numEventKinds]string{
 	EventCapacity:    "capacity",
 	EventStepFail:    "step_fail",
 	EventRestore:     "restore",
+	EventPrecision:   "precision",
 }
 
 func (k EventKind) String() string {
@@ -351,6 +368,18 @@ type StepRecord struct {
 	Lists        ListDelta      `json:"lists"`
 	Collapses    int            `json:"collapses,omitempty"`
 	Pushdowns    int            `json:"pushdowns,omitempty"`
+
+	// M2L translation-class table effectiveness: classes/pairs of the
+	// current schedule, the integer-key hit/miss split of the last
+	// classification, and whether this step rebuilt the table (a list
+	// topology change); zero-valued when the table path is off.
+	M2LClasses   int   `json:"m2l_classes,omitempty"`
+	M2LPairs     int64 `json:"m2l_pairs,omitempty"`
+	M2LKeyHits   int64 `json:"m2l_key_hits,omitempty"`
+	M2LKeyMisses int64 `json:"m2l_key_misses,omitempty"`
+	M2LRebuilt   bool  `json:"m2l_rebuilt,omitempty"`
+	// NearF32 marks steps whose near field ran the gated float32 path.
+	NearF32 bool `json:"near_f32,omitempty"`
 
 	Spans  []Span  `json:"spans,omitempty"`
 	Events []Event `json:"events,omitempty"`
@@ -672,6 +701,32 @@ func (r *Recorder) SetLists(d ListDelta) {
 	r.mu.Lock()
 	r.ensureStepLocked()
 	r.cur.Lists = d
+	r.mu.Unlock()
+}
+
+// SetM2LTable records the step's translation-class table stats.
+func (r *Recorder) SetM2LTable(classes int, pairs, keyHits, keyMisses int64, rebuilt bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.M2LClasses = classes
+	r.cur.M2LPairs = pairs
+	r.cur.M2LKeyHits = keyHits
+	r.cur.M2LKeyMisses = keyMisses
+	r.cur.M2LRebuilt = rebuilt
+	r.mu.Unlock()
+}
+
+// SetNearPrecision marks whether the step's near field ran in float32.
+func (r *Recorder) SetNearPrecision(f32 bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.NearF32 = f32
 	r.mu.Unlock()
 }
 
