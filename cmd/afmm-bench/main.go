@@ -51,7 +51,7 @@ func main() {
 	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults|kernels")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults|kernels|taskgraph")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -66,7 +66,7 @@ func main() {
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
 		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
 		"lists": true, "telemetry": true, "overlap": true, "faults": true,
-		"kernels": true, "all": true}
+		"kernels": true, "taskgraph": true, "all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -125,6 +125,45 @@ func main() {
 		fmt.Println("==== KERNELS (M2L class table, blocked P2P, float32 near field) ====")
 		runKernels(p, pSet)
 	}
+	if which == "taskgraph" { // host wall-clock benchmark; not part of "all"
+		fmt.Println("==== TASKGRAPH (dependency-driven step DAG vs fork-join level-sync) ====")
+		runTaskGraph(p)
+	}
+}
+
+// runTaskGraph benchmarks the dependency-driven step DAG against the
+// fork-join level-synchronous schedule at forced 2/4-worker pools and
+// writes the machine-readable BENCH_taskgraph.json. The acceptance target
+// is DAG makespan <= level-sync makespan on a >= 2-worker pool, with the
+// critical-path/makespan gap reported (the ROADMAP success metric: the
+// BENCH_overlap.json critical-path projection becomes a measured number).
+func runTaskGraph(p experiments.Params) {
+	res := experiments.TaskGraph(p)
+	fmt.Printf("trajectory: Plummer N=%d, S=%d, P=%d, %d GPUs, %d steps each variant (host cores: %d)\n",
+		res.N, res.S, res.P, res.GPUs, res.Steps, res.HostCores)
+	for _, pr := range res.Pools {
+		fmt.Printf("---- %d-worker pool ----\n", pr.PoolWorkers)
+		fmt.Printf("%-34s %12.3f ms/solve\n", "solve wall (level-sync)", float64(pr.StepNsLevelSync)/1e6)
+		fmt.Printf("%-34s %12.3f ms/solve\n", "solve wall (task graph)", float64(pr.StepNsTaskGraph)/1e6)
+		fmt.Printf("%-34s %+12.1f%%\n", "measured step reduction", 100*pr.MeasuredReduction)
+		fmt.Printf("%-34s %12.3f ms\n", "region makespan (level-sync)", float64(pr.MakespanNsLevelSync)/1e6)
+		fmt.Printf("%-34s %12.3f ms (+%.3f ms graph overhead)\n", "region makespan (task graph)",
+			float64(pr.MakespanNsTaskGraph)/1e6, float64(pr.GraphOverheadNs)/1e6)
+		fmt.Printf("%-34s %+12.1f%% (target >= 0%%)\n", "makespan reduction", 100*pr.MakespanReduction)
+		fmt.Printf("%-34s %12.3f ms = %.1f%% of makespan (1.0 = dependency-limited)\n",
+			"critical path", float64(pr.CriticalPathNs)/1e6, 100*pr.CriticalPathFrac)
+		fmt.Printf("graph: %d nodes, %d edges, max ready-queue depth %d\n",
+			pr.Nodes, pr.Edges, pr.MaxReady)
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_taskgraph.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_taskgraph.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_taskgraph.json")
 }
 
 // runKernels benchmarks the raw translation and P2P kernels on the host

@@ -33,6 +33,7 @@ func main() {
 	chromeFile := flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline (open in Perfetto) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar + net/http/pprof on this address (e.g. localhost:6060)")
 	noOverlap := flag.Bool("no-overlap", false, "run near and far phases sequentially instead of overlapped (results are bit-identical either way)")
+	noTaskGraph := flag.Bool("no-taskgraph", false, "run the far field through the fork-join phase barriers instead of the dependency-driven task graph (results are bit-identical either way)")
 	faults := flag.String("faults", "", "fault-injection schedule, e.g. gpu1:failstop@step12,gpu0:straggle2.5@step20")
 	pinS := flag.Bool("pin-s", false, "hold S fixed at its initial value (no balancer-driven rebuilds) so paired runs can be compared for bit-identity")
 	validate := flag.Bool("validate", false, "check accumulators for NaN/Inf after every solve (fails the step, triggering checkpoint recovery)")
@@ -75,6 +76,9 @@ func main() {
 	if *noOverlap {
 		cfg.Overlap = afmm.OverlapOff
 	}
+	// Task-graph execution is the tool default; the solver still falls
+	// back to level-synchronous sweeps on single-worker pools.
+	cfg.TaskGraph = !*noTaskGraph
 	if *faults != "" {
 		sch, err := afmm.ParseFaultSchedule(*faults)
 		if err != nil {

@@ -22,6 +22,7 @@ func main() {
 	gpuscale := flag.Float64("gpuscale", 1.0/64, "device throughput derating")
 	traceFile := flag.String("trace", "", "write a JSONL trace of the tuning sweep (one record per S candidate) to this file")
 	noOverlap := flag.Bool("no-overlap", false, "run near and far phases sequentially instead of overlapped")
+	noTaskGraph := flag.Bool("no-taskgraph", false, "configure the machine for fork-join sweeps instead of the dependency-driven task graph")
 	flag.Parse()
 
 	var sys *afmm.System
@@ -48,6 +49,7 @@ func main() {
 	if *noOverlap {
 		machine.Overlap = afmm.OverlapOff
 	}
+	machine.TaskGraph = !*noTaskGraph
 
 	var rec *afmm.Recorder
 	if *traceFile != "" {

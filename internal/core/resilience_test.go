@@ -9,6 +9,7 @@ import (
 	"afmm/internal/fault"
 	"afmm/internal/kernels"
 	"afmm/internal/particle"
+	"afmm/internal/telemetry"
 	"afmm/internal/vgpu"
 )
 
@@ -88,6 +89,70 @@ func TestSolveCheckedSurfacesUnrecoveredLoss(t *testing.T) {
 	}
 	if _, err := s.SolveChecked(); err == nil {
 		t.Fatal("unrecovered device loss did not fail the step")
+	}
+}
+
+// TestSolverDeviceRestoration: end-to-end through the core solver, a
+// dead device is re-admitted after RestoreAfter clean probe steps — the
+// cluster's alive count and capacity recover, the restored device regains
+// a share of the near field, EventCapacity is emitted on re-admission,
+// and every step stays bit-identical to the fault-free run.
+func TestSolverDeviceRestoration(t *testing.T) {
+	sysA := testSystem(t, 2500)
+	sysB := testSystem(t, 2500)
+	cfgA, _ := faultCfg("", t)
+	cfgB, _ := faultCfg("gpu0:failstop@step1", t)
+	cfgB.Watchdog.RestoreAfter = 2
+	rec := telemetry.New(telemetry.Options{Keep: true})
+	cfgB.Rec = rec
+	a := NewSolver(sysA, cfgA)
+	b := NewSolver(sysB, cfgB)
+
+	// Step 1 kills gpu0; probes at steps 2 and 3 run clean, so step 3
+	// restores it (after that step's partition) and step 4 is the first
+	// with the device back in the split.
+	const restoreStep = 3
+	for step := 0; step < 5; step++ {
+		a.Solve()
+		if _, err := b.SolveChecked(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		rec.EndStep()
+		for i := range sysA.Phi {
+			if sysA.Phi[i] != sysB.Phi[i] || sysA.Acc[i] != sysB.Acc[i] {
+				t.Fatalf("step %d: divergence at body %d", step, i)
+			}
+		}
+		wantAlive := 2
+		if step >= 1 && step < restoreStep {
+			wantAlive = 1
+		}
+		if got := b.Cluster.AliveDevices(); got != wantAlive {
+			t.Fatalf("step %d: alive = %d, want %d", step, got, wantAlive)
+		}
+	}
+	if len(b.Cluster.Devices[0].Targets) == 0 {
+		t.Fatal("restored device received no near-field work")
+	}
+	epB, capB := b.NearFieldCapacity()
+	epA, capA := a.NearFieldCapacity()
+	if capB != capA {
+		t.Fatalf("restored capacity %g, want full %g", capB, capA)
+	}
+	if epB == epA {
+		t.Fatal("capacity epoch did not record the death/restoration cycle")
+	}
+	var sawCapacity bool
+	for _, e := range rec.Steps()[restoreStep].Events {
+		if e.Kind == telemetry.EventCapacity {
+			sawCapacity = true
+			if e.FA != capA {
+				t.Fatalf("re-admission capacity event %g, want %g", e.FA, capA)
+			}
+		}
+	}
+	if !sawCapacity {
+		t.Fatal("no EventCapacity on the restoration step")
 	}
 }
 

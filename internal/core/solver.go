@@ -144,6 +144,21 @@ type Config struct {
 	// OverlapMode). The default OverlapAuto enables it on eligible solves;
 	// cmd tools expose -no-overlap to force OverlapOff.
 	Overlap OverlapMode
+	// TaskGraph opts the solve into the dependency-driven execution path:
+	// the whole step is expressed as a task DAG (per-level P2M/M2M chunks
+	// feeding M2L feeding L2L, near-field chunks as independent roots,
+	// joined only at each leaf's L2P) and drained by the pool's ready
+	// queues, removing the per-level barriers of the level-synchronous
+	// sweeps. Results are bit-identical to the fork-join paths: every
+	// expansion is computed wholly inside one graph node with a fixed
+	// internal operation order, and each body still receives near-field
+	// contributions in CSR row order plus exactly one L2P addition. The
+	// path supersedes Overlap (near/far concurrency is inherent in the
+	// graph) and engages only on eligible solves: level-synchronous mode,
+	// a far field present, and Pool.Workers() >= 2 (a single worker could
+	// only time-slice the graph). cmd tools enable it by default and
+	// expose -no-taskgraph.
+	TaskGraph bool
 	// DisableM2LTable turns off the shared M2L translation-class table and
 	// falls back to the per-workspace direction cache inside M2LBatch.
 	// Kept for A/B measurement; results are bit-identical either way.
@@ -282,6 +297,10 @@ type Solver struct {
 	f32Blocked bool
 	gateEpoch  uint64
 	gateBound  float64
+
+	// taskStats holds the graph statistics of the most recent task-graph
+	// Solve (see taskgraph.go); benchmarks read it via TaskGraphStats.
+	taskStats sched.GraphStats
 }
 
 // NewSolver builds the decomposition and the device cluster.
@@ -426,7 +445,8 @@ func (s *Solver) Solve() StepTimes {
 	// the recursive sweeps, and single-phase configurations.
 	var gpuTime float64
 	var nearDur, upDur, downDur, l2pDur time.Duration
-	overlapped := s.overlapEligible()
+	taskGraphed := s.taskGraphEligible()
+	overlapped := !taskGraphed && s.overlapEligible()
 	runNear := func() {
 		nearTimer := sched.StartTimer()
 		if s.Cluster != nil {
@@ -447,7 +467,15 @@ func (s *Solver) Solve() StepTimes {
 		s.Cluster.Partition(t)
 	}
 	var overlapRegion time.Duration
-	if overlapped {
+	if taskGraphed {
+		// Dependency-driven path: the whole near+far step runs as one task
+		// DAG (see taskgraph.go); L2P is inside the graph, so there is no
+		// separate sweep after the region.
+		tg := s.solveTaskGraph()
+		gpuTime = tg.gpuTime
+		nearDur, upDur, downDur, l2pDur = tg.near, tg.up, tg.down, tg.l2p
+		overlapRegion = tg.region
+	} else if overlapped {
 		// Prewarm the lazily-built tree caches the near phase reads, so
 		// the driver goroutine only ever sees resolved state (NearField
 		// also resolves VisibleLeaves). The far sweeps touch LevelOrder
@@ -611,12 +639,17 @@ func (s *Solver) Solve() StepTimes {
 	st.Real = timer.Elapsed()
 	st.Host = telemetry.HostPhases{
 		List: listDur, Far: farDur, Near: nearDur,
-		Wall: st.Real, SerialWall: st.Real, Overlapped: overlapped,
+		Wall: st.Real, SerialWall: st.Real, Overlapped: overlapped || taskGraphed,
 	}
-	if overlapped {
+	if overlapped || taskGraphed {
 		// Serial-equivalent wall: replace the overlapped region with what
-		// the same phases would have cost back-to-back.
+		// the same phases would have cost back-to-back. The graph region
+		// includes L2P (the fork-join overlap runs it after the join, so
+		// its cost is already outside the region there).
 		st.Host.SerialWall = st.Real - overlapRegion + nearDur + upDur + downDur
+		if taskGraphed {
+			st.Host.SerialWall += l2pDur
+		}
 		rec.SetOverlap(st.Host.SerialWall)
 	}
 	rec.End(solveTok)
@@ -806,56 +839,66 @@ func (s *Solver) runCPUNearField() {
 		return
 	}
 	sch := t.NearField()
-	sys := s.Sys
 	f32 := s.f32Active
 	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassNear, sch.Weights, func(lo, hi int) {
-		if f32 {
-			// Float32 path: pack the chunk's sources once into float32 SoA
-			// and stream the single-precision kernel over them.
-			g := s.getGather()
-			g.Pack32(t, sch, lo, hi, true, false)
-			for r := lo; r < hi; r++ {
-				tn := &t.Nodes[sch.Leaves[r]]
-				xt := sys.Pos[tn.Start:tn.End]
-				pot := sys.Phi[tn.Start:tn.End]
-				acc := sys.Acc[tn.Start:tn.End]
-				for _, si := range sch.Row(r) {
-					a, b := g.Span(si)
-					s.Cfg.Kernel.P2P32(xt, pot, acc,
-						g.X32[a:b], g.Y32[a:b], g.Z32[a:b], g.M32[a:b])
-				}
-			}
-			s.putGather(g)
-			return
-		}
-		if s.Cfg.GatherSources {
-			g := s.getGather()
-			g.Pack(t, sch, lo, hi, true, false)
-			for r := lo; r < hi; r++ {
-				tn := &t.Nodes[sch.Leaves[r]]
-				xt := sys.Pos[tn.Start:tn.End]
-				pot := sys.Phi[tn.Start:tn.End]
-				acc := sys.Acc[tn.Start:tn.End]
-				for _, si := range sch.Row(r) {
-					a, b := g.Span(si)
-					s.Cfg.Kernel.P2P(xt, pot, acc, g.Pos[a:b], g.Mass[a:b])
-				}
-			}
-			s.putGather(g)
-			return
-		}
+		s.nearFieldChunk(sch, f32, lo, hi)
+	})
+}
+
+// nearFieldChunk executes CSR rows [lo, hi) of the near-field schedule —
+// the chunk body shared by the level-synchronous parallel range and the
+// task-graph near nodes. Rows run in order and each row's sources in
+// schedule order, so the accumulation order per body is independent of
+// how chunks are scheduled.
+func (s *Solver) nearFieldChunk(sch *octree.NearSchedule, f32 bool, lo, hi int) {
+	t := s.Tree
+	sys := s.Sys
+	if f32 {
+		// Float32 path: pack the chunk's sources once into float32 SoA
+		// and stream the single-precision kernel over them.
+		g := s.getGather()
+		g.Pack32(t, sch, lo, hi, true, false)
 		for r := lo; r < hi; r++ {
 			tn := &t.Nodes[sch.Leaves[r]]
 			xt := sys.Pos[tn.Start:tn.End]
 			pot := sys.Phi[tn.Start:tn.End]
 			acc := sys.Acc[tn.Start:tn.End]
-			for k := sch.RowPtr[r]; k < sch.RowPtr[r+1]; k++ {
-				s.Cfg.Kernel.P2P(xt, pot, acc,
-					sys.Pos[sch.SrcStart[k]:sch.SrcEnd[k]],
-					sys.Mass[sch.SrcStart[k]:sch.SrcEnd[k]])
+			for _, si := range sch.Row(r) {
+				a, b := g.Span(si)
+				s.Cfg.Kernel.P2P32(xt, pot, acc,
+					g.X32[a:b], g.Y32[a:b], g.Z32[a:b], g.M32[a:b])
 			}
 		}
-	})
+		s.putGather(g)
+		return
+	}
+	if s.Cfg.GatherSources {
+		g := s.getGather()
+		g.Pack(t, sch, lo, hi, true, false)
+		for r := lo; r < hi; r++ {
+			tn := &t.Nodes[sch.Leaves[r]]
+			xt := sys.Pos[tn.Start:tn.End]
+			pot := sys.Phi[tn.Start:tn.End]
+			acc := sys.Acc[tn.Start:tn.End]
+			for _, si := range sch.Row(r) {
+				a, b := g.Span(si)
+				s.Cfg.Kernel.P2P(xt, pot, acc, g.Pos[a:b], g.Mass[a:b])
+			}
+		}
+		s.putGather(g)
+		return
+	}
+	for r := lo; r < hi; r++ {
+		tn := &t.Nodes[sch.Leaves[r]]
+		xt := sys.Pos[tn.Start:tn.End]
+		pot := sys.Phi[tn.Start:tn.End]
+		acc := sys.Acc[tn.Start:tn.End]
+		for k := sch.RowPtr[r]; k < sch.RowPtr[r+1]; k++ {
+			s.Cfg.Kernel.P2P(xt, pot, acc,
+				sys.Pos[sch.SrcStart[k]:sch.SrcEnd[k]],
+				sys.Mass[sch.SrcStart[k]:sch.SrcEnd[k]])
+		}
+	}
 }
 
 // upSweep computes multipoles bottom-up; downSweep propagates locals

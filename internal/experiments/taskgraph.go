@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"runtime"
+
+	"afmm/internal/core"
+	"afmm/internal/distrib"
+	"afmm/internal/kernels"
+	"afmm/internal/sched"
+	"afmm/internal/sim"
+)
+
+// TaskGraphPoolResult is the level-sync vs task-graph comparison at one
+// forced pool size. All times are host wall clock, mean per solve.
+//
+// The makespan comparison is the headline (the ROADMAP success metric):
+// MakespanNsLevelSync is the measured wall of the fork-join near+far+L2P
+// region — its schedule length, barriers included — recovered from the
+// solver's own serial-equivalent accounting as
+// Wall - SerialWall + Near + Far (exact on both the overlapped and the
+// sequential fallback path). MakespanNsTaskGraph is the dependency-driven
+// schedule's length over the same work: first node start to last node
+// end, as measured by sched.Graph. GraphOverheadNs is what the DAG path
+// spends outside that schedule (graph build + span bookkeeping), so
+// MakespanNsTaskGraph + GraphOverheadNs is the DAG region wall clock.
+//
+// CriticalPathNs is the weighted longest path through the executed graph:
+// the floor no worker count can beat. CriticalPathFrac = critical path /
+// makespan — 1.0 means the pool ran the schedule at its dependency limit.
+type TaskGraphPoolResult struct {
+	PoolWorkers int `json:"pool_workers"`
+
+	StepNsLevelSync   int64   `json:"step_ns_levelsync"`
+	StepNsTaskGraph   int64   `json:"step_ns_taskgraph"`
+	MeasuredReduction float64 `json:"measured_reduction"`
+
+	MakespanNsLevelSync int64   `json:"makespan_ns_levelsync"`
+	MakespanNsTaskGraph int64   `json:"makespan_ns_taskgraph"`
+	MakespanReduction   float64 `json:"makespan_reduction"`
+	GraphOverheadNs     int64   `json:"graph_overhead_ns"`
+
+	Nodes            int     `json:"nodes"`
+	Edges            int     `json:"edges"`
+	CriticalPathNs   int64   `json:"critical_path_ns"`
+	CriticalPathFrac float64 `json:"critical_path_frac"`
+	// MaxReady is the deepest any class ready queue got; ReadyHist[d]
+	// counts node enqueues that found d nodes already waiting (last
+	// bucket aggregates deeper), summed over all measured steps.
+	MaxReady  int     `json:"max_ready"`
+	ReadyHist []int64 `json:"ready_hist"`
+}
+
+// TaskGraphBenchResult is the machine-readable payload of the "taskgraph"
+// benchmark (written to BENCH_taskgraph.json by afmm-bench).
+//
+// HostCores is recorded for the same reason as in BENCH_overlap.json: the
+// forced 2/4-worker pools only deliver real concurrency when the host has
+// that many cores. On a 1-core host both schedules time-slice, the
+// measured gap collapses toward the barrier-vs-queue bookkeeping
+// difference, and CriticalPathFrac — not the step wall — is the number
+// that shows how much slack the DAG recovered.
+type TaskGraphBenchResult struct {
+	N         int                   `json:"n"`
+	S         int                   `json:"s"`
+	P         int                   `json:"p"`
+	GPUs      int                   `json:"gpus"`
+	Steps     int                   `json:"steps"`
+	HostCores int                   `json:"host_cores"`
+	Pools     []TaskGraphPoolResult `json:"pools"`
+}
+
+// TaskGraph benchmarks the dependency-driven step DAG against the
+// fork-join level-synchronous schedule on identical Plummer trajectories
+// at forced 2- and 4-worker pools. The two variants alternate per step so
+// slow drift in host speed hits both equally.
+func TaskGraph(p Params) TaskGraphBenchResult {
+	if p.N <= 0 {
+		p.N = 60000
+	}
+	if p.Steps <= 0 {
+		p.Steps = 8
+	}
+	p.setDefaults()
+	const s = 64
+	res := TaskGraphBenchResult{
+		N: p.N, S: s, P: p.P, GPUs: p.GPUs, Steps: p.Steps,
+		HostCores: runtime.NumCPU(),
+	}
+
+	// The comparable region wall on either path: Far = up+down+L2P, and
+	// SerialWall replaces the concurrent region with the phases run
+	// back-to-back, so this difference isolates near+far+L2P as executed.
+	region := func(st core.StepTimes) int64 {
+		return (st.Host.Wall - st.Host.SerialWall + st.Host.Near + st.Host.Far).Nanoseconds()
+	}
+	for _, workers := range []int{2, 4} {
+		mk := func(taskGraph bool) *core.Solver {
+			sys := distrib.Plummer(p.N, 1, 1, p.Seed)
+			sv := core.NewSolver(sys, core.Config{
+				P:         p.P,
+				S:         s,
+				NumGPUs:   p.GPUs,
+				GPUSpec:   p.gpuSpec(),
+				CPU:       cpuSpec(p.Cores),
+				Kernel:    kernels.Gravity{G: 1, Softening: 0.01},
+				TaskGraph: taskGraph,
+				Pool:      sched.NewPool(workers),
+			})
+			sv.Solve() // warm tree, lists, workspaces before timing
+			return sv
+		}
+		tg, ls := mk(true), mk(false)
+		pr := TaskGraphPoolResult{PoolWorkers: workers}
+		for i := 0; i < p.Steps; i++ {
+			stL := ls.Solve()
+			sim.KickDrift(ls.Sys, p.Dt)
+			ls.Refill()
+			pr.StepNsLevelSync += stL.Host.Wall.Nanoseconds()
+			pr.MakespanNsLevelSync += region(stL)
+
+			stT := tg.Solve()
+			sim.KickDrift(tg.Sys, p.Dt)
+			tg.Refill()
+			pr.StepNsTaskGraph += stT.Host.Wall.Nanoseconds()
+			gs := tg.TaskGraphStats()
+			pr.MakespanNsTaskGraph += gs.MakespanNs
+			pr.CriticalPathNs += gs.CriticalPathNs
+			pr.GraphOverheadNs += region(stT) - gs.MakespanNs
+			pr.Nodes, pr.Edges = gs.Nodes, gs.Edges
+			if gs.MaxReady > pr.MaxReady {
+				pr.MaxReady = gs.MaxReady
+			}
+			if pr.ReadyHist == nil {
+				pr.ReadyHist = make([]int64, len(gs.ReadyHist))
+			}
+			for b, v := range gs.ReadyHist {
+				pr.ReadyHist[b] += v
+			}
+		}
+		n := int64(p.Steps)
+		pr.StepNsLevelSync /= n
+		pr.StepNsTaskGraph /= n
+		pr.MakespanNsLevelSync /= n
+		pr.MakespanNsTaskGraph /= n
+		pr.CriticalPathNs /= n
+		pr.GraphOverheadNs /= n
+		if pr.StepNsLevelSync > 0 {
+			pr.MeasuredReduction = 1 - float64(pr.StepNsTaskGraph)/float64(pr.StepNsLevelSync)
+		}
+		if pr.MakespanNsLevelSync > 0 {
+			pr.MakespanReduction = 1 - float64(pr.MakespanNsTaskGraph)/float64(pr.MakespanNsLevelSync)
+		}
+		if pr.MakespanNsTaskGraph > 0 {
+			pr.CriticalPathFrac = float64(pr.CriticalPathNs) / float64(pr.MakespanNsTaskGraph)
+		}
+		res.Pools = append(res.Pools, pr)
+	}
+	return res
+}

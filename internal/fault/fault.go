@@ -344,6 +344,36 @@ func (in *Injector) StraggleFactor(dev int) float64 {
 	return 1
 }
 
+// Probe reports the verdict a diagnostic attempt on the device would
+// receive at the currently armed step, without consuming any injector
+// state: one-shot faults stay armed and transient budgets are untouched.
+// The cluster watchdog probes dead devices with this each step to decide
+// restoration (vgpu.WatchdogConfig.RestoreAfter) — a pending one-shot
+// fault or an active transient means the device is still unhealthy.
+func (in *Injector) Probe(dev int) Kind {
+	if in == nil {
+		return None
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, kind := range [...]Kind{FailStop, Hang, Corrupt} {
+		for i, ev := range in.sched.Events {
+			if ev.Kind != kind || ev.Device != dev || in.fired[i] {
+				continue
+			}
+			if in.step >= ev.Step {
+				return kind
+			}
+		}
+	}
+	for _, ev := range in.sched.Events {
+		if ev.Kind == Transient && ev.Device == dev && ev.Step == in.step {
+			return Transient
+		}
+	}
+	return None
+}
+
 // Chunk delivers the injector's verdict for one attempt at chunk
 // `chunk` on device `dev` during the current step. Fail-stop and hang
 // dominate; a transient verdict consumes one unit of the chunk's

@@ -200,3 +200,47 @@ func TestNilInjector(t *testing.T) {
 		t.Fatalf("nil injector straggle: %v", f)
 	}
 }
+
+func TestProbeIsSideEffectFree(t *testing.T) {
+	sch, _ := Parse("gpu0:failstop@step1,gpu1:transient2@step0")
+	in := NewInjector(sch)
+
+	// Before the armed step the one-shot is invisible to the probe.
+	in.BeginStep(0)
+	if k := in.Probe(0); k != None {
+		t.Fatalf("probe saw unarmed failstop: %v", k)
+	}
+	// An active transient fails the probe but never touches the budget:
+	// repeated probes keep failing, and a later chunk attempt still
+	// consumes the full failure count.
+	for i := 0; i < 3; i++ {
+		if k := in.Probe(1); k != Transient {
+			t.Fatalf("probe %d: want transient, got %v", i, k)
+		}
+	}
+	fails := 0
+	for in.Chunk(1, 0).Kind == Transient {
+		fails++
+	}
+	if fails != 2 {
+		t.Fatalf("probes consumed transient budget: %d fails, want 2", fails)
+	}
+
+	// From the armed step on, the probe sees the pending failstop without
+	// firing it — the chunk attempt still delivers it.
+	in.BeginStep(1)
+	if k := in.Probe(0); k != FailStop {
+		t.Fatalf("probe missed pending failstop: %v", k)
+	}
+	if out := in.Chunk(0, 0); out.Kind != FailStop {
+		t.Fatalf("probe consumed the failstop: %+v", out)
+	}
+	// Once fired, the probe comes back clean.
+	in.BeginStep(2)
+	if k := in.Probe(0); k != None {
+		t.Fatalf("probe after delivery: %v", k)
+	}
+	if k := (*Injector)(nil).Probe(0); k != None {
+		t.Fatalf("nil injector probe: %v", k)
+	}
+}

@@ -63,7 +63,7 @@ func (c Class) String() string {
 // telemetry layer a per-worker utilization profile (paper §VII.A's
 // "CPU Time" is a makespan; the busy vector shows the imbalance behind
 // it). Inline executions — tasks run in the caller because every slot was
-// taken — are charged to a separate inline bucket.
+// taken — are charged to per-class inline buckets (InlineClassBusyNs).
 //
 // Slots are split into a general semaphore and a reserved semaphore by
 // SetReserved; with zero reserved slots (the default) every class draws
@@ -78,11 +78,15 @@ type Pool struct {
 	reconf   sync.Mutex
 	reserved atomic.Int32
 
-	spawned    atomic.Int64
-	inlined    atomic.Int64
-	busy       []atomic.Int64           // ns of task execution per worker slot
-	inlineBusy atomic.Int64             // ns of inline task execution
-	classBusy  [NumClasses]atomic.Int64 // ns of task execution per work class
+	spawned atomic.Int64
+	inlined atomic.Int64
+	busy    []atomic.Int64 // ns of task execution per worker slot
+	// inlineClass buckets inline-executed task time per work class. The
+	// split matters under reservation: inline ClassNear work charged to a
+	// shared bucket would be indistinguishable from inline far-field
+	// work, hiding the idle-reserved-slot signal the autotuner reads.
+	inlineClass [NumClasses]atomic.Int64
+	classBusy   [NumClasses]atomic.Int64 // ns of task execution per work class
 }
 
 // NewPool creates a pool that allows up to workers tasks to run
@@ -168,7 +172,23 @@ func (p *Pool) WorkerBusyNs(dst []int64) []int64 {
 	for i := range p.busy {
 		dst = append(dst, p.busy[i].Load())
 	}
-	return append(dst, p.inlineBusy.Load())
+	var inline int64
+	for i := range p.inlineClass {
+		inline += p.inlineClass[i].Load()
+	}
+	return append(dst, inline)
+}
+
+// InlineClassBusyNs appends the cumulative inline-execution busy time
+// (ns) per class to dst and returns it, one entry per Class in
+// enumeration order. The per-class split distinguishes near-field work
+// squeezed inline (a sign the reserved partition is under-provisioned)
+// from ordinary help-first far-field spill.
+func (p *Pool) InlineClassBusyNs(dst []int64) []int64 {
+	for i := range p.inlineClass {
+		dst = append(dst, p.inlineClass[i].Load())
+	}
+	return dst
 }
 
 // ResetWorkerBusy zeroes the per-worker and per-class busy counters.
@@ -178,7 +198,9 @@ func (p *Pool) ResetWorkerBusy() {
 	for i := range p.busy {
 		p.busy[i].Store(0)
 	}
-	p.inlineBusy.Store(0)
+	for i := range p.inlineClass {
+		p.inlineClass[i].Store(0)
+	}
 	for i := range p.classBusy {
 		p.classBusy[i].Store(0)
 	}
@@ -286,7 +308,7 @@ func (g *Group) Spawn(f func()) {
 		start := time.Now()
 		g.runTask(f)
 		dt := int64(time.Since(start))
-		g.pool.inlineBusy.Add(dt)
+		g.pool.inlineClass[g.class].Add(dt)
 		g.pool.classBusy[g.class].Add(dt)
 	}
 }
@@ -378,9 +400,32 @@ func (p *Pool) ParallelRangeWeighted(weights []int64, f func(lo, hi int)) {
 // interleaving, which is what keeps accumulation order — and therefore
 // floating-point results — independent of what else runs concurrently.
 func (p *Pool) ParallelRangeWeightedClass(c Class, weights []int64, f func(lo, hi int)) {
+	if len(weights) == 0 {
+		return
+	}
+	bounds := p.WeightedBounds(c, weights)
+	g := p.NewGroupClass(c)
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		g.Spawn(func() { f(lo, hi) })
+	}
+	g.Wait()
+}
+
+// WeightedBounds returns the chunk boundaries ParallelRangeWeightedClass
+// uses for weights under class c: ascending indices b with b[0] == 0 and
+// b[len(b)-1] == len(weights); chunk k covers [b[k], b[k+1]). The task
+// graph builders call this directly so graph nodes chunk exactly like
+// the level-synchronous sweeps. Boundaries depend only on the weights
+// and the pool geometry at call time, never on execution interleaving.
+func (p *Pool) WeightedBounds(c Class, weights []int64) []int {
 	n := len(weights)
 	if n == 0 {
-		return
+		return []int{0}
+	}
+	chunks := p.rangeChunks(c)
+	if chunks > n {
+		chunks = n
 	}
 	var total int64
 	for _, w := range weights {
@@ -388,33 +433,34 @@ func (p *Pool) ParallelRangeWeightedClass(c Class, weights []int64, f func(lo, h
 			total += w
 		}
 	}
+	bounds := make([]int, 1, chunks+1)
 	if total <= 0 {
-		p.ParallelRangeClass(c, n, f)
-		return
-	}
-	chunks := p.rangeChunks(c)
-	if chunks > n {
-		chunks = n
+		// All-zero weights degrade to the even split of ParallelRange.
+		size := (n + chunks - 1) / chunks
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			bounds = append(bounds, hi)
+		}
+		return bounds
 	}
 	target := (total + int64(chunks) - 1) / int64(chunks)
 	if target < 1 {
 		target = 1
 	}
-	g := p.NewGroupClass(c)
-	lo := 0
 	var acc int64
 	for i := 0; i < n; i++ {
 		if w := weights[i]; w > 0 {
 			acc += w
 		}
 		if acc >= target || i == n-1 {
-			clo, chi := lo, i+1
-			g.Spawn(func() { f(clo, chi) })
+			bounds = append(bounds, i+1)
 			acc = 0
-			lo = i + 1
 		}
 	}
-	g.Wait()
+	return bounds
 }
 
 // Timer measures wall-clock spans; used to report real (host) times next

@@ -63,6 +63,14 @@ type Config struct {
 	// permuters), so the whole run costs two allocations, not two per
 	// step — copy anything that must survive the callback.
 	Observe func(step int, phi []float64, acc []geom.Vec3)
+	// OverlapObserve runs the Observe callback concurrently with the next
+	// step's tree refill (the companion of the solvers' task-graph path:
+	// step k's observation tail and step k+1's structure maintenance have
+	// no data dependency once the input-order buffers are captured —
+	// Refill permutes the storage arrays, not the copies). The callback
+	// must then only read its arguments, not the solver's system. Results
+	// are unchanged; the refill cost hides behind the observation.
+	OverlapObserve bool
 }
 
 // StepRecord captures one time step. The *Ns fields are host wall-clock
@@ -302,16 +310,38 @@ func runLoop(s Stepper, cfg Config, solveAndMove func(rec *telemetry.Recorder) (
 			continue
 		}
 		compute := math.Max(cpu, gpu)
+		// Observation tail: capture the input-order copies before Refill
+		// (which permutes the storage arrays), then either run the callback
+		// inline or — with OverlapObserve — concurrently with the refill,
+		// the copies being the only data the two share is severed from.
+		var obsDone chan struct{}
+		var obsPanic any
 		if cfg.Observe != nil {
 			sys := s.System()
 			phiBuf = sys.PhiInInputOrderInto(phiBuf)
 			accBuf = sys.AccInInputOrderInto(accBuf)
-			cfg.Observe(step, phiBuf, accBuf)
+			if cfg.OverlapObserve {
+				obsDone = make(chan struct{})
+				go func() {
+					defer close(obsDone)
+					defer func() { obsPanic = recover() }()
+					cfg.Observe(step, phiBuf, accBuf)
+				}()
+			} else {
+				cfg.Observe(step, phiBuf, accBuf)
+			}
 		}
 		refillTimer := sched.StartTimer()
 		s.Refill()
 		refillDur := refillTimer.Elapsed()
 		rec.AddSpan(telemetry.SpanRefill, 0, refillTimer.StartTime(), refillDur)
+		if obsDone != nil {
+			<-obsDone
+			if obsPanic != nil {
+				// Re-raise the observer's failure on the loop goroutine.
+				panic(obsPanic)
+			}
+		}
 		refill := bal.Cfg.Costs.RefillCost(s)
 		balTimer := sched.StartTimer()
 		rep := bal.AfterStep(s, balance.StepTimes{CPU: cpu, GPU: gpu})

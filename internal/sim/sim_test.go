@@ -390,3 +390,68 @@ func TestRecorderThreadedThroughRun(t *testing.T) {
 		t.Fatal("no balancer events recorded across a full-strategy run")
 	}
 }
+
+// TestOverlapObserveMatchesInline: the observation tail overlapped with
+// the next step's refill sees exactly what the inline callback sees — the
+// input-order copies are captured before Refill permutes the storage
+// arrays, so overlapping cannot change a bit of what is observed.
+func TestOverlapObserveMatchesInline(t *testing.T) {
+	type obs struct {
+		step int
+		phi  float64
+		acc  geom.Vec3
+	}
+	collect := func(overlap bool) []obs {
+		s := dynamicSolver(1000, 5)
+		cfg := simCfg(balance.StrategyFull, 12)
+		var got []obs
+		cfg.Observe = func(step int, phi []float64, acc []geom.Vec3) {
+			var sp float64
+			var sa geom.Vec3
+			for i := range phi {
+				sp += phi[i]
+				sa = sa.Add(acc[i])
+			}
+			got = append(got, obs{step, sp, sa})
+		}
+		cfg.OverlapObserve = overlap
+		if res := RunGravity(s, cfg); res.Err != nil {
+			t.Fatalf("overlap=%v: %v", overlap, res.Err)
+		}
+		return got
+	}
+	inline := collect(false)
+	over := collect(true)
+	if len(inline) != len(over) || len(inline) != 12 {
+		t.Fatalf("callback counts: inline %d, overlapped %d", len(inline), len(over))
+	}
+	for i := range inline {
+		if inline[i] != over[i] {
+			t.Fatalf("step %d: overlapped observation %+v differs from inline %+v",
+				i, over[i], inline[i])
+		}
+	}
+}
+
+// TestOverlapObservePanicPropagates: a failure on the observer goroutine
+// must surface on the loop goroutine, not vanish.
+func TestOverlapObservePanicPropagates(t *testing.T) {
+	s := dynamicSolver(600, 6)
+	cfg := simCfg(balance.StrategyFull, 3)
+	cfg.Observe = func(step int, phi []float64, acc []geom.Vec3) {
+		if step == 1 {
+			panic("observer boom")
+		}
+	}
+	cfg.OverlapObserve = true
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("observer panic did not propagate to the loop")
+		}
+		if r != "observer boom" {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	RunGravity(s, cfg)
+}

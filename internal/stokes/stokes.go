@@ -79,6 +79,14 @@ type Config struct {
 	// the phases overlap (see core.Config.ReservedDrivers; 0 = one per
 	// device, -1 = none).
 	ReservedDrivers int
+	// TaskGraph opts the solve into the dependency-driven execution path
+	// (see core.Config.TaskGraph). For Stokes the four harmonic passes
+	// become independent task chains over the same tree — pass 1's up
+	// sweep pipelines against pass 0's M2L — joined only at the combined
+	// four-local L2P. Results stay bit-identical: each pass touches only
+	// its own expansion slabs, and each body still gets exactly one L2P
+	// addition.
+	TaskGraph bool
 	// DisableM2LTable turns off the shared M2L translation-class table
 	// (see core.Config.DisableM2LTable); the table pays off four-fold here
 	// because all four harmonic passes translate over the same geometry.
@@ -319,7 +327,8 @@ func (s *Solver) Solve() StepTimes {
 	// sequential order.
 	var gpuTime float64
 	var nearDur, upDur, downDur, l2pDur time.Duration
-	overlapped := s.Cfg.Overlap != core.OverlapOff &&
+	taskGraphed := s.taskGraphEligible()
+	overlapped := !taskGraphed && s.Cfg.Overlap != core.OverlapOff &&
 		s.Cfg.SweepMode == core.SweepLevelSync && !s.Cfg.SkipFarField &&
 		s.Cfg.Pool.Workers() >= 2 // a 1-worker pool can only time-slice
 	runNear := func() {
@@ -338,7 +347,15 @@ func (s *Solver) Solve() StepTimes {
 		s.Cl.Partition(t)
 	}
 	var overlapRegion time.Duration
-	if overlapped {
+	if taskGraphed {
+		// Dependency-driven path: all four harmonic passes plus the near
+		// field run as one task DAG (see taskgraph.go); the combined L2P is
+		// inside the graph, so there is no separate sweep after the region.
+		tg := s.solveTaskGraph()
+		gpuTime = tg.gpuTime
+		nearDur, upDur, downDur, l2pDur = tg.near, tg.up, tg.down, tg.l2p
+		overlapRegion = tg.region
+	} else if overlapped {
 		t.NearField() // prewarm the caches the driver goroutine reads
 		if k := s.reservedDrivers(); k > 0 {
 			s.Cfg.Pool.SetReserved(k)
@@ -452,10 +469,15 @@ func (s *Solver) Solve() StepTimes {
 	wall := wallTimer.Elapsed()
 	st.Host = telemetry.HostPhases{
 		List: listDur, Far: farDur, Near: nearDur,
-		Wall: wall, SerialWall: wall, Overlapped: overlapped,
+		Wall: wall, SerialWall: wall, Overlapped: overlapped || taskGraphed,
 	}
-	if overlapped {
+	if overlapped || taskGraphed {
+		// The graph region includes L2P; the fork-join overlap runs it
+		// after the join, outside the region.
 		st.Host.SerialWall = wall - overlapRegion + nearDur + upDur + downDur
+		if taskGraphed {
+			st.Host.SerialWall += l2pDur
+		}
 		rec.SetOverlap(st.Host.SerialWall)
 	}
 	rec.End(solveTok)
@@ -560,52 +582,62 @@ func (s *Solver) runCPUNearField() {
 		return
 	}
 	sch := t.NearField()
-	sys := s.Sys
 	f32 := s.f32Active
 	s.Cfg.Pool.ParallelRangeWeightedClass(sched.ClassNear, sch.Weights, func(lo, hi int) {
-		if f32 {
-			g := s.getGather()
-			g.Pack32(t, sch, lo, hi, false, true)
-			for r := lo; r < hi; r++ {
-				tn := &t.Nodes[sch.Leaves[r]]
-				xt := sys.Pos[tn.Start:tn.End]
-				vel := sys.Acc[tn.Start:tn.End]
-				for _, si := range sch.Row(r) {
-					a, b := g.Span(si)
-					s.Cfg.Kernel.P2P32(xt, vel,
-						g.X32[a:b], g.Y32[a:b], g.Z32[a:b],
-						g.AX32[a:b], g.AY32[a:b], g.AZ32[a:b])
-				}
-			}
-			s.putGather(g)
-			return
-		}
-		if s.Cfg.GatherSources {
-			g := s.getGather()
-			g.Pack(t, sch, lo, hi, false, true)
-			for r := lo; r < hi; r++ {
-				tn := &t.Nodes[sch.Leaves[r]]
-				xt := sys.Pos[tn.Start:tn.End]
-				vel := sys.Acc[tn.Start:tn.End]
-				for _, si := range sch.Row(r) {
-					a, b := g.Span(si)
-					s.Cfg.Kernel.P2P(xt, vel, g.Pos[a:b], g.Aux[a:b])
-				}
-			}
-			s.putGather(g)
-			return
-		}
+		s.nearFieldChunk(sch, f32, lo, hi)
+	})
+}
+
+// nearFieldChunk executes CSR rows [lo, hi) of the near-field schedule —
+// the chunk body shared by the level-synchronous parallel range and the
+// task-graph near nodes. Rows run in order and each row's sources in
+// schedule order, so the accumulation order per body is independent of
+// how chunks are scheduled.
+func (s *Solver) nearFieldChunk(sch *octree.NearSchedule, f32 bool, lo, hi int) {
+	t := s.Tree
+	sys := s.Sys
+	if f32 {
+		g := s.getGather()
+		g.Pack32(t, sch, lo, hi, false, true)
 		for r := lo; r < hi; r++ {
 			tn := &t.Nodes[sch.Leaves[r]]
 			xt := sys.Pos[tn.Start:tn.End]
 			vel := sys.Acc[tn.Start:tn.End]
-			for k := sch.RowPtr[r]; k < sch.RowPtr[r+1]; k++ {
-				s.Cfg.Kernel.P2P(xt, vel,
-					sys.Pos[sch.SrcStart[k]:sch.SrcEnd[k]],
-					sys.Aux[sch.SrcStart[k]:sch.SrcEnd[k]])
+			for _, si := range sch.Row(r) {
+				a, b := g.Span(si)
+				s.Cfg.Kernel.P2P32(xt, vel,
+					g.X32[a:b], g.Y32[a:b], g.Z32[a:b],
+					g.AX32[a:b], g.AY32[a:b], g.AZ32[a:b])
 			}
 		}
-	})
+		s.putGather(g)
+		return
+	}
+	if s.Cfg.GatherSources {
+		g := s.getGather()
+		g.Pack(t, sch, lo, hi, false, true)
+		for r := lo; r < hi; r++ {
+			tn := &t.Nodes[sch.Leaves[r]]
+			xt := sys.Pos[tn.Start:tn.End]
+			vel := sys.Acc[tn.Start:tn.End]
+			for _, si := range sch.Row(r) {
+				a, b := g.Span(si)
+				s.Cfg.Kernel.P2P(xt, vel, g.Pos[a:b], g.Aux[a:b])
+			}
+		}
+		s.putGather(g)
+		return
+	}
+	for r := lo; r < hi; r++ {
+		tn := &t.Nodes[sch.Leaves[r]]
+		xt := sys.Pos[tn.Start:tn.End]
+		vel := sys.Acc[tn.Start:tn.End]
+		for k := sch.RowPtr[r]; k < sch.RowPtr[r+1]; k++ {
+			s.Cfg.Kernel.P2P(xt, vel,
+				sys.Pos[sch.SrcStart[k]:sch.SrcEnd[k]],
+				sys.Aux[sch.SrcStart[k]:sch.SrcEnd[k]])
+		}
+	}
 }
 
 func (s *Solver) getGather() *octree.SourceGather {
@@ -681,26 +713,30 @@ func (s *Solver) upSweepLevels() {
 }
 
 func (s *Solver) upNode(w *expansion.Workspace, ni int32) {
+	for k := 0; k < passes; k++ {
+		s.upNodePass(w, k, ni)
+	}
+}
+
+// upNodePass computes node ni's pass-k multipole. Each pass touches only
+// its own slab, so the four passes of one node may run in any order (or
+// in different task-graph nodes) without changing a bit of the result.
+func (s *Solver) upNodePass(w *expansion.Workspace, k int, ni int32) {
 	t := s.Tree
 	n := &t.Nodes[ni]
+	m := s.mpole(k, ni)
 	if n.IsVisibleLeaf() {
-		for k := 0; k < passes; k++ {
-			m := s.mpole(k, ni)
-			for i := n.Start; i < n.End; i++ {
-				w.P2M(m, n.Box.Center, s.Sys.Pos[i], s.charge(k, i))
-			}
+		for i := n.Start; i < n.End; i++ {
+			w.P2M(m, n.Box.Center, s.Sys.Pos[i], s.charge(k, i))
 		}
 		return
 	}
-	for k := 0; k < passes; k++ {
-		m := s.mpole(k, ni)
-		for _, ci := range n.Children {
-			if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
-				if s.Cfg.UseRotatedTranslations {
-					w.M2MRotated(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
-				} else {
-					w.M2M(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
-				}
+	for _, ci := range n.Children {
+		if ci != octree.NilNode && t.Nodes[ci].Count() > 0 {
+			if s.Cfg.UseRotatedTranslations {
+				w.M2MRotated(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
+			} else {
+				w.M2M(m, n.Box.Center, s.mpole(k, ci), t.Nodes[ci].Box.Center)
 			}
 		}
 	}
@@ -729,32 +765,40 @@ func (s *Solver) downSweepLevels(withL2P bool) {
 }
 
 func (s *Solver) downNode(w *expansion.Workspace, ni int32, srcs []expansion.M2LSource, withL2P bool) []expansion.M2LSource {
+	for k := 0; k < passes; k++ {
+		srcs = s.downNodePass(w, k, ni, srcs)
+	}
+	if withL2P && s.Tree.Nodes[ni].IsVisibleLeaf() {
+		s.leafL2P(w, ni)
+	}
+	return srcs
+}
+
+// downNodePass applies pass k's L2L and batched M2L to node ni's local.
+// Like upNodePass, each pass touches only its own slab, so passes may be
+// scheduled independently; L2P stays with the caller (it reads all four
+// finalized locals).
+func (s *Solver) downNodePass(w *expansion.Workspace, k int, ni int32, srcs []expansion.M2LSource) []expansion.M2LSource {
 	t := s.Tree
 	n := &t.Nodes[ni]
-	parent := n.Parent
-	for k := 0; k < passes; k++ {
-		l := s.local(k, ni)
-		if parent != octree.NilNode {
-			if s.Cfg.UseRotatedTranslations {
-				w.L2LRotated(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
-			} else {
-				w.L2L(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
-			}
-		}
-		if len(n.V) > 0 {
-			srcs = srcs[:0]
-			for _, vi := range n.V {
-				srcs = append(srcs, expansion.M2LSource{M: s.mpole(k, vi), From: t.Nodes[vi].Box.Center})
-			}
-			if s.m2lUse {
-				w.M2LBatchTable(l, n.Box.Center, srcs, s.m2lCls.Row(ni), s.m2lTab)
-			} else {
-				w.M2LBatch(l, n.Box.Center, srcs)
-			}
+	l := s.local(k, ni)
+	if parent := n.Parent; parent != octree.NilNode {
+		if s.Cfg.UseRotatedTranslations {
+			w.L2LRotated(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
+		} else {
+			w.L2L(l, n.Box.Center, s.local(k, parent), t.Nodes[parent].Box.Center)
 		}
 	}
-	if withL2P && n.IsVisibleLeaf() {
-		s.leafL2P(w, ni)
+	if len(n.V) > 0 {
+		srcs = srcs[:0]
+		for _, vi := range n.V {
+			srcs = append(srcs, expansion.M2LSource{M: s.mpole(k, vi), From: t.Nodes[vi].Box.Center})
+		}
+		if s.m2lUse {
+			w.M2LBatchTable(l, n.Box.Center, srcs, s.m2lCls.Row(ni), s.m2lTab)
+		} else {
+			w.M2LBatch(l, n.Box.Center, srcs)
+		}
 	}
 	return srcs
 }

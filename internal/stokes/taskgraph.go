@@ -1,0 +1,154 @@
+package stokes
+
+import (
+	"time"
+
+	"afmm/internal/core"
+	"afmm/internal/dag"
+	"afmm/internal/expansion"
+	"afmm/internal/octree"
+	"afmm/internal/sched"
+	"afmm/internal/telemetry"
+)
+
+// Task-graph solve path for the Stokes solver (see core/taskgraph.go for
+// the shared design). The distinguishing feature here is Passes = 4: each
+// harmonic pass forms its own up/M2L chain over the shared tree, so the
+// passes pipeline against each other — pass 1's up sweep runs while pass
+// 0 is still translating — and only the combined four-local L2P joins
+// them. Each pass touches exclusively its own expansion slabs, which is
+// why splitting the fork-join loop over k into per-pass graph nodes
+// cannot change a bit of the result.
+
+var taskTags = dag.Tags{
+	Up:        int32(telemetry.SpanTaskUp),
+	Down:      int32(telemetry.SpanTaskDown),
+	L2P:       int32(telemetry.SpanTaskL2P),
+	Near:      int32(telemetry.SpanTaskNear),
+	Milestone: -1,
+}
+
+type taskGraphResult struct {
+	gpuTime             float64
+	near, up, down, l2p time.Duration
+	region              time.Duration
+	stats               sched.GraphStats
+}
+
+// taskGraphEligible mirrors core.Solver.taskGraphEligible.
+func (s *Solver) taskGraphEligible() bool {
+	if !s.Cfg.TaskGraph {
+		return false
+	}
+	if s.Cfg.SweepMode != core.SweepLevelSync || s.Cfg.SkipFarField {
+		return false
+	}
+	return s.Cfg.Pool.Workers() >= 2
+}
+
+// solveTaskGraph builds and runs the step DAG; the caller has already run
+// BuildLists, accumulator reset, slab sizing, M2L table preparation, the
+// precision gate, and (with a cluster) Partition.
+func (s *Solver) solveTaskGraph() taskGraphResult {
+	t := s.Tree
+	rec := s.Cfg.Rec
+	var out taskGraphResult
+
+	t.NearField() // prewarm caches graph nodes read from worker goroutines
+
+	// Reserve driver slots before the build: chunk bounds are
+	// reservation-aware, so they must see the final partition.
+	if k := s.reservedDrivers(); k > 0 {
+		s.Cfg.Pool.SetReserved(k)
+		defer s.Cfg.Pool.SetReserved(0)
+	}
+
+	// Settle table eligibility before the build (per-sweep state on the
+	// fork-join path).
+	s.m2lUse = s.m2lTab != nil && s.m2lEpoch == t.ListEpoch()
+
+	spec := dag.Spec{
+		Tree:   t,
+		Pool:   s.Cfg.Pool,
+		Passes: passes,
+		UpWeight: func(n *octree.Node) int64 {
+			if n.IsVisibleLeaf() {
+				return int64(n.Count()) + 1
+			}
+			return 33
+		},
+		DownWeight: func(n *octree.Node) int64 {
+			w := int64(len(n.V))*12 + 5
+			if n.IsVisibleLeaf() {
+				w += int64(n.Count())
+			}
+			return w
+		},
+		UpChunk: func(pass, _ int, nodes []int32) func() {
+			return func() {
+				w := s.getWS()
+				for _, ni := range nodes {
+					s.upNodePass(w, pass, ni)
+				}
+				s.putWS(w)
+			}
+		},
+		DownChunk: func(pass, _ int, nodes []int32) func() {
+			return func() {
+				w := s.getWS()
+				var srcs []expansion.M2LSource
+				for _, ni := range nodes {
+					srcs = s.downNodePass(w, pass, ni, srcs)
+				}
+				s.putWS(w)
+			}
+		},
+		L2P: func(leaves []int32) func() {
+			return func() {
+				w := s.getWS()
+				for _, ni := range leaves {
+					s.leafL2P(w, ni)
+				}
+				s.putWS(w)
+			}
+		},
+		Tags: taskTags,
+	}
+	if s.Cl != nil {
+		spec.NearSingle = func() {
+			out.gpuTime = s.Cl.ExecuteParallel(t, s.p2pPair, s.Cfg.Pool)
+		}
+	} else {
+		sch := t.NearField()
+		f32 := s.f32Active
+		spec.NearChunk = func(lo, hi int) func() {
+			return func() { s.nearFieldChunk(sch, f32, lo, hi) }
+		}
+	}
+
+	g := dag.Build(spec)
+	g.SetTrace(true)
+	regionTimer := sched.StartTimer()
+	if err := g.Run(); err != nil {
+		panic(err) // a cycle is a builder bug, not a data condition
+	}
+	out.region = regionTimer.Elapsed()
+	out.stats = g.Stats()
+	out.near = sched.SpanUnion(out.stats.Spans, taskTags.Near)
+	out.up = sched.SpanUnion(out.stats.Spans, taskTags.Up)
+	out.down = sched.SpanUnion(out.stats.Spans, taskTags.Down)
+	out.l2p = sched.SpanUnion(out.stats.Spans, taskTags.L2P)
+	if rec.Enabled() {
+		for _, sp := range out.stats.Spans {
+			if sp.Tag < 0 || sp.DurNs <= 0 {
+				continue // milestones and cancelled nodes
+			}
+			rec.AddSpan(telemetry.SpanKind(sp.Tag), sp.Arg,
+				out.stats.Start.Add(time.Duration(sp.StartNs)),
+				time.Duration(sp.DurNs))
+		}
+		rec.SetTaskGraph(out.stats.Nodes, out.stats.Edges, out.stats.MaxReady,
+			out.stats.CriticalPathNs, out.stats.MakespanNs)
+	}
+	return out
+}

@@ -30,6 +30,10 @@ const (
 	// Kernel-layer activity — M2L translation-class table builds and the
 	// per-step class/hit-rate counters — renders on its own track.
 	chromeTIDKern = 5
+	// Task-graph node spans (dependency-driven solve path) render on their
+	// own track so the pipelined schedule reads as one dense timeline next
+	// to the fork-join host phases.
+	chromeTIDTask = 6
 	// Device tracks start here; device i renders on chromeTIDDev + i.
 	chromeTIDDev = 100
 )
@@ -57,6 +61,8 @@ func spanTID(k SpanKind, arg int32) int {
 		return chromeTIDFault
 	case SpanM2LTable:
 		return chromeTIDKern
+	case SpanTaskUp, SpanTaskDown, SpanTaskL2P, SpanTaskNear:
+		return chromeTIDTask
 	}
 	return chromeTIDHost
 }
@@ -74,7 +80,7 @@ func eventTID(k EventKind) int {
 
 func spanName(k SpanKind, arg int32) string {
 	switch k {
-	case SpanUpLevel, SpanDownLevel:
+	case SpanUpLevel, SpanDownLevel, SpanTaskUp, SpanTaskDown, SpanTaskL2P:
 		return fmt.Sprintf("%s %d", k, arg)
 	case SpanDeviceP2P:
 		return "p2p kernel"
@@ -92,6 +98,7 @@ func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDBal, Args: map[string]any{"name": "balancer"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDFault, Args: map[string]any{"name": "faults"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDKern, Args: map[string]any{"name": "kernels"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDTask, Args: map[string]any{"name": "taskgraph"}},
 	}
 	maxDev := 0
 	for i := range steps {

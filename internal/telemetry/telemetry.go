@@ -113,6 +113,17 @@ const (
 	// (classification + per-class operator precompute), rendered on the
 	// kernels track. Arg = number of classes built.
 	SpanM2LTable
+	// Task-graph node spans, emitted by the dependency-driven solve path
+	// (Config.TaskGraph) and rendered on their own Chrome-trace track:
+	// one span per executed graph node. SpanTaskUp / SpanTaskDown are
+	// far-field chunk nodes (Arg = octree level), SpanTaskL2P the leaf
+	// evaluation nodes (Arg = level), SpanTaskNear the near-field root
+	// nodes (Arg = CSR chunk index, or 0 for the single device-cluster
+	// node). Milestone (join) nodes are not emitted — they carry no work.
+	SpanTaskUp
+	SpanTaskDown
+	SpanTaskL2P
+	SpanTaskNear
 	numSpanKinds
 )
 
@@ -147,6 +158,10 @@ var spanNames = [numSpanKinds]string{
 	SpanRestore:    "ckpt.restore",
 	SpanCkptWait:   "ckpt.wait",
 	SpanM2LTable:   "kernels.m2ltable",
+	SpanTaskUp:     "task.up",
+	SpanTaskDown:   "task.down",
+	SpanTaskL2P:    "task.l2p",
+	SpanTaskNear:   "task.near",
 }
 
 func (k SpanKind) String() string {
@@ -380,6 +395,17 @@ type StepRecord struct {
 	M2LRebuilt   bool  `json:"m2l_rebuilt,omitempty"`
 	// NearF32 marks steps whose near field ran the gated float32 path.
 	NearF32 bool `json:"near_f32,omitempty"`
+
+	// Task-graph execution summary (dependency-driven solve path): node
+	// and edge counts of the step's DAG, the ready-queue depth high-water
+	// mark, the measured critical path (longest dependency chain under
+	// observed node durations) and the measured makespan of the graph
+	// region. Zero-valued on fork-join steps.
+	TaskNodes      int   `json:"task_nodes,omitempty"`
+	TaskEdges      int   `json:"task_edges,omitempty"`
+	TaskMaxReady   int   `json:"task_max_ready,omitempty"`
+	TaskCriticalNs int64 `json:"task_critical_ns,omitempty"`
+	TaskMakespanNs int64 `json:"task_makespan_ns,omitempty"`
 
 	Spans  []Span  `json:"spans,omitempty"`
 	Events []Event `json:"events,omitempty"`
@@ -690,6 +716,22 @@ func (r *Recorder) SetOverlap(serialWall time.Duration) {
 	r.ensureStepLocked()
 	r.cur.Overlapped = true
 	r.cur.SerialWallNs = serialWall.Nanoseconds()
+	r.mu.Unlock()
+}
+
+// SetTaskGraph records the dependency-driven solve path's graph shape and
+// schedule quality for the step.
+func (r *Recorder) SetTaskGraph(nodes, edges, maxReady int, criticalNs, makespanNs int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.TaskNodes = nodes
+	r.cur.TaskEdges = edges
+	r.cur.TaskMaxReady = maxReady
+	r.cur.TaskCriticalNs = criticalNs
+	r.cur.TaskMakespanNs = makespanNs
 	r.mu.Unlock()
 }
 

@@ -112,6 +112,9 @@ type Device struct {
 	// DetectNs is the watchdog's hang-detection latency in the last run
 	// (host ns; 0 when no hang was detected).
 	DetectNs int64
+	// healthyProbes counts consecutive clean injector probes while Dead —
+	// the restoration streak (see WatchdogConfig.RestoreAfter).
+	healthyProbes int
 
 	// Watchdog runtime state, valid during one Execute call.
 	beat       atomic.Int64 // UnixNano of the last completed chunk

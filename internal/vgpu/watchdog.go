@@ -59,6 +59,16 @@ type WatchdogConfig struct {
 	// DisableFallback turns off host re-execution of dead devices' rows:
 	// lost rows are reported via FaultReport.Err instead. For tests.
 	DisableFallback bool
+	// RestoreAfter enables device restoration: a dead device whose
+	// injector probe comes back clean for RestoreAfter consecutive steps
+	// is re-admitted — Health reset to Healthy and the capacity epoch
+	// bumped, so the next Partition gives it work, the solver re-derives
+	// its GPU prediction, and the balancer's CapacitySensor emits
+	// EventCapacity. Any failed probe resets the streak, which is the
+	// flapping protection: a device whose fault keeps recurring never
+	// accumulates RestoreAfter clean probes and stays out. 0 (the
+	// default) disables restoration — dead devices stay dead.
+	RestoreAfter int
 }
 
 func (w WatchdogConfig) withDefaults() WatchdogConfig {
@@ -111,6 +121,9 @@ type FaultReport struct {
 	// loss also sets Err.
 	LostRows int
 	Err      error
+	// Restored lists devices re-admitted at the top of this call after
+	// WatchdogConfig.RestoreAfter consecutive clean probes.
+	Restored []int
 }
 
 // LastReport returns the fault report of the most recent Execute call.
@@ -119,6 +132,7 @@ func (c *Cluster) LastReport() FaultReport {
 	defer c.mu.Unlock()
 	rep := c.report
 	rep.Faults = append([]DeviceFault(nil), c.report.Faults...)
+	rep.Restored = append([]int(nil), c.report.Restored...)
 	return rep
 }
 
@@ -174,6 +188,40 @@ func (c *Cluster) beginExecute() func() {
 		return func() {}
 	}
 	c.Injector.BeginStep(step)
+	// Probe dead devices for restoration: RestoreAfter consecutive clean
+	// probe steps re-admit a device (a failed probe resets the streak, so
+	// a flapping device stays out). Partition for this call has already
+	// run, so a freshly restored device carries no work until the next
+	// step's Partition; the capacity-epoch bump is what tells the solver
+	// and balancer the capacity came back.
+	if k := c.Watchdog.RestoreAfter; k > 0 {
+		for _, d := range c.Devices {
+			if d.Health != Dead {
+				continue
+			}
+			if c.Injector.Probe(d.ID) != fault.None {
+				d.healthyProbes = 0
+				continue
+			}
+			if d.healthyProbes++; d.healthyProbes < k {
+				continue
+			}
+			d.Health = Healthy
+			d.FaultKind = fault.None
+			d.StraggleFactor = 1
+			d.CompletedRows = 0
+			d.Retries = 0
+			d.DetectNs = 0
+			d.healthyProbes = 0
+			d.Targets = d.Targets[:0]
+			d.Rows = d.Rows[:0]
+			c.capEpoch.Add(1)
+			c.mu.Lock()
+			c.report.Restored = append(c.report.Restored, d.ID)
+			c.mu.Unlock()
+			c.Rec.EmitEvent(telemetry.EventCapacity, int64(d.ID), int64(step), c.Capacity(), 0)
+		}
+	}
 	// Fold newly armed straggle factors into device health before the
 	// run, so partitioning and timing see the derated state.
 	for _, d := range c.Devices {

@@ -292,6 +292,103 @@ func TestCorruptPoisonsViaCallback(t *testing.T) {
 	}
 }
 
+// stepOn runs one more partitioned step on an existing cluster.
+func stepOn(t *testing.T, c *Cluster, tree *octree.Tree) []float64 {
+	t.Helper()
+	acc := make([]float64, len(tree.Nodes))
+	c.Partition(tree)
+	c.Execute(tree, accumFn(acc))
+	return acc
+}
+
+// TestDeviceRestorationAfterCleanProbes: with RestoreAfter set, a dead
+// device whose probes come back clean for K consecutive steps is
+// re-admitted — capacity epoch bumps, capacity recovers, and the next
+// partition gives it work again, all without perturbing the numerics.
+func TestDeviceRestorationAfterCleanProbes(t *testing.T) {
+	tree := buildTree(5000, 32, 21)
+	wd := WatchdogConfig{ChunkRows: 8, RestoreAfter: 2}
+	ref, _ := runAccum(t, tree, 2, nil, wd, nil)
+
+	inj := mustParse(t, "gpu1:failstop@step0")
+	acc, c := runAccum(t, tree, 2, inj, wd, nil)
+	assertBitIdentical(t, ref, acc, "fault step")
+	if c.Devices[1].Health != Dead {
+		t.Fatal("device not dead after failstop")
+	}
+	capDown := c.Capacity()
+	ep := c.CapacityEpoch()
+
+	// Step 1: first clean probe — streak 1 of 2, still dead.
+	assertBitIdentical(t, ref, stepOn(t, c, tree), "streak step")
+	if c.Devices[1].Health != Dead {
+		t.Fatal("device restored after one clean probe, want two")
+	}
+	// Step 2: second clean probe restores the device at the top of the
+	// call; partition preceded restoration, so it holds no work yet.
+	assertBitIdentical(t, ref, stepOn(t, c, tree), "restoration step")
+	if c.Devices[1].Health != Healthy {
+		t.Fatalf("health after restoration = %v", c.Devices[1].Health)
+	}
+	if c.CapacityEpoch() == ep {
+		t.Fatal("capacity epoch did not advance on restoration")
+	}
+	if got := c.Capacity(); got <= capDown {
+		t.Fatalf("capacity after restoration %v, want > %v", got, capDown)
+	}
+	rep := c.LastReport()
+	if len(rep.Restored) != 1 || rep.Restored[0] != 1 {
+		t.Fatalf("report.Restored = %v", rep.Restored)
+	}
+	if rep.DeadDevices != 0 {
+		t.Fatalf("DeadDevices = %d after restoration", rep.DeadDevices)
+	}
+	// Step 3: the restored device regains a share of the rows and the
+	// step needs no fallback.
+	assertBitIdentical(t, ref, stepOn(t, c, tree), "post-restoration step")
+	if len(c.Devices[1].Targets) == 0 {
+		t.Fatal("restored device received no work")
+	}
+	if rep := c.LastReport(); rep.FallbackRows != 0 {
+		t.Fatalf("unexpected fallback after restoration: %+v", rep)
+	}
+}
+
+// TestFlappingDeviceStaysOut: transient faults firing on the probe steps
+// keep resetting the restoration streak, so the flapping device is not
+// re-admitted until the faults stop recurring.
+func TestFlappingDeviceStaysOut(t *testing.T) {
+	tree := buildTree(4000, 32, 22)
+	wd := WatchdogConfig{ChunkRows: 8, RestoreAfter: 2}
+	ref, _ := runAccum(t, tree, 2, nil, wd, nil)
+
+	inj := mustParse(t,
+		"gpu0:failstop@step0,gpu0:transient@step1,gpu0:transient@step2,gpu0:transient@step3")
+	acc, c := runAccum(t, tree, 2, inj, wd, nil)
+	assertBitIdentical(t, ref, acc, "flapping fault step")
+
+	// Steps 1-3: every probe hits a transient, streak stays at zero.
+	for step := 1; step <= 3; step++ {
+		assertBitIdentical(t, ref, stepOn(t, c, tree), "flapping step")
+		if c.Devices[0].Health != Dead {
+			t.Fatalf("flapping device restored at step %d", step)
+		}
+	}
+	// Step 4: first clean probe — one of two, still out.
+	assertBitIdentical(t, ref, stepOn(t, c, tree), "first clean step")
+	if c.Devices[0].Health != Dead {
+		t.Fatal("device restored after a single clean probe")
+	}
+	// Step 5: second consecutive clean probe re-admits it.
+	assertBitIdentical(t, ref, stepOn(t, c, tree), "second clean step")
+	if c.Devices[0].Health != Healthy {
+		t.Fatalf("health after clean streak = %v", c.Devices[0].Health)
+	}
+	if c.AliveDevices() != 2 {
+		t.Fatalf("alive = %d", c.AliveDevices())
+	}
+}
+
 func TestNoInjectorPathUnchanged(t *testing.T) {
 	tree := buildTree(4000, 32, 19)
 	ref, refC := runAccum(t, tree, 2, nil, WatchdogConfig{}, nil)
