@@ -45,6 +45,7 @@ import (
 	"afmm/internal/fieldgrid"
 	"afmm/internal/geom"
 	"afmm/internal/kernels"
+	"afmm/internal/metrics"
 	"afmm/internal/octree"
 	"afmm/internal/particle"
 	"afmm/internal/sched"
@@ -239,14 +240,36 @@ type (
 	RecorderOptions = telemetry.Options
 	// TelemetryStepRecord is the per-step record a Recorder emits.
 	TelemetryStepRecord = telemetry.StepRecord
+	// MetricsRegistry is the live metrics registry (counters, gauges,
+	// histograms) the recorder and subsystems publish into; the debug
+	// server serves it as Prometheus text on /metrics.
+	MetricsRegistry = metrics.Registry
+	// FlightRecorder retains the last K step records in memory and dumps
+	// them to disk when a fault, failed step, or sentinel anomaly fires.
+	FlightRecorder = telemetry.FlightRecorder
+	// SentinelConfig tunes the step-time regression sentinel.
+	SentinelConfig = telemetry.SentinelConfig
+	// TelemetryDebugServer is a running debug endpoint (/, /metrics,
+	// /status, /flightrec, /debug/pprof) with graceful Shutdown.
+	TelemetryDebugServer = telemetry.DebugServer
 )
 
 // Telemetry entry points.
 var (
 	// NewRecorder creates a step-trace recorder.
 	NewRecorder = telemetry.New
-	// ServeTelemetryDebug starts an expvar + pprof debug server exposing
-	// the recorder's latest step.
+	// NewMetricsRegistry creates an empty metrics registry for
+	// RecorderOptions.Metrics.
+	NewMetricsRegistry = metrics.NewRegistry
+	// NewFlightRecorder creates a flight-recorder ring for
+	// RecorderOptions.Flight (k <= 0 selects the default 32 steps; an
+	// empty dir keeps the ring queryable but never dumps).
+	NewFlightRecorder = telemetry.NewFlightRecorder
+	// StartTelemetryDebug starts the debug server (dashboard, metrics,
+	// status, flight ring, pprof) and returns a handle with Shutdown.
+	StartTelemetryDebug = telemetry.StartDebug
+	// ServeTelemetryDebug is the legacy debug entry point returning the
+	// raw (addr, *http.Server) pair.
 	ServeTelemetryDebug = telemetry.ServeDebug
 )
 

@@ -19,6 +19,8 @@ import (
 	"strings"
 
 	"afmm/internal/experiments"
+	"afmm/internal/metrics"
+	"afmm/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +35,8 @@ func main() {
 	flag.Float64Var(&p.Dt, "dt", 0, "time step size (0 = default)")
 	csv := flag.Bool("csv", false, "emit raw CSV instead of tables")
 	traceFile := flag.String("trace", "", "write the telemetry JSONL trace of the dynamic experiments' headline run to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live dashboard, Prometheus /metrics and /status on this address while the dynamic experiments run")
+	flightDir := flag.String("flightrec", "", "keep a flight-recorder ring of the headline run's last 32 steps and dump it into this directory on faults and sentinel anomalies")
 	flag.Parse()
 	if *traceFile != "" {
 		tf, err := os.Create(*traceFile)
@@ -42,6 +46,23 @@ func main() {
 		}
 		defer tf.Close()
 		p.Trace = tf
+	}
+	if *metricsAddr != "" || *flightDir != "" {
+		opts := telemetry.Options{JSONL: p.Trace, Sentinel: &telemetry.SentinelConfig{}}
+		p.Trace = nil // the recorder owns the JSONL sink now
+		if *metricsAddr != "" {
+			opts.Metrics = metrics.NewRegistry()
+		}
+		opts.Flight = telemetry.NewFlightRecorder(0, *flightDir)
+		p.Rec = telemetry.New(opts)
+		if *metricsAddr != "" {
+			d, err := telemetry.StartDebug(*metricsAddr, p.Rec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "debug server (dashboard, /metrics, /status, pprof) on http://%s/\n", d.Addr())
+		}
 	}
 	pSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -281,7 +302,10 @@ func runTelemetry(p experiments.Params) {
 	fmt.Printf("trajectory: Plummer N=%d, S=%d, %d steps each variant\n", res.N, res.S, res.Steps)
 	fmt.Printf("%-34s %12.3f ms/step\n", "solver step (tracing off)", float64(res.StepNsOff)/1e6)
 	fmt.Printf("%-34s %12.3f ms/step\n", "solver step (tracing on)", float64(res.StepNsOn)/1e6)
+	fmt.Printf("%-34s %12.3f ms/step\n", "solver step (metrics+flight)", float64(res.StepNsMetrics)/1e6)
 	fmt.Printf("%-34s %+12.3f%% (target < 2%%)\n", "tracing overhead", 100*res.OverheadFrac)
+	fmt.Printf("%-34s %+12.3f%% (target < 2%%)\n", "metrics+flight overhead", 100*res.MetricsOverheadFrac)
+	fmt.Printf("%-34s %12.1f ns/sample\n", "histogram observe", res.HistObserveNs)
 	fmt.Printf("%-34s %12.1f%% of step wall clock\n", "phase-span coverage", 100*res.PhaseCoverage)
 	fmt.Printf("%-34s %12.1f spans, %d JSONL bytes\n", "per step", res.SpansPerStep, res.BytesPerStep)
 	b, err := json.MarshalIndent(res, "", "  ")

@@ -32,6 +32,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write per-step JSONL trace to this file")
 	chromeFile := flag.String("chrome-trace", "", "write a Chrome trace_event JSON timeline (open in Perfetto) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar + net/http/pprof on this address (e.g. localhost:6060)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live dashboard, Prometheus /metrics, /status and /flightrec on this address (implies a metrics registry; alias for -debug-addr with metrics enabled)")
+	flightDir := flag.String("flightrec", "", "keep a flight-recorder ring of the last 32 steps and dump it into this directory on faults, failed steps, and sentinel anomalies (use '.' for the working directory)")
+	sentinel := flag.Bool("sentinel", true, "arm the step-time regression sentinel (emits anomaly events; with -flightrec, alarms also dump)")
 	noOverlap := flag.Bool("no-overlap", false, "run near and far phases sequentially instead of overlapped (results are bit-identical either way)")
 	noTaskGraph := flag.Bool("no-taskgraph", false, "run the far field through the fork-join phase barriers instead of the dependency-driven task graph (results are bit-identical either way)")
 	faults := flag.String("faults", "", "fault-injection schedule, e.g. gpu1:failstop@step12,gpu0:straggle2.5@step20")
@@ -123,7 +126,7 @@ func main() {
 		Resume:          resumeSnap,
 	}
 	var rec *afmm.Recorder
-	if *traceFile != "" || *chromeFile != "" || *debugAddr != "" {
+	if *traceFile != "" || *chromeFile != "" || *debugAddr != "" || *metricsAddr != "" || *flightDir != "" {
 		var opts afmm.RecorderOptions
 		if *traceFile != "" {
 			tf, err := os.Create(*traceFile)
@@ -135,16 +138,30 @@ func main() {
 			opts.JSONL = tf
 		}
 		opts.Keep = *chromeFile != ""
+		if *metricsAddr != "" {
+			opts.Metrics = afmm.NewMetricsRegistry()
+		}
+		if *flightDir != "" || *metricsAddr != "" {
+			// A metrics server without -flightrec still gets the in-memory
+			// ring, so /flightrec answers; dumps need a directory.
+			opts.Flight = afmm.NewFlightRecorder(0, *flightDir)
+		}
+		if *sentinel {
+			opts.Sentinel = &afmm.SentinelConfig{}
+		}
 		rec = afmm.NewRecorder(opts)
 		simCfg.Rec = rec
 	}
-	if *debugAddr != "" {
-		addr, _, err := afmm.ServeTelemetryDebug(*debugAddr, rec)
+	for _, addr := range []string{*debugAddr, *metricsAddr} {
+		if addr == "" {
+			continue
+		}
+		d, err := afmm.StartTelemetryDebug(addr, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug server (expvar, pprof) on http://%s/debug/\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server (dashboard, /metrics, /status, pprof) on http://%s/\n", d.Addr())
 	}
 	res := afmm.RunGravity(solver, simCfg)
 	if res.Err != nil {

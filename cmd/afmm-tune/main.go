@@ -21,6 +21,8 @@ func main() {
 	gpus := flag.Int("gpus", 2, "simulated GPUs")
 	gpuscale := flag.Float64("gpuscale", 1.0/64, "device throughput derating")
 	traceFile := flag.String("trace", "", "write a JSONL trace of the tuning sweep (one record per S candidate) to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live dashboard, Prometheus /metrics and /status on this address during the sweep")
+	flightDir := flag.String("flightrec", "", "keep a flight-recorder ring of the last 32 candidate records and dump it into this directory on sentinel anomalies")
 	noOverlap := flag.Bool("no-overlap", false, "run near and far phases sequentially instead of overlapped")
 	noTaskGraph := flag.Bool("no-taskgraph", false, "configure the machine for fork-join sweeps instead of the dependency-driven task graph")
 	flag.Parse()
@@ -52,15 +54,34 @@ func main() {
 	machine.TaskGraph = !*noTaskGraph
 
 	var rec *afmm.Recorder
-	if *traceFile != "" {
-		tf, err := os.Create(*traceFile)
+	if *traceFile != "" || *metricsAddr != "" || *flightDir != "" {
+		var opts afmm.RecorderOptions
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			opts.JSONL = tf
+		}
+		if *metricsAddr != "" {
+			opts.Metrics = afmm.NewMetricsRegistry()
+		}
+		if *flightDir != "" || *metricsAddr != "" {
+			opts.Flight = afmm.NewFlightRecorder(0, *flightDir)
+		}
+		opts.Sentinel = &afmm.SentinelConfig{}
+		rec = afmm.NewRecorder(opts)
+		machine.Rec = rec
+	}
+	if *metricsAddr != "" {
+		d, err := afmm.StartTelemetryDebug(*metricsAddr, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer tf.Close()
-		rec = afmm.NewRecorder(afmm.RecorderOptions{JSONL: tf})
-		machine.Rec = rec
+		fmt.Fprintf(os.Stderr, "debug server (dashboard, /metrics, /status, pprof) on http://%s/\n", d.Addr())
 	}
 
 	choice := afmm.Tune(sys, afmm.TuneRequest{

@@ -269,9 +269,12 @@ type Solver struct {
 	wsFree    chan *expansion.Workspace
 	weightBuf []int64
 	// busySnap/busyDelta are reused worker busy-time snapshot buffers
-	// (telemetry; unused when no recorder is attached).
-	busySnap  []int64
-	busyDelta []int64
+	// (telemetry; unused when no recorder is attached), classSnap/
+	// classDelta the per-work-class equivalents.
+	busySnap   []int64
+	busyDelta  []int64
+	classSnap  []int64
+	classDelta []int64
 	// gatherFree recycles per-chunk near-field source gathers (SoA packing
 	// buffers), one per concurrently executing chunk.
 	gatherFree chan *octree.SourceGather
@@ -348,11 +351,20 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 }
 
 // SetRecorder attaches (or detaches, with nil) the telemetry recorder,
-// propagating it to the device cluster.
+// propagating it to the device cluster. When the recorder carries a
+// metrics registry, the solver's pool, cluster, and injector register
+// their scrape-time series on it.
 func (s *Solver) SetRecorder(rec *telemetry.Recorder) {
 	s.Cfg.Rec = rec
 	if s.Cluster != nil {
 		s.Cluster.Rec = rec
+	}
+	if reg := rec.Metrics(); reg.Enabled() {
+		s.Cfg.Pool.RegisterMetrics(reg)
+		s.Cluster.RegisterMetrics(reg)
+		if s.Cluster != nil {
+			s.Cluster.Injector.RegisterMetrics(reg)
+		}
 	}
 }
 
@@ -398,6 +410,7 @@ func (s *Solver) Solve() StepTimes {
 	solveTok := rec.Begin(telemetry.SpanSolve, 0)
 	if rec.Enabled() {
 		s.busySnap = s.Cfg.Pool.WorkerBusyNs(s.busySnap[:0])
+		s.classSnap = s.Cfg.Pool.ClassBusyNs(s.classSnap[:0])
 	}
 	t := s.Tree
 
@@ -635,6 +648,13 @@ func (s *Solver) Solve() StepTimes {
 			}
 		}
 		rec.SetWorkerBusy(s.busyDelta)
+		s.classDelta = s.Cfg.Pool.ClassBusyNs(s.classDelta[:0])
+		for i := range s.classDelta {
+			if i < len(s.classSnap) {
+				s.classDelta[i] -= s.classSnap[i]
+			}
+		}
+		rec.SetClassBusy(s.classDelta)
 	}
 	st.Real = timer.Elapsed()
 	st.Host = telemetry.HostPhases{

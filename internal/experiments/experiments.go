@@ -27,6 +27,7 @@ import (
 	"afmm/internal/particle"
 	"afmm/internal/sim"
 	"afmm/internal/stokes"
+	"afmm/internal/telemetry"
 	"afmm/internal/vcpu"
 	"afmm/internal/vgpu"
 )
@@ -56,6 +57,11 @@ type Params struct {
 	// dynamic experiments' headline run (Fig8's strategy-3 simulation,
 	// Fig10's FGO-enabled simulation).
 	Trace io.Writer
+	// Rec, when non-nil, is attached to the same headline runs in place
+	// of Trace — it carries whatever sinks the caller configured (JSONL,
+	// metrics registry, flight recorder, sentinel), so afmm-bench's
+	// -metrics-addr server watches the dynamic experiments live.
+	Rec *telemetry.Recorder
 }
 
 func (p *Params) setDefaults() {
@@ -457,6 +463,7 @@ func Fig8(p Params) []StrategyRun {
 		c.Balance = balance.Config{Strategy: sr.st}
 		if sr.st == balance.StrategyFull {
 			c.Trace = p.Trace
+			c.Rec = p.Rec
 		}
 		res := sim.RunGravity(dynamicSolver(p), c)
 		runs = append(runs, StrategyRun{Name: sr.name, Strategy: sr.st, Result: res})
@@ -547,6 +554,7 @@ func Fig10(p Params) ([]RatioPoint, float64) {
 		}
 		if !disableFGO {
 			simCfg.Trace = p.Trace
+			simCfg.Rec = p.Rec
 		}
 		return sim.RunStokes(sol, nil, simCfg)
 	}

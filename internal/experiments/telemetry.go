@@ -6,6 +6,7 @@ import (
 	"afmm/internal/core"
 	"afmm/internal/distrib"
 	"afmm/internal/kernels"
+	"afmm/internal/metrics"
 	"afmm/internal/sched"
 	"afmm/internal/sim"
 	"afmm/internal/telemetry"
@@ -33,6 +34,15 @@ type TelemetryBenchResult struct {
 	StepNsOff    int64   `json:"step_ns_off"`
 	StepNsOn     int64   `json:"step_ns_on"`
 	OverheadFrac float64 `json:"overhead_frac"`
+
+	// The third variant runs the full observability stack on top of the
+	// JSONL sink: metrics registry, flight-recorder ring, and sentinel.
+	// MetricsOverheadFrac compares it against the untraced baseline
+	// (same < 0.02 target); HistObserveNs is the microbenchmarked cost
+	// of one histogram sample on the registry's atomic hot path.
+	StepNsMetrics       int64   `json:"step_ns_metrics"`
+	MetricsOverheadFrac float64 `json:"metrics_overhead_frac"`
+	HistObserveNs       float64 `json:"hist_observe_ns"`
 
 	PhaseCoverage float64 `json:"phase_coverage"`
 	SpansPerStep  float64 `json:"spans_per_step"`
@@ -73,10 +83,19 @@ func Telemetry(p Params) TelemetryBenchResult {
 		sv.Solve() // warm slabs and the list cache outside the timed region
 		return sv
 	}
-	plain, traced := mkSolver(), mkSolver()
+	plain, traced, metered := mkSolver(), mkSolver(), mkSolver()
 	var sink countingWriter
 	rec := telemetry.New(telemetry.Options{JSONL: &sink, Keep: true})
 	traced.SetRecorder(rec)
+	var sink2 countingWriter
+	reg := metrics.NewRegistry()
+	recM := telemetry.New(telemetry.Options{
+		JSONL:    &sink2,
+		Metrics:  reg,
+		Flight:   telemetry.NewFlightRecorder(0, ""), // ring only, no dumps
+		Sentinel: &telemetry.SentinelConfig{},
+	})
+	metered.SetRecorder(recM)
 
 	stepOnce := func(sv *core.Solver, r *telemetry.Recorder, step int) int64 {
 		r.StartStep(step)
@@ -91,12 +110,25 @@ func Telemetry(p Params) TelemetryBenchResult {
 	for step := 0; step < p.Steps; step++ {
 		res.StepNsOff += stepOnce(plain, nil, step)
 		res.StepNsOn += stepOnce(traced, rec, step)
+		res.StepNsMetrics += stepOnce(metered, recM, step)
 	}
 	res.StepNsOff /= int64(p.Steps)
 	res.StepNsOn /= int64(p.Steps)
+	res.StepNsMetrics /= int64(p.Steps)
 	if res.StepNsOff > 0 {
 		res.OverheadFrac = float64(res.StepNsOn-res.StepNsOff) / float64(res.StepNsOff)
+		res.MetricsOverheadFrac = float64(res.StepNsMetrics-res.StepNsOff) / float64(res.StepNsOff)
 	}
+
+	// Histogram hot-path microbenchmark: the per-sample cost of Observe
+	// on the default step-scale buckets (binary search + three atomics).
+	h := reg.Histogram("bench_observe_ns", "histogram sample cost probe", metrics.DefBuckets())
+	const samples = 1 << 20
+	tm := sched.StartTimer()
+	for i := 0; i < samples; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+	res.HistObserveNs = float64(tm.Elapsed().Nanoseconds()) / samples
 
 	kept := rec.Steps()
 	var coverage float64

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per family, then
+// one line per series, with histograms expanded into cumulative
+// _bucket{le=...} lines plus _sum and _count. A nil registry writes
+// nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.seriesList() {
+			if f.kind == KindHistogram {
+				writePromHist(bw, f, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatValue(s.value(f.kind)))
+		}
+	}
+	return bw.Flush()
+}
+
+// withLabel splices an extra label into a rendered label suffix.
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func writePromHist(w io.Writer, f *family, s *series) {
+	counts, count, sum := s.h.snapshot()
+	var cum int64
+	for i, b := range s.h.bounds {
+		cum += counts[i]
+		le := fmt.Sprintf(`le="%s"`, formatValue(b))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(s.labels, le), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(s.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, count)
+}

@@ -1,0 +1,34 @@
+package sched
+
+import "afmm/internal/metrics"
+
+// RegisterMetrics exposes the pool's cumulative counters on the registry
+// as scrape-time functions. Everything read here is an atomic the
+// workers already maintain, so scrapes never contend with task
+// execution and the hot path gains no new instructions. Idempotent:
+// re-registering (a solver rebuild swapping pools) rebinds the series
+// to the new pool.
+func (p *Pool) RegisterMetrics(reg *metrics.Registry) {
+	if p == nil || !reg.Enabled() {
+		return
+	}
+	reg.Func("afmm_pool_workers", "sched pool worker slots", metrics.KindGauge,
+		func() float64 { return float64(p.workers) })
+	reg.Func("afmm_pool_reserved", "worker slots reserved for the near-field class", metrics.KindGauge,
+		func() float64 { return float64(p.reserved.Load()) })
+	reg.Func("afmm_pool_tasks_total", "tasks executed on worker slots", metrics.KindCounter,
+		func() float64 { return float64(p.spawned.Load()) })
+	reg.Func("afmm_pool_inline_tasks_total", "tasks executed inline (all workers busy)", metrics.KindCounter,
+		func() float64 { return float64(p.inlined.Load()) })
+	for c := Class(0); c < NumClasses; c++ {
+		c := c
+		reg.Func("afmm_pool_class_busy_ns_total", "cumulative task execution per work class (ns)",
+			metrics.KindCounter,
+			func() float64 { return float64(p.classBusy[c].Load()) },
+			"class", c.String())
+		reg.Func("afmm_pool_inline_busy_ns_total", "cumulative inline execution per work class (ns)",
+			metrics.KindCounter,
+			func() float64 { return float64(p.inlineClass[c].Load()) },
+			"class", c.String())
+	}
+}

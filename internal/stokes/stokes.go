@@ -163,6 +163,10 @@ type Solver struct {
 	// core.Solver).
 	capEpoch int64
 	capVal   float64
+	// classSnap/classDelta are reused per-work-class busy-time snapshot
+	// buffers (telemetry; unused when no recorder is attached).
+	classSnap  []int64
+	classDelta []int64
 
 	// M2L translation-class table state (see core.Solver): one table
 	// serves all four harmonic passes.
@@ -218,11 +222,20 @@ func NewSolver(sys *particle.System, cfg Config) *Solver {
 }
 
 // SetRecorder attaches (or detaches, with nil) the telemetry recorder,
-// propagating it to the device cluster.
+// propagating it to the device cluster. When the recorder carries a
+// metrics registry, the solver's pool, cluster, and injector register
+// their scrape-time series on it.
 func (s *Solver) SetRecorder(rec *telemetry.Recorder) {
 	s.Cfg.Rec = rec
 	if s.Cl != nil {
 		s.Cl.Rec = rec
+	}
+	if reg := rec.Metrics(); reg.Enabled() {
+		s.Cfg.Pool.RegisterMetrics(reg)
+		s.Cl.RegisterMetrics(reg)
+		if s.Cl != nil {
+			s.Cl.Injector.RegisterMetrics(reg)
+		}
 	}
 }
 
@@ -289,6 +302,9 @@ func (s *Solver) Solve() StepTimes {
 	rec := s.Cfg.Rec
 	wallTimer := sched.StartTimer()
 	solveTok := rec.Begin(telemetry.SpanSolve, 0)
+	if rec.Enabled() {
+		s.classSnap = s.Cfg.Pool.ClassBusyNs(s.classSnap[:0])
+	}
 	t := s.Tree
 
 	ls0 := t.ListBuildStats()
@@ -465,6 +481,13 @@ func (s *Solver) Solve() StepTimes {
 				rec.AddDevice(d.KernelTime, d.Interactions, d.HostTime)
 			}
 		}
+		s.classDelta = s.Cfg.Pool.ClassBusyNs(s.classDelta[:0])
+		for i := range s.classDelta {
+			if i < len(s.classSnap) {
+				s.classDelta[i] -= s.classSnap[i]
+			}
+		}
+		rec.SetClassBusy(s.classDelta)
 	}
 	wall := wallTimer.Elapsed()
 	st.Host = telemetry.HostPhases{

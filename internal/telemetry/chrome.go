@@ -72,7 +72,7 @@ func spanTID(k SpanKind, arg int32) int {
 func eventTID(k EventKind) int {
 	switch k {
 	case EventFault, EventWatchdog, EventFallback, EventCapacity,
-		EventStepFail, EventRestore:
+		EventStepFail, EventRestore, EventAnomaly:
 		return chromeTIDFault
 	}
 	return chromeTIDBal

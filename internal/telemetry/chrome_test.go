@@ -85,3 +85,99 @@ func TestWriteChromeEmpty(t *testing.T) {
 		t.Fatalf("empty chrome trace is not JSON: %v", err)
 	}
 }
+
+// TestChromeTrackMapping pins the tid <-> track assignment of every span
+// and event kind. The tids are part of the trace contract — saved traces
+// and Perfetto configs reference them — so adding a new track must not
+// renumber an existing one. A new kind failing here means: pick a track
+// deliberately, then extend this table.
+func TestChromeTrackMapping(t *testing.T) {
+	const (
+		host = 1
+		near = 2
+		bal  = 3
+		flt  = 4
+		kern = 5
+		task = 6
+		dev  = 100
+	)
+	spanTracks := map[SpanKind]int{
+		SpanSolve:      host,
+		SpanPrep:       host,
+		SpanTreeBuild:  bal,
+		SpanRefill:     host,
+		SpanEnforceS:   bal,
+		SpanListFull:   host,
+		SpanListRepair: host,
+		SpanListSkip:   host,
+		SpanUpSweep:    host,
+		SpanDownSweep:  host,
+		SpanUpLevel:    host,
+		SpanDownLevel:  host,
+		SpanL2P:        host,
+		SpanNearCPU:    near,
+		SpanNearExec:   near,
+		SpanDeviceP2P:  dev, // + device arg
+		SpanGraph:      host,
+		SpanVCPUSim:    host,
+		SpanObserve:    host,
+		SpanIntegrate:  host,
+		SpanForces:     host,
+		SpanBalance:    bal,
+		SpanPredict:    bal,
+		SpanFineGrain:  bal,
+		SpanFallback:   flt,
+		SpanValidate:   flt,
+		SpanCheckpoint: flt,
+		SpanRestore:    flt,
+		SpanCkptWait:   flt,
+		SpanM2LTable:   kern,
+		SpanTaskUp:     task,
+		SpanTaskDown:   task,
+		SpanTaskL2P:    task,
+		SpanTaskNear:   task,
+	}
+	if len(spanTracks) != int(numSpanKinds) {
+		t.Fatalf("track table covers %d span kinds, package has %d — extend the table",
+			len(spanTracks), numSpanKinds)
+	}
+	for k, want := range spanTracks {
+		if got := spanTID(k, 0); got != want {
+			t.Errorf("spanTID(%v) = %d, want %d", k, got, want)
+		}
+	}
+	// Device spans offset by the device id.
+	if got := spanTID(SpanDeviceP2P, 3); got != dev+3 {
+		t.Errorf("spanTID(SpanDeviceP2P, 3) = %d, want %d", got, dev+3)
+	}
+
+	eventTracks := map[EventKind]int{
+		EventState:       bal,
+		EventSChange:     bal,
+		EventRebuild:     bal,
+		EventSearchProbe: bal,
+		EventNudge:       bal,
+		EventDomFlip:     bal,
+		EventRegression:  bal,
+		EventPrediction:  bal,
+		EventEnforceS:    bal,
+		EventFineGrain:   bal,
+		EventFault:       flt,
+		EventWatchdog:    flt,
+		EventFallback:    flt,
+		EventCapacity:    flt,
+		EventStepFail:    flt,
+		EventRestore:     flt,
+		EventPrecision:   bal,
+		EventAnomaly:     flt,
+	}
+	if len(eventTracks) != int(numEventKinds) {
+		t.Fatalf("track table covers %d event kinds, package has %d — extend the table",
+			len(eventTracks), numEventKinds)
+	}
+	for k, want := range eventTracks {
+		if got := eventTID(k); got != want {
+			t.Errorf("eventTID(%v) = %d, want %d", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is the always-on crash context of a run: a bounded ring
+// of the last K finalized step records (full spans and events included),
+// kept in memory even when no JSONL sink is attached, and dumped
+// atomically to disk when something goes wrong — a device fault fires,
+// the post-solve validation trips a step, or the regression sentinel
+// alarms. The dump is the trace you wish you had been recording: the K
+// steps leading up to the incident, written after the fact.
+//
+// Add is called once per step under the recorder's lock with an
+// already-deep-copied record, so ring maintenance is one slice store;
+// Dump serializes the ring under the flight recorder's own mutex and
+// writes via temp-file + rename, so a dump can never be read half
+// written and a dump racing a step cannot tear a record.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []StepRecord
+	next  int
+	full  bool
+	dir   string
+	seq   int
+	dumps int64
+	last  string // path of the most recent dump
+}
+
+// DefaultFlightSteps is the ring capacity used when the caller does not
+// choose one.
+const DefaultFlightSteps = 32
+
+// NewFlightRecorder creates a flight recorder retaining the last k step
+// records (k <= 0 selects DefaultFlightSteps). dir is where Dump writes;
+// an empty dir keeps the ring queryable (Records, the debug server's
+// /flightrec endpoint) but makes Dump a no-op.
+func NewFlightRecorder(k int, dir string) *FlightRecorder {
+	if k <= 0 {
+		k = DefaultFlightSteps
+	}
+	return &FlightRecorder{ring: make([]StepRecord, k), dir: dir}
+}
+
+// Add inserts a finalized record into the ring. The record must already
+// be safe to retain (the recorder hands over its deep-copied snapshot).
+// Nil-safe.
+func (f *FlightRecorder) Add(rec StepRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = rec
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// Records returns the retained step records, oldest first.
+func (f *FlightRecorder) Records() []StepRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recordsLocked()
+}
+
+func (f *FlightRecorder) recordsLocked() []StepRecord {
+	if !f.full {
+		return append([]StepRecord(nil), f.ring[:f.next]...)
+	}
+	out := make([]StepRecord, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	return append(out, f.ring[:f.next]...)
+}
+
+// Dumps returns how many dumps have been written.
+func (f *FlightRecorder) Dumps() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// LastDump returns the path of the most recent dump ("" when none).
+func (f *FlightRecorder) LastDump() string {
+	if f == nil {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last
+}
+
+// FlightDump is the on-disk schema of one flight-recorder dump (see
+// docs/OBSERVABILITY.md): why it was taken, when, and the ring contents
+// oldest-first at that moment.
+type FlightDump struct {
+	Reason  string       `json:"reason"`
+	UnixNs  int64        `json:"unix_ns"`
+	Steps   int          `json:"steps"` // number of records in the dump
+	Records []StepRecord `json:"records"`
+}
+
+// Dump writes the current ring to
+// dir/flightrec-<seq>-<reason>.json atomically (temp file + rename in
+// the same directory). Returns the written path; with no dump directory
+// configured it returns ("", nil). Nil-safe.
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dir == "" {
+		return "", nil
+	}
+	d := FlightDump{
+		Reason:  reason,
+		UnixNs:  time.Now().UnixNano(),
+		Records: f.recordsLocked(),
+	}
+	d.Steps = len(d.Records)
+	b, err := json.Marshal(&d)
+	if err != nil {
+		return "", err
+	}
+	f.seq++
+	path := filepath.Join(f.dir, fmt.Sprintf("flightrec-%03d-%s.json", f.seq, sanitizeReason(reason)))
+	tmp, err := os.CreateTemp(f.dir, ".flightrec-*")
+	if err != nil {
+		return "", err
+	}
+	_, err = tmp.Write(b)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	f.dumps++
+	f.last = path
+	return path, nil
+}
+
+// sanitizeReason keeps dump filenames shell- and filesystem-friendly.
+func sanitizeReason(r string) string {
+	out := make([]byte, 0, len(r))
+	for i := 0; i < len(r) && len(out) < 32; i++ {
+		c := r[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "dump"
+	}
+	return string(out)
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import "time"
+
+// Sentinel watches step-time regressions: it keeps a rolling
+// EWMA baseline of the step wall clock and of every top-level phase
+// duration, together with an EWMA of the absolute deviation (the online
+// MAD analogue), and flags a step whose observed duration exceeds
+// mean + K × deviation. The flag is a typed EventAnomaly appended to the
+// very step record that violated its band — so the JSONL stream, the
+// flight-recorder dump triggered by the alarm, the Chrome trace, and
+// the /metrics anomaly counter all carry the same signal the balancer's
+// regression detector sees for the virtual times, but here for the real
+// host clock: list-repair storms, device stragglers the watchdog has
+// not condemned yet, GC pauses, a co-tenant stealing the cores.
+//
+// The EWMA pair is deliberately cheap (two multiplies per phase per
+// step) and robust to the occasional spike: a deviation-band update
+// after the check means one anomalous step widens the band for later
+// steps but cannot alarm on itself twice.
+type SentinelConfig struct {
+	// Warmup is the number of samples a baseline must absorb before it
+	// can alarm (default 8). The first steps of a run rebuild trees and
+	// caches and are legitimately slow.
+	Warmup int
+	// Alpha is the EWMA weight of the newest sample (default 0.15).
+	Alpha float64
+	// K is the alarm band half-width in deviation units (default 8).
+	K float64
+	// MinDev floors the deviation estimate so a perfectly steady phase
+	// cannot alarm on scheduler jitter (default 250µs).
+	MinDev time.Duration
+	// MinWall ignores phases shorter than this outright (default 1ms):
+	// a 40µs list-skip doubling is not an incident.
+	MinWall time.Duration
+}
+
+func (c SentinelConfig) withDefaults() SentinelConfig {
+	if c.Warmup <= 0 {
+		c.Warmup = 8
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.15
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.MinDev <= 0 {
+		c.MinDev = 250 * time.Microsecond
+	}
+	if c.MinWall <= 0 {
+		c.MinWall = time.Millisecond
+	}
+	return c
+}
+
+// baseline is one phase's rolling state.
+type baseline struct {
+	mean float64 // EWMA of the duration (ns)
+	dev  float64 // EWMA of |sample - mean| (ns)
+	n    int
+}
+
+// observe folds a sample and reports whether it breached the band
+// before the fold.
+func (b *baseline) observe(v float64, cfg *SentinelConfig) (breached bool, mean float64) {
+	mean = b.mean
+	dev := b.dev
+	if floor := float64(cfg.MinDev.Nanoseconds()); dev < floor {
+		dev = floor
+	}
+	breached = b.n >= cfg.Warmup && v > mean+cfg.K*dev
+	if b.n == 0 {
+		b.mean = v
+	} else {
+		b.mean += cfg.Alpha * (v - b.mean)
+	}
+	b.dev += cfg.Alpha * (abs(v-b.mean) - b.dev)
+	b.n++
+	return breached, mean
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Anomaly is one sentinel alarm: a phase (or the whole step, Kind ==
+// SpanSolve) whose duration left its baseline band.
+type Anomaly struct {
+	Kind     SpanKind
+	Observed time.Duration
+	Baseline time.Duration
+}
+
+// Sentinel is the rolling-baseline regression detector. Not safe for
+// concurrent use on its own; the Recorder drives it under its step lock.
+type Sentinel struct {
+	cfg   SentinelConfig
+	wall  baseline
+	phase [numSpanKinds]baseline
+	sums  [numSpanKinds]int64 // per-step scratch: summed span ns by kind
+	count int64               // anomalies emitted (read via Recorder)
+}
+
+// NewSentinel creates a sentinel; the zero SentinelConfig selects the
+// documented defaults.
+func NewSentinel(cfg SentinelConfig) *Sentinel {
+	return &Sentinel{cfg: cfg.withDefaults()}
+}
+
+// Observe folds one finalized step into the baselines and returns the
+// anomalies it triggered (nil almost always). The step wall is reported
+// under SpanSolve; each top-level phase under its own kind. Nil-safe.
+func (s *Sentinel) Observe(rec *StepRecord) []Anomaly {
+	if s == nil {
+		return nil
+	}
+	for i := range s.sums {
+		s.sums[i] = 0
+	}
+	for _, sp := range rec.Spans {
+		if sp.Kind.TopLevel() {
+			s.sums[sp.Kind] += sp.DurNs
+		}
+	}
+	var out []Anomaly
+	check := func(b *baseline, kind SpanKind, ns int64) {
+		if ns < s.cfg.MinWall.Nanoseconds() {
+			return
+		}
+		if breached, mean := b.observe(float64(ns), &s.cfg); breached {
+			out = append(out, Anomaly{
+				Kind:     kind,
+				Observed: time.Duration(ns),
+				Baseline: time.Duration(mean),
+			})
+		}
+	}
+	check(&s.wall, SpanSolve, rec.WallNs)
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		if s.sums[k] > 0 {
+			check(&s.phase[k], k, s.sums[k])
+		}
+	}
+	s.count += int64(len(out))
+	return out
+}
+
+// Anomalies returns how many alarms the sentinel has raised.
+func (s *Sentinel) Anomalies() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}

@@ -29,6 +29,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"afmm/internal/metrics"
 )
 
 // NumOps mirrors costmodel.NumOps: the six FMM operations in canonical
@@ -39,6 +41,14 @@ const NumOps = 6
 
 // OpNames are the canonical operation names, indexing Counts/OpTime/Coef.
 var OpNames = [NumOps]string{"P2M", "M2M", "M2L", "L2L", "L2P", "P2P"}
+
+// NumClasses / ClassNames mirror the sched work classes (same
+// no-import rationale as NumOps): StepRecord.ClassBusyNs and the
+// per-class busy metrics are indexed in this order.
+const NumClasses = 3
+
+// ClassNames are the sched work-class names, indexing ClassBusyNs.
+var ClassNames = [NumClasses]string{"general", "far", "near"}
 
 // SpanKind identifies an instrumented phase or operator group.
 type SpanKind uint8
@@ -264,6 +274,11 @@ const (
 	// sticky (error-bound violation); FA = estimated float32 relative
 	// error, FB = the accuracy target it was compared against.
 	EventPrecision
+	// EventAnomaly: the regression sentinel flagged a step whose wall
+	// clock (A = SpanSolve) or phase duration (A = the SpanKind integer)
+	// left its rolling EWMA+MAD baseline band. B = step index, FA =
+	// observed seconds, FB = the baseline mean it was compared against.
+	EventAnomaly
 	numEventKinds
 )
 
@@ -285,6 +300,7 @@ var eventNames = [numEventKinds]string{
 	EventStepFail:    "step_fail",
 	EventRestore:     "restore",
 	EventPrecision:   "precision",
+	EventAnomaly:     "anomaly",
 }
 
 func (k EventKind) String() string {
@@ -380,6 +396,7 @@ type StepRecord struct {
 
 	Devices      []DeviceSample `json:"devices,omitempty"`
 	WorkerBusyNs []int64        `json:"worker_busy_ns,omitempty"` // per pool slot; last entry = inline bucket
+	ClassBusyNs  []int64        `json:"class_busy_ns,omitempty"`  // per sched work class (ClassNames order)
 	Lists        ListDelta      `json:"lists"`
 	Collapses    int            `json:"collapses,omitempty"`
 	Pushdowns    int            `json:"pushdowns,omitempty"`
@@ -433,6 +450,19 @@ type Options struct {
 	Keep bool
 	// SpanCap presizes the span buffer (default 256).
 	SpanCap int
+	// Metrics, when non-nil, receives per-step aggregates at every
+	// EndStep: step-wall and per-phase histograms, event/list/tree-edit
+	// counters, worker-class busy time, task-graph schedule quality, and
+	// per-device kernel samples. See docs/OBSERVABILITY.md for the name
+	// catalog.
+	Metrics *metrics.Registry
+	// Flight, when non-nil, retains the last K finalized records and is
+	// dumped to disk when a fault, a failed step, or a sentinel anomaly
+	// appears in a step's events.
+	Flight *FlightRecorder
+	// Sentinel, when non-nil, enables the step-time regression sentinel
+	// with the given knobs (zero fields select defaults).
+	Sentinel *SentinelConfig
 }
 
 // Recorder collects one step at a time. All methods are safe for
@@ -450,11 +480,17 @@ type Recorder struct {
 	eventBuf  []Event
 	devBuf    []DeviceSample
 	busyBuf   []int64
+	classBuf  []int64
 	kept      []StepRecord
 	last      StepRecord
 	hasLast   bool
 	stepsDone int64
 	err       error
+
+	met         *stepMetrics
+	flight      *FlightRecorder
+	sentinel    *Sentinel
+	pendingDump string // dump reason set in endStepLocked, flushed after unlock
 }
 
 // New creates a recorder.
@@ -462,12 +498,20 @@ func New(opts Options) *Recorder {
 	if opts.SpanCap <= 0 {
 		opts.SpanCap = 256
 	}
-	return &Recorder{
+	r := &Recorder{
 		opts:     opts,
 		origin:   time.Now(),
 		spanBuf:  make([]Span, 0, opts.SpanCap),
 		eventBuf: make([]Event, 0, 32),
+		flight:   opts.Flight,
 	}
+	if opts.Sentinel != nil {
+		r.sentinel = NewSentinel(*opts.Sentinel)
+	}
+	if opts.Metrics != nil {
+		r.met = newStepMetrics(opts.Metrics, r.flight)
+	}
+	return r
 }
 
 // Enabled reports whether the recorder is non-nil (for call sites that
@@ -485,7 +529,12 @@ func (r *Recorder) StartStep(step int) {
 		r.endStepLocked()
 	}
 	r.startStepLocked(step)
+	reason := r.pendingDump
+	r.pendingDump = ""
 	r.mu.Unlock()
+	if reason != "" {
+		r.flight.Dump(reason)
+	}
 }
 
 func (r *Recorder) startStepLocked(step int) {
@@ -519,7 +568,12 @@ func (r *Recorder) EndStep() {
 	if r.inStep {
 		r.endStepLocked()
 	}
+	reason := r.pendingDump
+	r.pendingDump = ""
 	r.mu.Unlock()
+	if reason != "" {
+		r.flight.Dump(reason)
+	}
 }
 
 func (r *Recorder) endStepLocked() {
@@ -528,6 +582,20 @@ func (r *Recorder) endStepLocked() {
 		r.cur.Compute = maxf(r.cur.CPU, r.cur.GPU)
 	}
 	r.cur.Total = r.cur.Compute + r.cur.LB + r.cur.Refill
+	// The sentinel sees the finalized step before it is encoded anywhere,
+	// so an EventAnomaly lands in the same record across every sink:
+	// JSONL, the flight ring, the Chrome trace, and the /metrics counters.
+	if r.sentinel != nil {
+		for _, a := range r.sentinel.Observe(&r.cur) {
+			r.cur.Events = append(r.cur.Events, Event{
+				Kind: EventAnomaly,
+				A:    int64(a.Kind),
+				B:    int64(r.cur.Step),
+				FA:   a.Observed.Seconds(),
+				FB:   a.Baseline.Seconds(),
+			})
+		}
+	}
 	r.inStep = false
 	r.stepsDone++
 	// Recycle the buffers; deep-copy what outlives the step.
@@ -549,10 +617,29 @@ func (r *Recorder) endStepLocked() {
 	snap.Events = append([]Event(nil), r.cur.Events...)
 	snap.Devices = append([]DeviceSample(nil), r.cur.Devices...)
 	snap.WorkerBusyNs = append([]int64(nil), r.cur.WorkerBusyNs...)
+	snap.ClassBusyNs = append([]int64(nil), r.cur.ClassBusyNs...)
 	r.last = snap
 	r.hasLast = true
 	if r.opts.Keep {
 		r.kept = append(r.kept, snap)
+	}
+	r.flight.Add(snap)
+	if r.met != nil {
+		r.met.publish(&snap)
+	}
+	// Decide whether this step warrants a flight dump. The write itself
+	// happens after the recorder lock is released (StartStep/EndStep),
+	// since dump I/O must not block concurrent span emission.
+	if r.flight != nil && r.pendingDump == "" {
+		for _, ev := range snap.Events {
+			switch ev.Kind {
+			case EventFault, EventWatchdog, EventStepFail, EventAnomaly:
+				r.pendingDump = ev.Kind.String()
+			}
+			if r.pendingDump != "" {
+				break
+			}
+		}
 	}
 }
 
@@ -706,6 +793,20 @@ func (r *Recorder) SetWorkerBusy(busyNs []int64) {
 	r.mu.Unlock()
 }
 
+// SetClassBusy records the per-class busy-time deltas of the step (ns
+// per sched work class, ClassNames order). The slice is copied into a
+// reused buffer.
+func (r *Recorder) SetClassBusy(busyNs []int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.classBuf = append(r.classBuf[:0], busyNs...)
+	r.cur.ClassBusyNs = r.classBuf
+	r.mu.Unlock()
+}
+
 // SetOverlap records that the step's solve ran its near and far phases
 // concurrently, and the serial-equivalent wall time of the solve.
 func (r *Recorder) SetOverlap(serialWall time.Duration) {
@@ -812,6 +913,35 @@ func (r *Recorder) StepsDone() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stepsDone
+}
+
+// Metrics returns the registry the recorder publishes into (nil when
+// Options.Metrics was not set). Safe on a nil recorder.
+func (r *Recorder) Metrics() *metrics.Registry {
+	if r == nil {
+		return nil
+	}
+	return r.opts.Metrics
+}
+
+// Flight returns the recorder's flight recorder (nil when Options.Flight
+// was not set). Safe on a nil recorder.
+func (r *Recorder) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// Anomalies returns how many sentinel alarms the recorder has raised
+// (zero when no sentinel is configured).
+func (r *Recorder) Anomalies() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sentinel.Anomalies()
 }
 
 // Err returns the first sink write/encode error, if any.

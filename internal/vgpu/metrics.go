@@ -1,0 +1,104 @@
+package vgpu
+
+import (
+	"strconv"
+	"time"
+
+	"afmm/internal/metrics"
+)
+
+// clusterMetrics holds the cluster's cached gauge handles. The split
+// matters for race safety: Health, StraggleFactor and Capacity are not
+// atomic — devices write them while executing — so those gauges are
+// refreshed by publishMetrics at the quiescent point of each Execute
+// (finishExecute, on the solver goroutine, after all device goroutines
+// joined). Only atomics (heartbeats, running flags, the capacity epoch)
+// are read at scrape time.
+type clusterMetrics struct {
+	capacity metrics.Gauge
+	alive    metrics.Gauge
+	dead     metrics.Gauge
+	degraded metrics.Gauge
+	health   []metrics.Gauge
+	straggle []metrics.Gauge
+}
+
+// RegisterMetrics exposes the cluster's fault/capacity state on the
+// registry: scrape-time heartbeat ages and running flags per device,
+// plus per-Execute health and capacity gauges. Call once after the
+// cluster's device set is final (device count is fixed at NewCluster).
+func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	if c == nil || !reg.Enabled() {
+		return
+	}
+	reg.Func("afmm_capacity_epoch", "capacity epoch (bumps on device death, derate, restore)",
+		metrics.KindCounter, func() float64 { return float64(c.capEpoch.Load()) })
+	reg.Func("afmm_cluster_executions_total", "near-field Execute calls",
+		metrics.KindCounter, func() float64 { return float64(c.execCount.Load()) })
+	m := &clusterMetrics{
+		capacity: reg.Gauge("afmm_capacity_interactions_per_sec", "aggregate near-field capacity of non-dead devices"),
+		alive:    reg.Gauge("afmm_devices_alive", "devices eligible for work"),
+		dead:     reg.Gauge("afmm_devices_dead", "devices excluded from partitioning"),
+		degraded: reg.Gauge("afmm_devices_degraded", "devices running derated"),
+	}
+	for _, d := range c.Devices {
+		d := d
+		id := strconv.Itoa(d.ID)
+		reg.Func("afmm_device_heartbeat_age_seconds",
+			"silence since the device's last heartbeat (0 while idle)", metrics.KindGauge,
+			func() float64 {
+				if !d.running.Load() {
+					return 0
+				}
+				beat := d.beat.Load()
+				if beat == 0 {
+					return 0
+				}
+				return time.Since(time.Unix(0, beat)).Seconds()
+			}, "device", id)
+		reg.Func("afmm_device_running", "1 while the device executes a kernel", metrics.KindGauge,
+			func() float64 {
+				if d.running.Load() {
+					return 1
+				}
+				return 0
+			}, "device", id)
+		m.health = append(m.health, reg.Gauge("afmm_device_health",
+			"degradation ladder position: 0 healthy, 1 degraded, 2 dead", "device", id))
+		m.straggle = append(m.straggle, reg.Gauge("afmm_device_straggle_factor",
+			"virtual-rate derating of the device (1 = full speed)", "device", id))
+	}
+	c.met = m
+	c.publishMetrics()
+}
+
+// publishMetrics refreshes the non-atomic gauges. Must run with no
+// device goroutine in flight.
+func (c *Cluster) publishMetrics() {
+	m := c.met
+	if m == nil {
+		return
+	}
+	m.capacity.Set(c.Capacity())
+	alive, dead, degraded := 0, 0, 0
+	for i, d := range c.Devices {
+		switch d.Health {
+		case Dead:
+			dead++
+		case Degraded:
+			alive++
+			degraded++
+		default:
+			alive++
+		}
+		m.health[i].Set(float64(d.Health))
+		f := d.StraggleFactor
+		if f == 0 {
+			f = 1
+		}
+		m.straggle[i].Set(f)
+	}
+	m.alive.Set(float64(alive))
+	m.dead.Set(float64(dead))
+	m.degraded.Set(float64(degraded))
+}

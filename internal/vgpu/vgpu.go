@@ -183,6 +183,7 @@ type Cluster struct {
 	execCount atomic.Int64
 	mu        sync.Mutex
 	report    FaultReport
+	met       *clusterMetrics
 }
 
 // NewCluster creates n devices with the given spec.

@@ -454,6 +454,7 @@ func (c *Cluster) finishExecute(t *octree.Tree, sch *octree.NearSchedule, fn P2P
 	c.report.DeadDevices = dead
 	c.report.DegradedDevices = degraded
 	c.mu.Unlock()
+	c.publishMetrics()
 	return virtual
 }
 
