@@ -72,7 +72,7 @@ func main() {
 	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults|kernels|taskgraph")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults|kernels|taskgraph|dmem")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -87,7 +87,7 @@ func main() {
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
 		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
 		"lists": true, "telemetry": true, "overlap": true, "faults": true,
-		"kernels": true, "taskgraph": true, "all": true}
+		"kernels": true, "taskgraph": true, "dmem": true, "all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -149,6 +149,10 @@ func main() {
 	if which == "taskgraph" { // host wall-clock benchmark; not part of "all"
 		fmt.Println("==== TASKGRAPH (dependency-driven step DAG vs fork-join level-sync) ====")
 		runTaskGraph(p)
+	}
+	if which == "dmem" { // distributed-runtime benchmark; not part of "all"
+		fmt.Println("==== DMEM (virtual-node scaling, cost-driven repartitioning, executed runtime) ====")
+		runDmem(p)
 	}
 }
 
@@ -604,4 +608,51 @@ func runFig10(p experiments.Params, csv bool) {
 		}
 	}
 	fmt.Printf("mean advantage after step 15: %.2f%% (paper: ~3%%)\n", 100*(mean-1))
+}
+
+// runDmem benchmarks the distributed-memory layer: strong/weak scaling
+// of the priced decomposition over 1-64 virtual nodes, cost-driven
+// repartitioning vs static equal-count ranges on a skewed distribution,
+// and a bit-identity acceptance run of the executing goroutine-node
+// runtime under an injected node loss. Writes BENCH_dmem.json.
+func runDmem(p experiments.Params) {
+	res := experiments.Dmem(p)
+	fmt.Printf("Plummer N=%d, P=%d, weak scaling at %d bodies/node (host cores: %d)\n",
+		res.N, res.P, res.NPerNode, res.HostCores)
+	scale := func(title string, pts []experiments.DmemScalePoint) {
+		fmt.Printf("---- %s ----\n", title)
+		fmt.Printf("%6s %9s %12s %9s %10s %12s %8s\n",
+			"nodes", "N", "step (s)", "speedup", "imbalance", "comm bytes", "hidden")
+		for _, pt := range pts {
+			fmt.Printf("%6d %9d %12.4e %9.2f %10.3f %12d %7.1f%%\n",
+				pt.Nodes, pt.NTotal, pt.StepTime, pt.Speedup,
+				pt.Imbalance, pt.CommBytes, 100*pt.HiddenFrac)
+		}
+	}
+	scale("strong scaling (fixed total N)", res.Strong)
+	scale("weak scaling (fixed N per node)", res.Weak)
+	sk := res.Skew
+	fmt.Printf("---- skewed two-cluster run (N=%d, %d nodes, %d steps) ----\n",
+		sk.N, sk.Nodes, sk.Steps)
+	fmt.Printf("%-34s %12.4e s (final imbalance %.3f)\n", "static equal-count ranges", sk.StaticTime, sk.StaticImbalance)
+	fmt.Printf("%-34s %12.4e s (final imbalance %.3f, %d repartitions)\n",
+		"cost-driven repartitioning", sk.CostTime, sk.CostImbalance, sk.Repartitions)
+	fmt.Printf("%-34s %12.2fx (target > 1)\n", "static/cost margin", sk.Margin)
+	ex := res.Exec
+	status := "FAIL"
+	if ex.BitIdentical {
+		status = "ok"
+	}
+	fmt.Printf("executed runtime: N=%d over %d nodes, %d steps, %d node loss(es): "+
+		"%d bytes, %d msgs on the wire; bit-identical to single-node: %s\n",
+		ex.N, ex.Nodes, ex.Steps, ex.NodeLosses, ex.TotalBytes, ex.TotalMsgs, status)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_dmem.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_dmem.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_dmem.json")
 }

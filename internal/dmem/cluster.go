@@ -1,0 +1,108 @@
+package dmem
+
+import (
+	"fmt"
+
+	"afmm/internal/stokes"
+	"afmm/internal/telemetry"
+)
+
+// StokesCluster executes a Stokes solver's partitioned tree on the
+// distributed runtime: the kernel-agnostic LET/ghost exchange and graph
+// machinery are shared with the gravity path; only the per-cell engine
+// differs (four harmonic passes, force charges, velocity combine). The
+// numerics are bit-identical to stokes.Solver.Solve.
+type StokesCluster struct {
+	sv    *stokes.Solver
+	rt    *Runtime
+	cuts  []int32
+	alive []bool
+}
+
+// NewStokesCluster wraps an existing Stokes solver in an n-node
+// distributed execution with an equal-count initial partition.
+func NewStokesCluster(sv *stokes.Solver, nodes int, net NetworkSpec) (*StokesCluster, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("dmem: no nodes configured")
+	}
+	if sv.Cfg.NearFloat32 || sv.Cfg.GatherSources {
+		return nil, fmt.Errorf("dmem: Execute requires the plain float64 near-field path (disable NearFloat32 and GatherSources)")
+	}
+	if net.Bandwidth == 0 {
+		net = DefaultNetwork()
+	}
+	eng := make([]nodeEngine, nodes)
+	for k := range eng {
+		eng[k] = newStokesEngine(sv)
+	}
+	c := &StokesCluster{
+		sv: sv,
+		rt: &Runtime{
+			tree: sv.Tree, sys: sv.Sys, eng: eng, net: net,
+			rec:     sv.Cfg.Rec,
+			skipFar: sv.Cfg.SkipFarField,
+		},
+		alive: make([]bool, nodes),
+	}
+	for k := range c.alive {
+		c.alive[k] = true
+	}
+	return c, nil
+}
+
+// SetRecorder routes the cluster's node/comm spans to rec.
+func (c *StokesCluster) SetRecorder(rec *telemetry.Recorder) {
+	c.sv.SetRecorder(rec)
+	c.rt.rec = rec
+}
+
+// Fail marks a node fail-stopped; its range moves to the survivors on
+// the next Solve. The last alive node cannot be failed.
+func (c *StokesCluster) Fail(node int) {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	if node >= 0 && node < len(c.alive) && n > 1 {
+		c.alive[node] = false
+	}
+}
+
+// Solve executes one distributed Stokes step; on return Sys.Acc holds
+// the velocities, bit-identical to the single-node solver.
+func (c *StokesCluster) Solve() *ExecStats {
+	t := c.sv.Tree
+	t.BuildLists()
+	// Equal-count leaf-aligned cuts over the alive nodes, recomputed per
+	// step so failed nodes drop out.
+	leaves := t.VisibleLeaves()
+	leafEnds := make([]int32, len(leaves))
+	costs := make([]float64, len(leaves))
+	for i, li := range leaves {
+		leafEnds[i] = t.Nodes[li].End
+		costs[i] = float64(t.Nodes[li].Count())
+	}
+	shares := make([]float64, len(c.alive))
+	for k, a := range c.alive {
+		if a {
+			shares[k] = 1
+		}
+	}
+	c.cuts = computeCuts(leafEnds, costs, shares, len(c.alive))
+	c.cuts[len(c.alive)] = int32(c.sv.Sys.Len())
+	ownerOf := func(i int32) int32 {
+		lo, hi := 0, len(c.cuts)-1
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if c.cuts[mid] <= i {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	return c.rt.Step(ownerOf, c.alive)
+}

@@ -25,13 +25,14 @@ package dmem
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"afmm/internal/core"
 	"afmm/internal/costmodel"
+	"afmm/internal/fault"
 	"afmm/internal/octree"
 	"afmm/internal/particle"
 	"afmm/internal/sphharm"
+	"afmm/internal/telemetry"
 	"afmm/internal/vcpu"
 	"afmm/internal/vgpu"
 )
@@ -69,6 +70,22 @@ type Config struct {
 	Nodes []NodeSpec
 	// Net is the interconnect model.
 	Net NetworkSpec
+	// Execute runs the partitioned tree for real: one goroutine per node,
+	// each executing its locally essential tree through its own task
+	// graph, with multipole/local/ghost exchange over channels (see
+	// Runtime). Off, Solve prices the decomposition against the
+	// single-node solve as before. Execute requires the plain float64
+	// near-field path (Core.NearFloat32 and Core.GatherSources off).
+	Execute bool
+	// NodeFaults injects node-level fail-stop events into RunWith
+	// (parse specs like "node2:failstop@step12" with
+	// fault.ParseNodeEvents). A lost node's range is repartitioned over
+	// the survivors and the capacity epoch advances.
+	NodeFaults []fault.NodeEvent
+	// DetectTimeout is the modeled failure-detection delay charged to the
+	// step where a node loss is absorbed, seconds; 0 selects 100x
+	// Net.Latency.
+	DetectTimeout float64
 }
 
 // HomogeneousNodes returns n identical node specs.
@@ -86,6 +103,10 @@ type NodeTimes struct {
 	CPUTime  float64
 	GPUTime  float64
 	CommTime float64
+	// Hidden is the part of CommTime overlapped with local-source near
+	// field work (min(CommTime, local near time) — the halo-hiding
+	// schedule executes local P2P rows while remote data is in flight).
+	Hidden   float64
 	BytesIn  int64
 	Messages int64   // aggregated peer messages received
 	Bodies   int     // bodies owned
@@ -95,13 +116,25 @@ type NodeTimes struct {
 // StepReport summarizes a distributed step.
 type StepReport struct {
 	PerNode []NodeTimes
-	// StepTime is the slowest node's comm + compute (bulk-synchronous).
+	// StepTime is the slowest alive node's compute + unhidden comm.
 	StepTime float64
-	// Imbalance is max node compute over mean node compute.
+	// Imbalance is max node compute over mean node compute (alive nodes).
 	Imbalance float64
 	// TotalBytes moved across the interconnect.
 	TotalBytes int64
-	// Single is the underlying single-node timing for reference.
+	// TotalMsgs is the aggregated peer-to-peer message count.
+	TotalMsgs int64
+	// AliveNodes is the number of nodes that participated.
+	AliveNodes int
+	// Executed reports whether the step ran the distributed runtime (the
+	// accumulators were produced by the per-node goroutines) rather than
+	// pricing the single-node solve.
+	Executed bool
+	// CapacityEpoch advances whenever the cluster topology changes (node
+	// loss); per-node capacity estimates re-derive from 1 afterwards.
+	CapacityEpoch int64
+	// Single is the underlying single-node timing for reference (zero in
+	// Execute mode, where no single-node solve runs).
 	Single core.StepTimes
 }
 
@@ -116,6 +149,17 @@ type Solver struct {
 	// Rebalance.
 	lastLeafCost []float64
 	lastLeaves   []int32
+
+	// alive[k] is false once node k fail-stopped; caps[k] is node k's
+	// capacity estimate (EWMA of observed throughput, mean-1 normalized
+	// over alive nodes), reset to 1 whenever capEpoch advances.
+	alive    []bool
+	caps     []float64
+	capEpoch int64
+
+	// rt executes the partitioned tree when Cfg.Execute is set.
+	rt  *Runtime
+	met *dmemMetrics
 }
 
 // NewSolver builds the distributed solver. The body partition starts as an
@@ -124,14 +168,60 @@ func NewSolver(sys *particle.System, cfg Config) (*Solver, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("dmem: no nodes configured")
 	}
+	if cfg.Execute && (cfg.Core.NearFloat32 || cfg.Core.GatherSources) {
+		return nil, fmt.Errorf("dmem: Execute requires the plain float64 near-field path (disable NearFloat32 and GatherSources)")
+	}
+	for _, ev := range cfg.NodeFaults {
+		if ev.Node < 0 || ev.Node >= len(cfg.Nodes) {
+			return nil, fmt.Errorf("dmem: fault for unknown node %d", ev.Node)
+		}
+	}
 	inner := core.NewSolver(sys, cfg.Core)
 	if cfg.Net.Bandwidth == 0 {
 		cfg.Net = DefaultNetwork()
 	}
+	p := len(cfg.Nodes)
 	s := &Solver{Cfg: cfg, Inner: inner}
+	s.alive = make([]bool, p)
+	s.caps = make([]float64, p)
+	for k := 0; k < p; k++ {
+		s.alive[k] = true
+		s.caps[k] = 1
+	}
 	s.equalCountCuts()
+	if cfg.Execute {
+		eng := make([]nodeEngine, p)
+		for k := range eng {
+			eng[k] = newGravityEngine(inner)
+		}
+		s.rt = &Runtime{
+			tree: inner.Tree, sys: inner.Sys, eng: eng, net: s.Cfg.Net,
+			rec:     inner.Cfg.Rec,
+			skipFar: inner.Cfg.SkipFarField, skipNear: inner.Cfg.SkipNearField,
+		}
+	}
 	return s, nil
 }
+
+// SetRecorder attaches a telemetry recorder: per-node execution and comm
+// spans land on the dmem track, and the dmem live series register when
+// the recorder carries an enabled metrics registry.
+func (s *Solver) SetRecorder(rec *telemetry.Recorder) {
+	s.Inner.SetRecorder(rec)
+	if s.rt != nil {
+		s.rt.rec = rec
+	}
+	if reg := rec.Metrics(); reg.Enabled() {
+		s.met = newDmemMetrics(reg, len(s.Cfg.Nodes))
+	}
+}
+
+// Alive reports which nodes are still participating.
+func (s *Solver) Alive() []bool { return append([]bool(nil), s.alive...) }
+
+// CapacityEpoch returns the current topology epoch (advances on node
+// loss).
+func (s *Solver) CapacityEpoch() int64 { return s.capEpoch }
 
 // NumNodes returns the cluster size.
 func (s *Solver) NumNodes() int { return len(s.Cfg.Nodes) }
@@ -163,16 +253,72 @@ func (s *Solver) owner(i int32) int {
 	return lo
 }
 
-// Solve runs one distributed step: the numerics via the inner solver, then
-// ownership attribution, per-node machine timing, and communication
-// accounting.
+// Solve runs one distributed step. With Execute off, the numerics run
+// via the inner (single-node) solver and the decomposition is priced
+// after the fact. With Execute on, the per-node goroutines produce the
+// accumulators themselves — the inner solver's numerics never run — and
+// the measured exchange volumes replace the modeled ones.
 func (s *Solver) Solve() StepReport {
-	single := s.Inner.Solve()
-	return s.attribute(single)
+	var rep StepReport
+	if s.rt != nil {
+		es := s.executeStep()
+		rep = s.attributeWith(core.StepTimes{}, es)
+		rep.Executed = true
+	} else {
+		single := s.Inner.Solve()
+		rep = s.attributeWith(single, nil)
+	}
+	rep.AliveNodes = s.aliveCount()
+	rep.CapacityEpoch = s.capEpoch
+	s.met.observe(&rep, s.alive)
+	return rep
+}
+
+func (s *Solver) aliveCount() int {
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// executeStep aligns the cuts to leaf boundaries and runs the
+// distributed runtime over the current tree.
+func (s *Solver) executeStep() *ExecStats {
+	s.alignCuts()
+	return s.rt.Step(func(i int32) int32 { return int32(s.owner(i)) }, s.alive)
+}
+
+// alignCuts snaps every interior ownership cut to the nearest visible
+// leaf End (monotonicity enforced), so a range owner always owns whole
+// leaves — the invariant the exchange plan and the near-field row
+// attribution rely on.
+func (s *Solver) alignCuts() {
+	t := s.Inner.Tree
+	p := len(s.Cfg.Nodes)
+	s.cuts[0] = 0
+	for k := 1; k < p; k++ {
+		c := t.SnapToLeafEnd(s.cuts[k])
+		if c < s.cuts[k-1] {
+			c = s.cuts[k-1]
+		}
+		s.cuts[k] = c
+	}
+	s.cuts[p] = int32(s.Inner.Sys.Len())
 }
 
 // attribute computes the per-node report for the current tree/lists.
+// (Kept as a thin wrapper: tests drive it directly.)
 func (s *Solver) attribute(single core.StepTimes) StepReport {
+	return s.attributeWith(single, nil)
+}
+
+// attributeWith computes the per-node report. es, when non-nil, carries
+// the executed step's measured exchange volumes, which replace the
+// modeled transfer accounting.
+func (s *Solver) attributeWith(single core.StepTimes, es *ExecStats) StepReport {
 	t := s.Inner.Tree
 	p := len(s.Cfg.Nodes)
 	rep := StepReport{PerNode: make([]NodeTimes, p), Single: single}
@@ -300,13 +446,38 @@ func (s *Solver) attribute(single core.StepTimes) StepReport {
 	var totalOps float64
 	var maxEnd float64
 	var sumCompute float64
+	nAlive := 0
+	throughput := make([]float64, p)
 	s.lastLeaves = s.lastLeaves[:0]
 	s.lastLeafCost = s.lastLeafCost[:0]
 	for k := 0; k < p; k++ {
+		if s.alive != nil && !s.alive[k] {
+			continue
+		}
+		nAlive++
 		spec := s.Cfg.Nodes[k].CPU.Normalized()
 		res := spec.Simulate(graphs[k])
 		nt := &rep.PerNode[k]
 		nt.CPUTime = res.Makespan
+		// Split the node's near-field interactions by source ownership.
+		// Ghost sends are roots of the executed step graph — they are on
+		// the wire before any compute — so while halos are in flight the
+		// node works through interactions whose sources it already owns.
+		// That locally-sourced volume is the halo-hiding budget; the
+		// remotely-sourced remainder gates on arrival.
+		var localInts, remoteInts int64
+		for _, li := range leafSets[k] {
+			cnt := int64(t.Nodes[li].Count())
+			for _, ui := range t.Nodes[li].U {
+				ints := cnt * int64(t.Nodes[ui].Count())
+				if cellOwner[ui] != k {
+					remoteInts += ints
+				} else {
+					localInts += ints
+				}
+			}
+		}
+		var nearLocal float64
 		if s.Cfg.Nodes[k].GPUs > 0 {
 			gs := s.Cfg.Nodes[k].GPUSpec
 			if gs.SMs == 0 {
@@ -315,31 +486,39 @@ func (s *Solver) attribute(single core.StepTimes) StepReport {
 			cl := vgpu.NewCluster(s.Cfg.Nodes[k].GPUs, gs)
 			assignLeaves(cl, leafSets[k])
 			nt.GPUTime = cl.Execute(t, nil)
+			if tot := localInts + remoteInts; tot > 0 {
+				nearLocal = nt.GPUTime * float64(localInts) / float64(tot)
+			}
 		} else {
 			// CPU-only node: near field joins the CPU side; approximate
 			// by serializing it over the cores after the far field.
-			var ints int64
-			for _, li := range leafSets[k] {
-				var srcs int64
-				for _, ui := range t.Nodes[li].U {
-					srcs += int64(t.Nodes[ui].Count())
-				}
-				ints += int64(t.Nodes[li].Count()) * srcs
-			}
 			k2 := math.Max(1, float64(spec.Cores))
-			nt.CPUTime += float64(ints) * spec.Base[costmodel.P2P] / k2
+			nt.CPUTime += float64(localInts+remoteInts) * spec.Base[costmodel.P2P] / k2
+			nearLocal = float64(localInts) * spec.Base[costmodel.P2P] / k2
 		}
 		nt.Compute = math.Max(nt.CPUTime, nt.GPUTime)
-		nt.CommTime = float64(len(incoming[k].peers))*s.Cfg.Net.Latency +
-			float64(incoming[k].bytes)/s.Cfg.Net.Bandwidth
-		nt.BytesIn = incoming[k].bytes
-		nt.Messages = int64(len(incoming[k].peers))
+		if es != nil {
+			nt.BytesIn = es.PerNode[k].BytesIn
+			nt.Messages = es.PerNode[k].MsgsIn
+		} else {
+			nt.BytesIn = incoming[k].bytes
+			nt.Messages = int64(len(incoming[k].peers))
+		}
+		nt.CommTime = float64(nt.Messages)*s.Cfg.Net.Latency +
+			float64(nt.BytesIn)/s.Cfg.Net.Bandwidth
+		// Halo hiding: comm overlaps the local-source near rows, so only
+		// the excess serializes into the node's step.
+		nt.Hidden = math.Min(nt.CommTime, nearLocal)
 		nt.Bodies = int(s.cuts[k+1] - s.cuts[k])
 		nt.OpShare = res.TotalBusy
 		totalOps += res.TotalBusy
-		rep.TotalBytes += incoming[k].bytes
+		if nt.Compute > 0 {
+			throughput[k] = res.TotalBusy / nt.Compute
+		}
+		rep.TotalBytes += nt.BytesIn
+		rep.TotalMsgs += nt.Messages
 		sumCompute += nt.Compute
-		if end := nt.Compute + nt.CommTime; end > maxEnd {
+		if end := nt.Compute + nt.CommTime - nt.Hidden; end > maxEnd {
 			maxEnd = end
 		}
 	}
@@ -349,7 +528,7 @@ func (s *Solver) attribute(single core.StepTimes) StepReport {
 		}
 	}
 	rep.StepTime = maxEnd
-	mean := sumCompute / float64(p)
+	mean := sumCompute / math.Max(1, float64(nAlive))
 	if mean > 0 {
 		var maxC float64
 		for _, nt := range rep.PerNode {
@@ -357,6 +536,7 @@ func (s *Solver) attribute(single core.StepTimes) StepReport {
 		}
 		rep.Imbalance = maxC / mean
 	}
+	s.updateCaps(throughput)
 
 	// Record per-leaf cost estimates for Rebalance.
 	model := s.Inner.Model
@@ -400,18 +580,42 @@ func assignLeaves(cl *vgpu.Cluster, leaves []int32) {
 	}
 }
 
-// Rebalance moves the ownership cuts so each node receives an equal share
-// of the measured per-leaf cost (the inter-node analogue of the paper's
-// intra-node balancing). It returns the predicted improvement ratio
-// (old max-node-cost / new max-node-cost, >= 1 when it helped) and
-// requires a prior Solve.
+// updateCaps folds the step's observed per-node throughput (virtual ops
+// per second of compute) into the capacity estimates: an EWMA normalized
+// to mean 1 over the alive nodes. The estimates weight the shares in the
+// next repartition, so a slow node's range shrinks even when the leaf
+// cost model is perfect. Nodes with no observed work keep their prior.
+func (s *Solver) updateCaps(throughput []float64) {
+	var sum float64
+	n := 0
+	for k, th := range throughput {
+		if th > 0 && s.alive[k] {
+			sum += th
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	mean := sum / float64(n)
+	for k, th := range throughput {
+		if th > 0 && s.alive[k] {
+			s.caps[k] = 0.5*s.caps[k] + 0.5*th/mean
+		}
+	}
+}
+
+// Rebalance moves the ownership cuts so each node receives a share of
+// the measured per-leaf cost proportional to its capacity estimate (the
+// inter-node analogue of the paper's intra-node balancing). It returns
+// the predicted improvement ratio (old max-node-cost / new max-node-
+// cost, >= 1 when it helped) and requires a prior Solve.
 func (s *Solver) Rebalance() float64 {
 	if len(s.lastLeaves) == 0 {
 		return 1
 	}
 	t := s.Inner.Tree
 	p := len(s.Cfg.Nodes)
-	// Leaves are already in DFS (storage) order; compute cost prefix.
 	total := 0.0
 	for _, c := range s.lastLeafCost {
 		total += c
@@ -419,23 +623,18 @@ func (s *Solver) Rebalance() float64 {
 	if total == 0 {
 		return 1
 	}
-	target := total / float64(p)
-	newCuts := make([]int32, 0, p+1)
-	newCuts = append(newCuts, 0)
-	acc := 0.0
+	leafEnds := make([]int32, len(s.lastLeaves))
 	for i, li := range s.lastLeaves {
-		if len(newCuts) >= p {
-			break
-		}
-		acc += s.lastLeafCost[i]
-		if acc >= target*float64(len(newCuts)) {
-			newCuts = append(newCuts, t.Nodes[li].End)
+		leafEnds[i] = t.Nodes[li].End
+	}
+	shares := make([]float64, p)
+	for k := range shares {
+		if s.alive[k] {
+			shares[k] = s.caps[k]
 		}
 	}
-	for len(newCuts) <= p {
-		newCuts = append(newCuts, int32(s.Inner.Sys.Len()))
-	}
-	sort.Slice(newCuts, func(i, j int) bool { return newCuts[i] < newCuts[j] })
+	newCuts := computeCuts(leafEnds, s.lastLeafCost, shares, p)
+	newCuts[p] = int32(s.Inner.Sys.Len())
 
 	maxCost := func(cuts []int32) float64 {
 		var worst float64
@@ -466,6 +665,17 @@ type RunResult struct {
 	TotalTime  float64
 	TotalBytes int64
 	Rebalances int
+	// NodeLosses counts fail-stop events absorbed; RecoveryTime is the
+	// modeled detection + repartition-broadcast time charged for them.
+	NodeLosses   int
+	RecoveryTime float64
+}
+
+// RunConfig parameterizes RunWith.
+type RunConfig struct {
+	Steps  int
+	Dt     float64
+	Policy RebalancePolicy
 }
 
 // Run advances a gravitational simulation for steps time steps on the
@@ -473,23 +683,110 @@ type RunResult struct {
 // rebalances the node partition whenever the compute imbalance exceeds
 // rebalanceAt (e.g. 1.15); rebalanceAt <= 0 disables rebalancing.
 func (s *Solver) Run(steps int, dt, rebalanceAt float64) RunResult {
+	return s.RunWith(RunConfig{
+		Steps: steps, Dt: dt,
+		Policy: RebalancePolicy{Threshold: rebalanceAt},
+	})
+}
+
+// RunWith advances the simulation under an explicit repartition policy,
+// absorbing any configured node faults at step boundaries: the dead
+// node's range is redistributed over the survivors, the capacity epoch
+// advances (capacity estimates re-derive from 1), and the step is
+// charged the modeled detection timeout plus a repartition broadcast.
+func (s *Solver) RunWith(rc RunConfig) RunResult {
 	var res RunResult
-	for step := 0; step < steps; step++ {
+	pol := rc.Policy
+	lastRepart := -pol.Cooldown - 1
+	for step := 0; step < rc.Steps; step++ {
+		recovery := s.applyNodeFaults(step, &res)
 		rep := s.Solve()
-		// Kick-drift using the inner solver's accelerations.
+		rep.StepTime += recovery
+		// Kick-drift using the solved accelerations.
 		sys := s.Inner.Sys
 		for i := range sys.Pos {
-			sys.Vel[i] = sys.Vel[i].Add(sys.Acc[i].Scale(dt))
-			sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(dt))
+			sys.Vel[i] = sys.Vel[i].Add(sys.Acc[i].Scale(rc.Dt))
+			sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(rc.Dt))
 		}
 		s.Inner.Refill()
-		if rebalanceAt > 0 && rep.Imbalance > rebalanceAt {
-			s.Rebalance()
-			res.Rebalances++
+		if pol.Threshold > 0 && rep.Imbalance > pol.Threshold &&
+			step-lastRepart > pol.Cooldown {
+			oldCuts := append([]int32(nil), s.cuts...)
+			gain := s.Rebalance()
+			if pol.MinGain > 1 && gain < pol.MinGain {
+				s.cuts = oldCuts // hysteresis: predicted gain too small
+			} else {
+				res.Rebalances++
+				lastRepart = step
+				if s.met != nil {
+					s.met.reparts.Inc()
+				}
+			}
 		}
 		res.Steps = append(res.Steps, rep)
 		res.TotalTime += rep.StepTime
 		res.TotalBytes += rep.TotalBytes
 	}
 	return res
+}
+
+// applyNodeFaults fail-stops every node whose event armed at this step:
+// the node leaves the alive set, its range is repartitioned over the
+// survivors (using the last observed leaf costs when available), and the
+// capacity epoch advances so per-node capacity estimates re-derive.
+// Returns the modeled recovery time to charge to this step.
+func (s *Solver) applyNodeFaults(step int, res *RunResult) float64 {
+	var recovery float64
+	for _, ev := range s.Cfg.NodeFaults {
+		if ev.Step != step || !s.alive[ev.Node] {
+			continue
+		}
+		if s.aliveCount() <= 1 {
+			continue // never kill the last node
+		}
+		s.alive[ev.Node] = false
+		s.capEpoch++
+		for k := range s.caps {
+			s.caps[k] = 1
+		}
+		s.repartitionSurvivors()
+		detect := s.Cfg.DetectTimeout
+		if detect <= 0 {
+			detect = 100 * s.Cfg.Net.Latency
+		}
+		recovery += detect + float64(len(s.Cfg.Nodes))*s.Cfg.Net.Latency
+		res.NodeLosses++
+		res.RecoveryTime += recovery
+		if s.met != nil {
+			s.met.losses.Inc()
+		}
+	}
+	return recovery
+}
+
+// repartitionSurvivors rebuilds the cuts over the alive nodes, weighting
+// by the last observed per-leaf costs when they match the current leaf
+// set and by leaf body counts otherwise.
+func (s *Solver) repartitionSurvivors() {
+	t := s.Inner.Tree
+	p := len(s.Cfg.Nodes)
+	leaves := t.VisibleLeaves()
+	leafEnds := make([]int32, len(leaves))
+	costs := make([]float64, len(leaves))
+	for i, li := range leaves {
+		leafEnds[i] = t.Nodes[li].End
+		if len(s.lastLeafCost) == len(leaves) {
+			costs[i] = s.lastLeafCost[i]
+		} else {
+			costs[i] = float64(t.Nodes[li].Count())
+		}
+	}
+	shares := make([]float64, p)
+	for k := range shares {
+		if s.alive[k] {
+			shares[k] = s.caps[k]
+		}
+	}
+	s.cuts = computeCuts(leafEnds, costs, shares, p)
+	s.cuts[p] = int32(s.Inner.Sys.Len())
 }

@@ -1,0 +1,84 @@
+package dmem
+
+import (
+	"fmt"
+
+	"afmm/internal/metrics"
+)
+
+// Live series for the distributed runtime, registered when a recorder
+// with an enabled registry is attached (SetRecorder). Per-node busy and
+// comm distributions are labeled by node id; the totals and gauges are
+// cluster-wide.
+type dmemMetrics struct {
+	nodes      metrics.Gauge
+	imbalance  metrics.Gauge
+	hiddenFrac metrics.Gauge
+	reparts    metrics.Counter
+	losses     metrics.Counter
+	bytes      metrics.Counter
+	msgs       metrics.Counter
+	busy       []metrics.Histogram
+	comm       []metrics.Histogram
+}
+
+func newDmemMetrics(reg *metrics.Registry, p int) *dmemMetrics {
+	m := &dmemMetrics{
+		nodes: reg.Gauge("afmm_dmem_nodes",
+			"Alive virtual cluster nodes."),
+		imbalance: reg.Gauge("afmm_dmem_imbalance",
+			"Max/mean per-node compute time over alive nodes."),
+		hiddenFrac: reg.Gauge("afmm_dmem_hidden_comm_frac",
+			"Fraction of communication time hidden under local near-field work."),
+		reparts: reg.Counter("afmm_dmem_repartitions_total",
+			"Cost-driven ownership repartitions applied."),
+		losses: reg.Counter("afmm_dmem_node_losses_total",
+			"Virtual node fail-stop losses absorbed."),
+		bytes: reg.Counter("afmm_dmem_bytes_on_wire_total",
+			"Modeled bytes moved across the interconnect."),
+		msgs: reg.Counter("afmm_dmem_messages_total",
+			"Aggregated peer-to-peer messages delivered."),
+	}
+	buckets := metrics.DefBuckets()
+	m.busy = make([]metrics.Histogram, p)
+	m.comm = make([]metrics.Histogram, p)
+	for k := 0; k < p; k++ {
+		node := fmt.Sprint(k)
+		m.busy[k] = reg.Histogram("afmm_dmem_node_busy_seconds",
+			"Per-node modeled compute time per step.", buckets, "node", node)
+		m.comm[k] = reg.Histogram("afmm_dmem_node_comm_seconds",
+			"Per-node modeled communication time per step.", buckets, "node", node)
+	}
+	return m
+}
+
+// observe records one step's report into the live series.
+func (m *dmemMetrics) observe(rep *StepReport, alive []bool) {
+	if m == nil {
+		return
+	}
+	n := 0
+	for _, a := range alive {
+		if a {
+			n++
+		}
+	}
+	m.nodes.Set(float64(n))
+	m.imbalance.Set(rep.Imbalance)
+	var comm, hidden float64
+	for k := range rep.PerNode {
+		if !alive[k] {
+			continue
+		}
+		nt := &rep.PerNode[k]
+		m.busy[k].Observe(nt.Compute)
+		m.comm[k].Observe(nt.CommTime)
+		comm += nt.CommTime
+		hidden += nt.Hidden
+	}
+	if comm > 0 {
+		m.hiddenFrac.Set(hidden / comm)
+	}
+	m.bytes.Add(rep.TotalBytes)
+	m.msgs.Add(rep.TotalMsgs)
+}

@@ -1,0 +1,32 @@
+package dmem
+
+import (
+	"strings"
+	"testing"
+
+	"afmm/internal/distrib"
+	"afmm/internal/metrics"
+	"afmm/internal/telemetry"
+)
+
+func TestMetricsPublished(t *testing.T) {
+	sys := distrib.Plummer(800, 1, 1, 5)
+	d, err := NewSolver(sys, execClusterConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	rec := telemetry.New(telemetry.Options{Metrics: reg})
+	d.SetRecorder(rec)
+	d.RunWith(RunConfig{Steps: 2, Dt: 1e-4})
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"afmm_dmem_nodes 3", "afmm_dmem_bytes_on_wire_total", "afmm_dmem_node_busy_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition", want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package dmem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomLeafLayout(r *rand.Rand, leaves int) (leafEnds []int32, costs []float64) {
+	end := int32(0)
+	for i := 0; i < leaves; i++ {
+		end += int32(1 + r.Intn(40))
+		leafEnds = append(leafEnds, end)
+		costs = append(costs, r.Float64()*10)
+	}
+	return
+}
+
+// TestComputeCutsCoverAndAlign: for random leaf layouts, the cuts are
+// monotone, leaf-aligned, and cover every body exactly once.
+func TestComputeCutsCoverAndAlign(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		leaves := 1 + r.Intn(60)
+		n := 1 + r.Intn(8)
+		leafEnds, costs := randomLeafLayout(r, leaves)
+		cuts := computeCuts(leafEnds, costs, nil, n)
+
+		if len(cuts) != n+1 {
+			t.Fatalf("len(cuts) = %d, want %d", len(cuts), n+1)
+		}
+		if cuts[0] != 0 || cuts[n] != leafEnds[leaves-1] {
+			t.Fatalf("cuts endpoints %d..%d, want 0..%d", cuts[0], cuts[n], leafEnds[leaves-1])
+		}
+		admissible := map[int32]bool{0: true}
+		for _, e := range leafEnds {
+			admissible[e] = true
+		}
+		for k := 0; k < n; k++ {
+			if cuts[k+1] < cuts[k] {
+				t.Fatalf("cuts not monotone: %v", cuts)
+			}
+			if !admissible[cuts[k]] {
+				t.Fatalf("cut %d not leaf-aligned (leafEnds %v)", cuts[k], leafEnds)
+			}
+		}
+	}
+}
+
+// TestComputeCutsDeterministicAndConvergent: the split is a pure
+// function of its inputs, so on a static workload a second application
+// returns identical cuts — the repartitioner cannot thrash.
+func TestComputeCutsDeterministicAndConvergent(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		leafEnds, costs := randomLeafLayout(r, 1+r.Intn(50))
+		n := 1 + r.Intn(6)
+		a := computeCuts(leafEnds, costs, nil, n)
+		b := computeCuts(leafEnds, costs, nil, n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("non-deterministic cuts: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestComputeCutsSkewedImprovement: on a heavily skewed cost profile the
+// cost-weighted cuts beat an equal-count split on max per-range cost.
+func TestComputeCutsSkewedImprovement(t *testing.T) {
+	var leafEnds []int32
+	var costs []float64
+	end := int32(0)
+	for i := 0; i < 64; i++ {
+		end += 10
+		leafEnds = append(leafEnds, end)
+		if i < 8 {
+			costs = append(costs, 100) // hot clustered region
+		} else {
+			costs = append(costs, 1)
+		}
+	}
+	const n = 4
+	weighted := computeCuts(leafEnds, costs, nil, n)
+	equal := []int32{0, 160, 320, 480, 640}
+
+	maxCost := func(cuts []int32) float64 {
+		var worst float64
+		for k := 0; k < n; k++ {
+			var sum float64
+			start := int32(0)
+			for i, e := range leafEnds {
+				if start >= cuts[k] && start < cuts[k+1] {
+					sum += costs[i]
+				}
+				start = e
+			}
+			if sum > worst {
+				worst = sum
+			}
+		}
+		return worst
+	}
+	mw, me := maxCost(weighted), maxCost(equal)
+	if mw >= me {
+		t.Fatalf("weighted max cost %v not better than equal-count %v", mw, me)
+	}
+	if me/mw < 1.5 {
+		t.Fatalf("expected a clear margin on skewed costs, got %v", me/mw)
+	}
+}
+
+// TestComputeCutsZeroShare: a dead node's range collapses to empty and
+// the survivors absorb it.
+func TestComputeCutsZeroShare(t *testing.T) {
+	leafEnds := []int32{10, 20, 30, 40}
+	costs := []float64{1, 1, 1, 1}
+	cuts := computeCuts(leafEnds, costs, []float64{1, 0, 1}, 3)
+	if cuts[1] != cuts[2] {
+		t.Fatalf("dead node's range not empty: %v", cuts)
+	}
+	if cuts[0] != 0 || cuts[3] != 40 {
+		t.Fatalf("bad endpoints: %v", cuts)
+	}
+}

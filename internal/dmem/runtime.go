@@ -1,0 +1,368 @@
+package dmem
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"afmm/internal/octree"
+	"afmm/internal/particle"
+	"afmm/internal/sched"
+	"afmm/internal/telemetry"
+)
+
+// Runtime executes the partitioned tree: one goroutine per virtual
+// cluster node, each running its locally essential tree through its own
+// sched.Graph. Cross-node data (multipoles, locals, ghost bodies) moves
+// over buffered channels; each incoming message is a milestone node in
+// the receiver's graph, so work that depends on remote data — remote-
+// source P2P rows, V-list translations with remote sources — waits on
+// exactly the arrival it needs while everything local proceeds. That is
+// the halo-hiding schedule: the near field's local rows execute under
+// the communication wait instead of after it.
+//
+// Deadlock freedom: each node's pool has (milestones + 2) worker slots
+// and every graph node runs as ClassGeneral, so at most all milestones
+// can block in channel receives while two slots always remain to drain
+// compute; sends never block (one send per buffered-1 channel); and the
+// cross-node message graph is acyclic by level (see plan.go). Progress
+// then follows by induction over the global dependency DAG.
+type Runtime struct {
+	tree *octree.Tree
+	sys  *particle.System
+	eng  []nodeEngine
+	net  NetworkSpec
+	rec  *telemetry.Recorder
+
+	skipFar  bool
+	skipNear bool
+}
+
+// NodeComm is one node's measured communication activity in a step.
+type NodeComm struct {
+	// BytesIn counts modeled payload bytes received (expansion
+	// coefficients at 16 bytes/complex, ghost bodies at
+	// NetworkSpec.BytesPerBody).
+	BytesIn int64
+	// MsgsIn counts aggregated messages received (one per sender/kind/
+	// level flow).
+	MsgsIn int64
+	// WaitNs is wall time the node's milestones spent blocked in channel
+	// receives — comm wait that overlapped local work, not serialized
+	// after it.
+	WaitNs int64
+}
+
+// ExecStats aggregates one executed distributed step.
+type ExecStats struct {
+	PerNode    []NodeComm
+	TotalBytes int64
+	TotalMsgs  int64
+}
+
+// nodeCommAtomic is NodeComm with atomic fields (milestones run on
+// multiple drainer goroutines within one node's pool).
+type nodeCommAtomic struct {
+	bytesIn atomic.Int64
+	msgsIn  atomic.Int64
+	waitNs  atomic.Int64
+}
+
+// Step executes one distributed solve over the current tree: builds the
+// exchange plan for the given ownership, zeroes the accumulators, and
+// runs every alive node's graph to completion. On return the shared
+// particle accumulators hold the full (near + far) result, bit-identical
+// to the single-node solver. Dead nodes (alive[k] == false) must own no
+// bodies under cuts — callers repartition before calling Step.
+func (rt *Runtime) Step(ownerOf func(int32) int32, alive []bool) *ExecStats {
+	t := rt.tree
+	t.BuildLists()
+	sch := t.NearField()
+	rt.sys.ResetAccumulators()
+
+	p := len(rt.eng)
+	pl := buildPlan(t, sch, ownerOf, p)
+	for k := 0; k < p; k++ {
+		if alive[k] {
+			rt.eng[k].prepare(pl.owner, k)
+		}
+	}
+
+	comm := make([]nodeCommAtomic, p)
+	var wg sync.WaitGroup
+	for k := 0; k < p; k++ {
+		if !alive[k] {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rt.runNode(k, pl, sch, &comm[k])
+		}(k)
+	}
+	wg.Wait()
+
+	es := &ExecStats{PerNode: make([]NodeComm, p)}
+	for k := 0; k < p; k++ {
+		nc := &es.PerNode[k]
+		nc.BytesIn = comm[k].bytesIn.Load()
+		nc.MsgsIn = comm[k].msgsIn.Load()
+		nc.WaitNs = comm[k].waitNs.Load()
+		es.TotalBytes += nc.BytesIn
+		es.TotalMsgs += nc.MsgsIn
+	}
+	return es
+}
+
+// runNode builds and runs node k's step graph.
+func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc *nodeCommAtomic) {
+	start := time.Now()
+	t := rt.tree
+	e := rt.eng[k]
+	expLen := e.expLen()
+
+	// Count incoming milestones to size the node's private pool.
+	ms := 0
+	if !rt.skipFar {
+		for fk := range pl.mpoleNeed {
+			if fk.to == k {
+				ms++
+			}
+		}
+		for fk := range pl.localNeed {
+			if fk.to == k {
+				ms++
+			}
+		}
+	}
+	if !rt.skipNear {
+		for pk := range pl.ghostNeed {
+			if pk.to == k {
+				ms++
+			}
+		}
+	}
+	pool := sched.NewPool(ms + 2)
+	g := pool.NewGraph()
+
+	recvExp := func(ch chan []complex128, cells []int32, load func(int32, []complex128)) {
+		t0 := time.Now()
+		data := <-ch
+		nc.waitNs.Add(int64(time.Since(t0)))
+		for i, ci := range cells {
+			load(ci, data[i*expLen:(i+1)*expLen])
+		}
+		nc.bytesIn.Add(int64(len(data)) * 16)
+		nc.msgsIn.Add(1)
+	}
+
+	// Arrival milestones, one per incoming flow; cellMpoleMS/cellLocalMS
+	// resolve a remote cell to the milestone that delivers it (each cell
+	// has one owner, so it arrives in exactly one flow).
+	cellMpoleMS := map[int32]sched.NodeID{}
+	cellLocalMS := map[int32]sched.NodeID{}
+	ghostMS := map[int]sched.NodeID{}
+	if !rt.skipFar {
+		for fk, cells := range pl.mpoleNeed {
+			if fk.to != k {
+				continue
+			}
+			ch, cs := pl.mpoleCh[fk], cells
+			id := g.Node(sched.ClassGeneral, 0, int32(fk.from), func() {
+				recvExp(ch, cs, e.loadMpole)
+			})
+			for _, ci := range cs {
+				cellMpoleMS[ci] = id
+			}
+		}
+		for fk, cells := range pl.localNeed {
+			if fk.to != k {
+				continue
+			}
+			ch, cs := pl.localCh[fk], cells
+			id := g.Node(sched.ClassGeneral, 0, int32(fk.from), func() {
+				recvExp(ch, cs, e.loadLocal)
+			})
+			for _, ci := range cs {
+				cellLocalMS[ci] = id
+			}
+		}
+	}
+	if !rt.skipNear {
+		for pk, cells := range pl.ghostNeed {
+			if pk.to != k {
+				continue
+			}
+			ch, cs := pl.ghostCh[pk], cells
+			var bytes int64
+			for _, ci := range cs {
+				bytes += int64(t.Nodes[ci].Count()) * int64(rt.net.BytesPerBody)
+			}
+			ghostMS[pk.from] = g.Node(sched.ClassGeneral, 0, int32(pk.from), func() {
+				t0 := time.Now()
+				data := <-ch
+				nc.waitNs.Add(int64(time.Since(t0)))
+				for i, ci := range cs {
+					e.loadGhost(ci, data[i])
+				}
+				nc.bytesIn.Add(bytes)
+				nc.msgsIn.Add(1)
+			})
+		}
+	}
+
+	owned := pl.ownedCells[k]
+	upID := map[int32]sched.NodeID{}
+	downID := map[int32]sched.NodeID{}
+	if !rt.skipFar {
+		// Up tasks first (all created before edges: a parent precedes its
+		// children in the DFS order but its up task depends on theirs).
+		for _, ni := range owned {
+			ni := ni
+			upID[ni] = g.Node(sched.ClassGeneral, 1, ni, func() {
+				w := e.getWS()
+				e.upCell(w, ni)
+				e.putWS(w)
+			})
+		}
+		for _, ni := range owned {
+			n := &t.Nodes[ni]
+			if n.IsVisibleLeaf() {
+				continue
+			}
+			for _, ci := range n.Children {
+				if ci == octree.NilNode || t.Nodes[ci].Count() == 0 {
+					continue
+				}
+				if pl.owner[ci] == int32(k) {
+					g.Edge(upID[ci], upID[ni])
+				} else {
+					g.Edge(cellMpoleMS[ci], upID[ni])
+				}
+			}
+		}
+		// Multipole sends: one task per outgoing flow, after the cells'
+		// up tasks.
+		for fk, cells := range pl.mpoleNeed {
+			if fk.from != k {
+				continue
+			}
+			ch, cs := pl.mpoleCh[fk], cells
+			id := g.Node(sched.ClassGeneral, 2, int32(fk.to), func() {
+				buf := make([]complex128, len(cs)*expLen)
+				for i, ci := range cs {
+					e.packMpole(ci, buf[i*expLen:(i+1)*expLen])
+				}
+				ch <- buf
+			})
+			for _, ci := range cs {
+				g.Edge(upID[ci], id)
+			}
+		}
+		// Down tasks in DFS order: a cell's parent precedes it, so the
+		// parent edge can be added inline.
+		for _, ni := range owned {
+			ni := ni
+			n := &t.Nodes[ni]
+			downID[ni] = g.Node(sched.ClassGeneral, 3, ni, func() {
+				w := e.getWS()
+				e.downCell(w, ni)
+				e.putWS(w)
+			})
+			if pi := n.Parent; pi != octree.NilNode && t.Nodes[pi].Count() > 0 {
+				if pl.owner[pi] == int32(k) {
+					g.Edge(downID[pi], downID[ni])
+				} else {
+					g.Edge(cellLocalMS[pi], downID[ni])
+				}
+			}
+			for _, vi := range n.V {
+				if pl.owner[vi] == int32(k) {
+					g.Edge(upID[vi], downID[ni])
+				} else {
+					g.Edge(cellMpoleMS[vi], downID[ni])
+				}
+			}
+		}
+		// Local sends, after the parents' down tasks.
+		for fk, cells := range pl.localNeed {
+			if fk.from != k {
+				continue
+			}
+			ch, cs := pl.localCh[fk], cells
+			id := g.Node(sched.ClassGeneral, 4, int32(fk.to), func() {
+				buf := make([]complex128, len(cs)*expLen)
+				for i, ci := range cs {
+					e.packLocal(ci, buf[i*expLen:(i+1)*expLen])
+				}
+				ch <- buf
+			})
+			for _, ci := range cs {
+				g.Edge(downID[ci], id)
+			}
+		}
+	}
+
+	rowID := map[int32]sched.NodeID{}
+	if !rt.skipNear {
+		// Ghost sends are roots: body positions are step inputs.
+		for pk, cells := range pl.ghostNeed {
+			if pk.from != k {
+				continue
+			}
+			ch, cs := pl.ghostCh[pk], cells
+			g.Node(sched.ClassGeneral, 5, int32(pk.to), func() {
+				data := make([]ghostLeaf, len(cs))
+				for i, ci := range cs {
+					data[i] = e.packGhost(ci)
+				}
+				ch <- data
+			})
+		}
+		// Near rows: local-source rows are roots (they execute under the
+		// communication wait — the halo hiding); rows with remote sources
+		// depend on the ghost milestone of each sending peer.
+		for _, r := range pl.rows[k] {
+			r := r
+			id := g.Node(sched.ClassGeneral, 6, sch.Leaves[r], func() {
+				e.nearRow(sch, r)
+			})
+			rowID[sch.Leaves[r]] = id
+			for s := sch.RowPtr[r]; s < sch.RowPtr[r+1]; s++ {
+				if j := pl.owner[sch.Srcs[s]]; j != int32(k) {
+					g.Edge(ghostMS[int(j)], id)
+				}
+			}
+		}
+	}
+
+	if !rt.skipFar {
+		// L2P last per leaf: after the leaf's down task and its near row,
+		// so the far-field addition lands after the P2P accumulations —
+		// the single-node operation order, hence bit-identity.
+		for _, ni := range owned {
+			ni := ni
+			if !t.Nodes[ni].IsVisibleLeaf() {
+				continue
+			}
+			id := g.Node(sched.ClassGeneral, 7, ni, func() {
+				w := e.getWS()
+				e.leafL2P(w, ni)
+				e.putWS(w)
+			})
+			g.Edge(downID[ni], id)
+			if rid, ok := rowID[ni]; ok {
+				g.Edge(rid, id)
+			}
+		}
+	}
+
+	if err := g.Run(); err != nil {
+		panic(err) // the plan's flows are acyclic by construction
+	}
+	dur := time.Since(start)
+	rt.rec.AddSpan(telemetry.SpanDmemNode, int32(k), start, dur)
+	if w := nc.waitNs.Load(); w > 0 {
+		rt.rec.AddSpan(telemetry.SpanDmemComm, int32(k), start, time.Duration(w))
+	}
+}

@@ -124,12 +124,12 @@ type faultTraj struct {
 func (p Params) faultSolver(spec string, mut func(cfg *core.Config)) *core.Solver {
 	sys := distrib.Plummer(p.N, 1, 1, p.Seed)
 	cfg := core.Config{
-		P:        p.P,
-		S:        faultsS,
-		NumGPUs:  p.GPUs,
-		GPUSpec:  p.gpuSpec(),
-		CPU:      cpuSpec(p.Cores),
-		Kernel: kernels.Gravity{G: 1, Softening: 0.01},
+		P:       p.P,
+		S:       faultsS,
+		NumGPUs: p.GPUs,
+		GPUSpec: p.gpuSpec(),
+		CPU:     cpuSpec(p.Cores),
+		Kernel:  kernels.Gravity{G: 1, Softening: 0.01},
 		// A generous deadline: on small or heavily shared hosts a GC
 		// pause can starve a device goroutine past the default 50ms
 		// floor, and a spurious watchdog abort (harmless for

@@ -48,6 +48,10 @@ type TaskGraphPoolResult struct {
 	// bucket aggregates deeper), summed over all measured steps.
 	MaxReady  int     `json:"max_ready"`
 	ReadyHist []int64 `json:"ready_hist"`
+	// LocalityHits counts ready-node pops where the drainer that produced
+	// a node's operands also consumed it (the data-locality hint), summed
+	// over all measured steps.
+	LocalityHits int64 `json:"locality_hits"`
 }
 
 // TaskGraphBenchResult is the machine-readable payload of the "taskgraph"
@@ -127,6 +131,7 @@ func TaskGraph(p Params) TaskGraphBenchResult {
 			pr.CriticalPathNs += gs.CriticalPathNs
 			pr.GraphOverheadNs += region(stT) - gs.MakespanNs
 			pr.Nodes, pr.Edges = gs.Nodes, gs.Edges
+			pr.LocalityHits += gs.LocalityHits
 			if gs.MaxReady > pr.MaxReady {
 				pr.MaxReady = gs.MaxReady
 			}

@@ -160,6 +160,73 @@ func Parse(spec string) (*Schedule, error) {
 	return sch, nil
 }
 
+// NodeEvent is a node-level cluster fault: virtual cluster node Node
+// fail-stops at the start of step Step — the distributed analogue of a
+// device Event. Only fail-stop is meaningful at node granularity: to its
+// peers a hung node is indistinguishable from a dead one (both stop
+// acknowledging), so every node-loss mode collapses to "dead at a step
+// boundary, detected by timeout, range repartitioned over survivors".
+type NodeEvent struct {
+	Node int
+	Step int
+}
+
+// String renders the event in the spec grammar.
+func (e NodeEvent) String() string {
+	return fmt.Sprintf("node%d:failstop@step%d", e.Node, e.Step)
+}
+
+// ParseNodeEvents builds a node-fault schedule from a comma-separated
+// spec. Each entry is
+//
+//	node<K>:failstop@step<S>
+//
+// An empty spec yields an empty schedule. Events are returned sorted by
+// step (then node), so replay order is deterministic regardless of the
+// spec's entry order.
+func ParseNodeEvents(spec string) ([]NodeEvent, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []NodeEvent
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		devPart, rest, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("node fault spec %q: missing ':' between node and fault", entry)
+		}
+		nodeStr := strings.TrimPrefix(devPart, "node")
+		node, err := strconv.Atoi(nodeStr)
+		if err != nil || node < 0 || nodeStr == devPart {
+			return nil, fmt.Errorf("node fault spec %q: bad node %q (want node<K>)", entry, devPart)
+		}
+		kindPart, atPart, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("node fault spec %q: missing '@step<N>'", entry)
+		}
+		if kindPart != "failstop" {
+			return nil, fmt.Errorf("node fault spec %q: unknown node fault %q (only failstop)", entry, kindPart)
+		}
+		stepStr := strings.TrimPrefix(atPart, "step")
+		step, err := strconv.Atoi(stepStr)
+		if err != nil || step < 0 || stepStr == atPart {
+			return nil, fmt.Errorf("node fault spec %q: bad step %q (want @step<N>)", entry, atPart)
+		}
+		out = append(out, NodeEvent{Node: node, Step: step})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, nil
+}
+
 func parseEntry(entry string) (Event, error) {
 	ev := Event{Factor: 1, Count: 1}
 	devPart, rest, ok := strings.Cut(entry, ":")

@@ -43,13 +43,13 @@ func TestParseEmpty(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		"gpu1failstop@step2",   // missing colon
-		"gpux:failstop@step2",  // bad device
-		"gpu1:explode@step2",   // unknown kind
-		"gpu1:failstop@2",      // missing "step"... actually "2" trims to "2" -> valid? see below
-		"gpu1:straggle@step2",  // straggle without factor
-		"gpu1:transient0@step3",// transient count < 1
-		"gpu1:failstop@stepX",  // bad step
+		"gpu1failstop@step2",     // missing colon
+		"gpux:failstop@step2",    // bad device
+		"gpu1:explode@step2",     // unknown kind
+		"gpu1:failstop@2",        // missing "step"... actually "2" trims to "2" -> valid? see below
+		"gpu1:straggle@step2",    // straggle without factor
+		"gpu1:transient0@step3",  // transient count < 1
+		"gpu1:failstop@stepX",    // bad step
 		"gpu1:straggle2@step3#1", // chunk on straggle
 	}
 	for _, spec := range bad {
@@ -242,5 +242,27 @@ func TestProbeIsSideEffectFree(t *testing.T) {
 	}
 	if k := (*Injector)(nil).Probe(0); k != None {
 		t.Fatalf("nil injector probe: %v", k)
+	}
+}
+
+func TestParseNodeEvents(t *testing.T) {
+	events, err := ParseNodeEvents(" node2:failstop@step12, node0:failstop@step3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeEvent{{Node: 0, Step: 3}, {Node: 2, Step: 12}}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("got %v, want %v", events, want)
+	}
+	if s := events[1].String(); s != "node2:failstop@step12" {
+		t.Fatalf("String() = %q", s)
+	}
+	if ev, err := ParseNodeEvents(""); err != nil || ev != nil {
+		t.Fatalf("empty spec: %v, %v", ev, err)
+	}
+	for _, bad := range []string{"gpu1:failstop@step2", "node1:hang@step2", "node1:failstop@2", "nodex:failstop@step2"} {
+		if _, err := ParseNodeEvents(bad); err == nil {
+			t.Fatalf("spec %q should be rejected", bad)
+		}
 	}
 }

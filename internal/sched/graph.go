@@ -78,6 +78,14 @@ type GraphStats struct {
 	// Start is when Run began executing nodes; span StartNs values are
 	// relative to it.
 	Start time.Time
+	// LocalityHits counts ready-node pops where the drainer found, within
+	// a bounded window from the top of its class's LIFO queue, a node
+	// whose last-completed predecessor it executed itself — the data
+	// producer's worker consuming the data, so the operands are likely
+	// still in that worker's cache. Dependency order alone decides *what*
+	// may run; the hint only biases *which* ready node a drainer takes,
+	// so results are unchanged.
+	LocalityHits int64
 }
 
 const readyHistSize = 32
@@ -103,6 +111,12 @@ type Graph struct {
 	done      chan struct{}
 	panicked  atomic.Pointer[TaskPanic]
 	aborted   atomic.Bool
+
+	// prefer[id] is the drainer that completed id's most recent
+	// predecessor (0 = none): the data-locality hint drain consults.
+	prefer       []atomic.Int32
+	drainSeq     atomic.Int32
+	localityHits atomic.Int64
 
 	ready    atomic.Int32
 	maxReady atomic.Int32
@@ -192,6 +206,7 @@ func (g *Graph) Run() error {
 	g.topo = order
 
 	g.indeg = make([]atomic.Int32, n)
+	g.prefer = make([]atomic.Int32, n)
 	for i := range g.nodes {
 		g.indeg[i].Store(g.nodes[i].preds)
 	}
@@ -266,12 +281,21 @@ func (g *Graph) kick(c Class) {
 	g.groups[c].Spawn(func() { g.drain(c) })
 }
 
+// localityWindow bounds how far below the LIFO top drain scans for a
+// node preferring the current drainer, so the hint never turns the O(1)
+// pop into a linear search of a deep ready queue.
+const localityWindow = 8
+
 // drain pops and executes ready nodes of class c until the queue is
 // empty. The active-drainer count is decremented under the queue lock
 // while the queue is observed empty, so an enqueue that pushes after
 // the drainer's exit decision is guaranteed to observe the decremented
-// count and kick a replacement — no lost wakeups.
+// count and kick a replacement — no lost wakeups. Within a bounded
+// window from the top, a node whose last predecessor this drainer
+// executed is taken first (the data-locality hint); otherwise plain
+// LIFO.
 func (g *Graph) drain(c Class) {
+	me := g.drainSeq.Add(1)
 	for {
 		g.mu[c].Lock()
 		q := g.queue[c]
@@ -280,11 +304,23 @@ func (g *Graph) drain(c Class) {
 			g.mu[c].Unlock()
 			return
 		}
-		id := q[len(q)-1]
-		g.queue[c] = q[:len(q)-1]
+		pick := len(q) - 1
+		lo := len(q) - localityWindow
+		if lo < 0 {
+			lo = 0
+		}
+		for i := len(q) - 1; i >= lo; i-- {
+			if g.prefer[q[i]].Load() == me {
+				pick = i
+				g.localityHits.Add(1)
+				break
+			}
+		}
+		id := q[pick]
+		g.queue[c] = append(q[:pick], q[pick+1:]...)
 		g.mu[c].Unlock()
 		g.ready.Add(-1)
-		g.exec(id)
+		g.exec(id, me)
 	}
 }
 
@@ -292,12 +328,16 @@ func (g *Graph) drain(c Class) {
 // panicked), then releases its successors and counts completion. The
 // completion count reaches the node total on every path, so Run's join
 // fires even under cancellation.
-func (g *Graph) exec(id NodeID) {
+func (g *Graph) exec(id NodeID, drainer int32) {
 	nd := &g.nodes[id]
 	if !g.aborted.Load() {
 		g.runNode(nd, id)
 	}
 	for _, s := range nd.succs {
+		// Stamp the locality hint before the release decrement so any
+		// drainer that sees the node ready also sees a preference (last
+		// completing predecessor wins — any producer is a fine hint).
+		g.prefer[s].Store(drainer)
 		if g.indeg[s].Add(-1) == 0 {
 			g.enqueue(s)
 		}
@@ -367,11 +407,12 @@ func SpanUnion(spans []NodeSpan, tag int32) time.Duration {
 // is 0 otherwise.
 func (g *Graph) Stats() GraphStats {
 	st := GraphStats{
-		Nodes:      len(g.nodes),
-		Edges:      g.edges,
-		MaxReady:   int(g.maxReady.Load()),
-		MakespanNs: g.makespan,
-		Start:      g.start,
+		Nodes:        len(g.nodes),
+		Edges:        g.edges,
+		MaxReady:     int(g.maxReady.Load()),
+		MakespanNs:   g.makespan,
+		Start:        g.start,
+		LocalityHits: g.localityHits.Load(),
 	}
 	st.ReadyHist = make([]int64, readyHistSize)
 	for i := range g.hist {

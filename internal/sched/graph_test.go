@@ -293,3 +293,37 @@ func TestInlineClassAccounting(t *testing.T) {
 		t.Fatalf("classBusy %v missing inline time %v", cls, inline)
 	}
 }
+
+// TestGraphLocalityHint: on a single-worker pool every chain link is
+// completed by the drainer that ran its predecessor, so the locality
+// scan must register hits; and the hint must never change results (the
+// chain order is enforced by edges regardless).
+func TestGraphLocalityHint(t *testing.T) {
+	g := NewPool(1).NewGraph()
+	const n = 64
+	var order []int
+	prev := NodeID(-1)
+	for i := 0; i < n; i++ {
+		i := i
+		id := g.Node(ClassGeneral, 0, int32(i), func() { order = append(order, i) })
+		if prev >= 0 {
+			g.Edge(prev, id)
+		}
+		prev = id
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain executed out of order at %d: %v", i, order[:i+1])
+		}
+	}
+	st := g.Stats()
+	if st.LocalityHits == 0 {
+		t.Fatal("expected locality hits on a single-drainer chain")
+	}
+	if st.LocalityHits > int64(n) {
+		t.Fatalf("locality hits %d exceed node count %d", st.LocalityHits, n)
+	}
+}

@@ -34,6 +34,11 @@ const (
 	// own track so the pipelined schedule reads as one dense timeline next
 	// to the fork-join host phases.
 	chromeTIDTask = 6
+	// Distributed-runtime (dmem) node execution and comm-wait spans
+	// render on their own track: one bar per virtual cluster node per
+	// step (Arg = node id), so the partitioned-tree execution reads as
+	// its own timeline next to the single-node phases.
+	chromeTIDDmem = 7
 	// Device tracks start here; device i renders on chromeTIDDev + i.
 	chromeTIDDev = 100
 )
@@ -63,6 +68,8 @@ func spanTID(k SpanKind, arg int32) int {
 		return chromeTIDKern
 	case SpanTaskUp, SpanTaskDown, SpanTaskL2P, SpanTaskNear:
 		return chromeTIDTask
+	case SpanDmemNode, SpanDmemComm:
+		return chromeTIDDmem
 	}
 	return chromeTIDHost
 }
@@ -80,7 +87,8 @@ func eventTID(k EventKind) int {
 
 func spanName(k SpanKind, arg int32) string {
 	switch k {
-	case SpanUpLevel, SpanDownLevel, SpanTaskUp, SpanTaskDown, SpanTaskL2P:
+	case SpanUpLevel, SpanDownLevel, SpanTaskUp, SpanTaskDown, SpanTaskL2P,
+		SpanDmemNode, SpanDmemComm:
 		return fmt.Sprintf("%s %d", k, arg)
 	case SpanDeviceP2P:
 		return "p2p kernel"
@@ -99,6 +107,7 @@ func WriteChromeTrace(w io.Writer, steps []StepRecord) error {
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDFault, Args: map[string]any{"name": "faults"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDKern, Args: map[string]any{"name": "kernels"}},
 		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDTask, Args: map[string]any{"name": "taskgraph"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeTIDDmem, Args: map[string]any{"name": "dmem"}},
 	}
 	maxDev := 0
 	for i := range steps {

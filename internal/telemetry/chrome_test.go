@@ -99,6 +99,7 @@ func TestChromeTrackMapping(t *testing.T) {
 		flt  = 4
 		kern = 5
 		task = 6
+		dmem = 7
 		dev  = 100
 	)
 	spanTracks := map[SpanKind]int{
@@ -136,6 +137,8 @@ func TestChromeTrackMapping(t *testing.T) {
 		SpanTaskDown:   task,
 		SpanTaskL2P:    task,
 		SpanTaskNear:   task,
+		SpanDmemNode:   dmem,
+		SpanDmemComm:   dmem,
 	}
 	if len(spanTracks) != int(numSpanKinds) {
 		t.Fatalf("track table covers %d span kinds, package has %d — extend the table",

@@ -134,6 +134,14 @@ const (
 	SpanTaskDown
 	SpanTaskL2P
 	SpanTaskNear
+	// Distributed-runtime spans, emitted by the dmem executing runtime
+	// and rendered on their own Chrome-trace track: SpanDmemNode is one
+	// virtual cluster node's per-step execution (its whole LET exchange +
+	// local step graph, Arg = node id); SpanDmemComm aggregates the host
+	// wall that node's arrival milestones spent blocked on peer channels
+	// during the same step (Arg = node id).
+	SpanDmemNode
+	SpanDmemComm
 	numSpanKinds
 )
 
@@ -172,6 +180,8 @@ var spanNames = [numSpanKinds]string{
 	SpanTaskDown:   "task.down",
 	SpanTaskL2P:    "task.l2p",
 	SpanTaskNear:   "task.near",
+	SpanDmemNode:   "dmem.node",
+	SpanDmemComm:   "dmem.comm",
 }
 
 func (k SpanKind) String() string {
