@@ -309,6 +309,23 @@ type (
 	NetworkSpec = dmem.NetworkSpec
 )
 
+// Distributed-memory run loop and link layer.
+type (
+	// ClusterRunConfig drives a multi-step distributed run.
+	ClusterRunConfig = dmem.RunConfig
+	// ClusterRunResult summarizes a multi-step distributed run.
+	ClusterRunResult = dmem.RunResult
+	// ClusterLinkConfig tunes the transport's delivery protocol and the
+	// heartbeat failure detector.
+	ClusterLinkConfig = dmem.LinkConfig
+	// ClusterNetStats aggregates the link layer's delivery activity.
+	ClusterNetStats = dmem.NetStats
+	// LinkSchedule is a parsed deterministic per-link fault schedule.
+	LinkSchedule = fault.LinkSchedule
+	// NodeFaultEvent is one scheduled virtual-node fail-stop.
+	NodeFaultEvent = fault.NodeEvent
+)
+
 // Cluster constructors and helpers.
 var (
 	// NewClusterSolver builds the distributed solver.
@@ -319,6 +336,13 @@ var (
 	DefaultNetwork = dmem.DefaultNetwork
 	// ScaledGPU derates the device model for scaled-down problems.
 	ScaledGPU = vgpu.ScaledSpec
+	// ParseClusterEvents splits a mixed node/link fault spec, e.g.
+	// "node2:failstop@step3,link0-1:drop0.1@step2".
+	ParseClusterEvents = fault.ParseClusterEvents
+	// ParseLinkEvents parses a pure link-fault spec.
+	ParseLinkEvents = fault.ParseLinkEvents
+	// RandomLinkSchedule draws a seeded random link-fault schedule.
+	RandomLinkSchedule = fault.RandomLinks
 )
 
 // Automatic parameter tuning (paper ref. [8]).

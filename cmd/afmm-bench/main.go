@@ -72,7 +72,7 @@ func main() {
 	})
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults|kernels|taskgraph|dmem")
+		fmt.Fprintln(os.Stderr, "usage: afmm-bench [flags] fig3|fig4|fig6|table1|fig7|fig8|fig9|table2|fig10|all|sweeps|cluster|lists|telemetry|overlap|faults|kernels|taskgraph|dmem|netfaults")
 		os.Exit(2)
 	}
 	which := strings.ToLower(flag.Arg(0))
@@ -87,7 +87,8 @@ func main() {
 		"table1": true, "fig7": true, "fig8": true, "fig9": true,
 		"table2": true, "fig10": true, "cluster": true, "sweeps": true,
 		"lists": true, "telemetry": true, "overlap": true, "faults": true,
-		"kernels": true, "taskgraph": true, "dmem": true, "all": true}
+		"kernels": true, "taskgraph": true, "dmem": true, "netfaults": true,
+		"all": true}
 	if !known[which] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -154,6 +155,40 @@ func main() {
 		fmt.Println("==== DMEM (virtual-node scaling, cost-driven repartitioning, executed runtime) ====")
 		runDmem(p)
 	}
+	if which == "netfaults" { // resilience benchmark; not part of "all"
+		fmt.Println("==== NETFAULTS (lossy links: delivery rate, retry overhead, failure detection) ====")
+		runNetFaults(p)
+	}
+}
+
+// runNetFaults drives the executed runtime through escalating link-fault
+// schedules and both failure detectors, and writes the machine-readable
+// BENCH_netfaults.json. The acceptance targets are bit-identity on every
+// scenario (faults cost throughput, never values) and a measured
+// heartbeat detection latency at the same order as its suspicion window.
+func runNetFaults(p experiments.Params) {
+	res := experiments.NetFaults(p)
+	fmt.Printf("cluster: Plummer N=%d, P=%d, %d nodes, %d steps (host cores: %d)\n",
+		res.N, res.P, res.Nodes, res.Steps, res.HostCores)
+	fmt.Printf("%-16s %9s %9s %9s %9s %9s %10s %8s %5s\n",
+		"scenario", "frames", "dropped", "delivrate", "retries", "timeouts", "recoveries", "slowdown", "exact")
+	for _, sc := range res.Scenarios {
+		fmt.Printf("%-16s %9d %9d %9.3f %9d %9d %10d %7.2fx %5v\n",
+			sc.Name, sc.FramesSent, sc.FramesDropped, sc.DeliveredRate,
+			sc.Retries, sc.Timeouts, sc.Recoveries, sc.Slowdown, sc.BitIdentical)
+	}
+	fmt.Printf("detection: oracle (modeled) %.3f ms, heartbeat (measured) %.3f ms over a %.3f ms suspicion window, exact=%v\n",
+		1e3*res.Detection.OracleSec, 1e3*res.Detection.HeartbeatSec,
+		1e3*res.Detection.WindowSec, res.Detection.BitIdentical)
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_netfaults.json", b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "BENCH_netfaults.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote BENCH_netfaults.json")
 }
 
 // runTaskGraph benchmarks the dependency-driven step DAG against the

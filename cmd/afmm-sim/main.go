@@ -44,6 +44,9 @@ func main() {
 	ckDir := flag.String("checkpoint-dir", "", "persist the rolling auto-checkpoint atomically in this directory")
 	resume := flag.String("resume", "", "resume from this checkpoint file (overrides -dist/-n/-s with the snapshot's bodies and leaf capacity)")
 	finalHash := flag.Bool("final-hash", false, "print an FNV-64a hash of the final accelerations and potentials (input order) for bit-identity checks")
+	dmemNodes := flag.Int("dmem-nodes", 0, "execute on the distributed goroutine-per-node runtime over this many virtual nodes (0 = single-node machine path)")
+	clusterFaults := flag.String("cluster-faults", "", "cluster fault schedule mixing node and link events, e.g. node2:failstop@step3,link0-1:drop0.1@step2 (requires -dmem-nodes)")
+	linkSeed := flag.Int64("link-seed", 1, "seed for the deterministic per-frame link-fault verdicts")
 	flag.Parse()
 
 	var resumeSnap *afmm.Snapshot
@@ -67,6 +70,59 @@ func main() {
 		sys = restored
 	} else {
 		sys = makeSystem(*dist, *n, *seed)
+	}
+
+	var rec *afmm.Recorder
+	if *traceFile != "" || *chromeFile != "" || *debugAddr != "" || *metricsAddr != "" || *flightDir != "" {
+		var opts afmm.RecorderOptions
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			opts.JSONL = tf
+		}
+		opts.Keep = *chromeFile != ""
+		if *metricsAddr != "" {
+			opts.Metrics = afmm.NewMetricsRegistry()
+		}
+		if *flightDir != "" || *metricsAddr != "" {
+			// A metrics server without -flightrec still gets the in-memory
+			// ring, so /flightrec answers; dumps need a directory.
+			opts.Flight = afmm.NewFlightRecorder(0, *flightDir)
+		}
+		if *sentinel {
+			opts.Sentinel = &afmm.SentinelConfig{}
+		}
+		rec = afmm.NewRecorder(opts)
+	}
+	for _, addr := range []string{*debugAddr, *metricsAddr} {
+		if addr == "" {
+			continue
+		}
+		d, err := afmm.StartTelemetryDebug(addr, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server (dashboard, /metrics, /status, pprof) on http://%s/\n", d.Addr())
+	}
+
+	if *dmemNodes > 0 {
+		runClusterSim(clusterSimArgs{
+			sys: sys, resume: resumeSnap, rec: rec,
+			nodes: *dmemNodes, p: *p, s: *s, cores: *cores,
+			steps: *steps, dt: *dt, soften: *soft,
+			faults: *clusterFaults, linkSeed: *linkSeed,
+			ckEvery: *ckEvery, ckDir: *ckDir, finalHash: *finalHash,
+		})
+		return
+	}
+	if *clusterFaults != "" {
+		fmt.Fprintln(os.Stderr, "-cluster-faults requires -dmem-nodes")
+		os.Exit(2)
 	}
 
 	cfg := afmm.GravityConfig{
@@ -125,44 +181,7 @@ func main() {
 		CheckpointDir:   *ckDir,
 		Resume:          resumeSnap,
 	}
-	var rec *afmm.Recorder
-	if *traceFile != "" || *chromeFile != "" || *debugAddr != "" || *metricsAddr != "" || *flightDir != "" {
-		var opts afmm.RecorderOptions
-		if *traceFile != "" {
-			tf, err := os.Create(*traceFile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			defer tf.Close()
-			opts.JSONL = tf
-		}
-		opts.Keep = *chromeFile != ""
-		if *metricsAddr != "" {
-			opts.Metrics = afmm.NewMetricsRegistry()
-		}
-		if *flightDir != "" || *metricsAddr != "" {
-			// A metrics server without -flightrec still gets the in-memory
-			// ring, so /flightrec answers; dumps need a directory.
-			opts.Flight = afmm.NewFlightRecorder(0, *flightDir)
-		}
-		if *sentinel {
-			opts.Sentinel = &afmm.SentinelConfig{}
-		}
-		rec = afmm.NewRecorder(opts)
-		simCfg.Rec = rec
-	}
-	for _, addr := range []string{*debugAddr, *metricsAddr} {
-		if addr == "" {
-			continue
-		}
-		d, err := afmm.StartTelemetryDebug(addr, rec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "debug server (dashboard, /metrics, /status, pprof) on http://%s/\n", d.Addr())
-	}
+	simCfg.Rec = rec
 	res := afmm.RunGravity(solver, simCfg)
 	if res.Err != nil {
 		fmt.Fprintf(os.Stderr, "run aborted after %d recoveries: %v\n", res.Recoveries, res.Err)
@@ -210,6 +229,103 @@ func main() {
 		res.MeanTotalPerStep())
 	if *finalHash {
 		fmt.Printf("final-hash: %016x\n", stateHash(sys))
+	}
+}
+
+type clusterSimArgs struct {
+	sys       *afmm.System
+	resume    *afmm.Snapshot
+	rec       *afmm.Recorder
+	nodes     int
+	p, s      int
+	cores     int
+	steps     int
+	dt        float64
+	soften    float64
+	faults    string
+	linkSeed  int64
+	ckEvery   int
+	ckDir     string
+	finalHash bool
+}
+
+// runClusterSim executes the run on the distributed goroutine-per-node
+// runtime: real per-node execution of the partitioned tree, the framed
+// link layer (with any -cluster-faults link chaos), and heartbeat-based
+// node-loss detection. Results are bit-identical to the single-node
+// float64 path regardless of the fault schedule.
+func runClusterSim(a clusterSimArgs) {
+	var nodeEvents []afmm.NodeFaultEvent
+	var linkSch *afmm.LinkSchedule
+	if a.faults != "" {
+		var err error
+		nodeEvents, linkSch, err = afmm.ParseClusterEvents(a.faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	cpu := afmm.DefaultCPU()
+	cpu.Cores = a.cores
+	d, err := afmm.NewClusterSolver(a.sys, afmm.ClusterConfig{
+		Core: afmm.GravityConfig{
+			P: a.p, S: a.s, DisableM2LTable: true,
+			Kernel: afmm.GravityKernel{G: 1, Softening: a.soften},
+			CPU:    cpu,
+		},
+		Nodes:      afmm.HomogeneousNodes(a.nodes, afmm.ClusterNodeSpec{CPU: cpu}),
+		Execute:    true,
+		NodeFaults: nodeEvents,
+		LinkFaults: linkSch,
+		LinkSeed:   a.linkSeed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d.SetRecorder(a.rec)
+
+	startStep := 0
+	if a.resume != nil {
+		startStep = a.resume.Step
+	}
+	if startStep >= a.steps {
+		fmt.Fprintf(os.Stderr, "resume snapshot is at step %d, nothing to run\n", startStep)
+		os.Exit(2)
+	}
+	rc := afmm.ClusterRunConfig{
+		Steps: a.steps - startStep, Dt: a.dt, StartStep: startStep,
+	}
+	if a.ckEvery > 0 && a.ckDir != "" {
+		rc.OnStep = func(step int) {
+			done := step + 1
+			if (done-startStep)%a.ckEvery != 0 {
+				return
+			}
+			sn := afmm.CaptureSnapshot(a.sys, a.s, done, float64(done)*a.dt)
+			path := a.ckDir + string(os.PathSeparator) + afmm.SimCheckpointFile
+			if err := afmm.WriteSnapshotFile(path, sn); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	res := d.RunWith(rc)
+	fmt.Fprintf(os.Stderr,
+		"dmem: %d nodes, steps %d..%d, modeled total %.4fs, %d repartitions, %d node losses\n",
+		a.nodes, startStep, a.steps-1, res.TotalTime, res.Rebalances, res.NodeLosses)
+	if res.Net.FramesSent > 0 {
+		fmt.Fprintf(os.Stderr,
+			"link layer: %d frames (%d dropped, %d retries, %d corrupt rejects), %d timeouts, %d recoveries\n",
+			res.Net.FramesSent, res.Net.FramesDropped, res.Net.Retries,
+			res.Net.CorruptRejects, res.Net.Timeouts,
+			res.Net.Rerequests+res.Net.DegradedGhostFlows)
+	}
+	for _, lat := range res.DetectLatencies {
+		fmt.Fprintf(os.Stderr, "heartbeat detection latency: %.3f ms\n", 1e3*lat)
+	}
+	if a.finalHash {
+		fmt.Printf("final-hash: %016x\n", stateHash(a.sys))
 	}
 }
 

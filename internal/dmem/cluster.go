@@ -3,6 +3,7 @@ package dmem
 import (
 	"fmt"
 
+	"afmm/internal/fault"
 	"afmm/internal/stokes"
 	"afmm/internal/telemetry"
 )
@@ -17,6 +18,7 @@ type StokesCluster struct {
 	rt    *Runtime
 	cuts  []int32
 	alive []bool
+	step  int
 }
 
 // NewStokesCluster wraps an existing Stokes solver in an n-node
@@ -54,6 +56,14 @@ func NewStokesCluster(sv *stokes.Solver, nodes int, net NetworkSpec) (*StokesClu
 func (c *StokesCluster) SetRecorder(rec *telemetry.Recorder) {
 	c.sv.SetRecorder(rec)
 	c.rt.rec = rec
+}
+
+// SetLinkFaults arms a deterministic link-fault schedule on the
+// cluster's transport. Faults cost retries and deadlines, never values.
+func (c *StokesCluster) SetLinkFaults(sch *fault.LinkSchedule, seed int64, cfg LinkConfig) {
+	c.rt.linkSch = sch
+	c.rt.linkSeed = seed
+	c.rt.link = cfg
 }
 
 // Fail marks a node fail-stopped; its range moves to the survivors on
@@ -104,5 +114,7 @@ func (c *StokesCluster) Solve() *ExecStats {
 		}
 		return int32(lo)
 	}
-	return c.rt.Step(ownerOf, c.alive)
+	step := c.step
+	c.step++
+	return c.rt.Step(ownerOf, c.alive, step)
 }

@@ -84,8 +84,26 @@ type Config struct {
 	NodeFaults []fault.NodeEvent
 	// DetectTimeout is the modeled failure-detection delay charged to the
 	// step where a node loss is absorbed, seconds; 0 selects 100x
-	// Net.Latency.
+	// Net.Latency. Execute mode measures detection with the heartbeat
+	// detector instead unless OracleDetect is set.
 	DetectTimeout float64
+	// LinkFaults injects per-link chaos into the executed runtime's
+	// transport (parse specs like "link0-2:drop0.05@step3" with
+	// fault.ParseLinkEvents, or mixed node+link specs with
+	// fault.ParseClusterEvents). Requires Execute. Any schedule — within
+	// or beyond the retry budget — leaves results bit-identical to the
+	// fault-free single-node run; faults cost time only.
+	LinkFaults *fault.LinkSchedule
+	// LinkSeed seeds the deterministic per-frame fault verdicts.
+	LinkSeed int64
+	// Link tunes the delivery protocol (retransmit timeout/backoff,
+	// retry budget, per-phase deadlines) and the heartbeat failure
+	// detector. Zero fields select defaults.
+	Link LinkConfig
+	// OracleDetect reverts Execute-mode node-loss detection to the
+	// modeled oracle (the priced path's DetectTimeout charge) instead of
+	// the measured heartbeat detector.
+	OracleDetect bool
 }
 
 // HomogeneousNodes returns n identical node specs.
@@ -133,6 +151,9 @@ type StepReport struct {
 	// CapacityEpoch advances whenever the cluster topology changes (node
 	// loss); per-node capacity estimates re-derive from 1 afterwards.
 	CapacityEpoch int64
+	// Net is the executed step's link-layer delivery activity (zero when
+	// pricing).
+	Net NetStats
 	// Single is the underlying single-node timing for reference (zero in
 	// Execute mode, where no single-node solve runs).
 	Single core.StepTimes
@@ -160,6 +181,12 @@ type Solver struct {
 	// rt executes the partitioned tree when Cfg.Execute is set.
 	rt  *Runtime
 	met *dmemMetrics
+	// det is the heartbeat failure detector, live during RunWith in
+	// Execute mode (unless Cfg.OracleDetect).
+	det *detector
+	// stepIdx is the next Solve's step index into the link-fault
+	// schedule (RunWith pins it to the run step).
+	stepIdx int
 }
 
 // NewSolver builds the distributed solver. The body partition starts as an
@@ -174,6 +201,16 @@ func NewSolver(sys *particle.System, cfg Config) (*Solver, error) {
 	for _, ev := range cfg.NodeFaults {
 		if ev.Node < 0 || ev.Node >= len(cfg.Nodes) {
 			return nil, fmt.Errorf("dmem: fault for unknown node %d", ev.Node)
+		}
+	}
+	if cfg.LinkFaults.Faulty() {
+		if !cfg.Execute {
+			return nil, fmt.Errorf("dmem: LinkFaults require Execute (the priced path has no transport)")
+		}
+		for _, ev := range cfg.LinkFaults.Events {
+			if ev.From >= len(cfg.Nodes) || ev.To >= len(cfg.Nodes) {
+				return nil, fmt.Errorf("dmem: link fault for unknown link %d-%d", ev.From, ev.To)
+			}
 		}
 	}
 	inner := core.NewSolver(sys, cfg.Core)
@@ -196,8 +233,11 @@ func NewSolver(sys *particle.System, cfg Config) (*Solver, error) {
 		}
 		s.rt = &Runtime{
 			tree: inner.Tree, sys: inner.Sys, eng: eng, net: s.Cfg.Net,
-			rec:     inner.Cfg.Rec,
-			skipFar: inner.Cfg.SkipFarField, skipNear: inner.Cfg.SkipNearField,
+			rec:      inner.Cfg.Rec,
+			link:     cfg.Link,
+			linkSch:  cfg.LinkFaults,
+			linkSeed: cfg.LinkSeed,
+			skipFar:  inner.Cfg.SkipFarField, skipNear: inner.Cfg.SkipNearField,
 		}
 	}
 	return s, nil
@@ -285,10 +325,14 @@ func (s *Solver) aliveCount() int {
 }
 
 // executeStep aligns the cuts to leaf boundaries and runs the
-// distributed runtime over the current tree.
+// distributed runtime over the current tree. The step index feeds the
+// link-fault schedule; bare Solve calls advance it monotonically, and
+// RunWith pins it to the run step.
 func (s *Solver) executeStep() *ExecStats {
 	s.alignCuts()
-	return s.rt.Step(func(i int32) int32 { return int32(s.owner(i)) }, s.alive)
+	step := s.stepIdx
+	s.stepIdx++
+	return s.rt.Step(func(i int32) int32 { return int32(s.owner(i)) }, s.alive, step)
 }
 
 // alignCuts snaps every interior ownership cut to the nearest visible
@@ -322,6 +366,9 @@ func (s *Solver) attributeWith(single core.StepTimes, es *ExecStats) StepReport 
 	t := s.Inner.Tree
 	p := len(s.Cfg.Nodes)
 	rep := StepReport{PerNode: make([]NodeTimes, p), Single: single}
+	if es != nil {
+		rep.Net = es.Net
+	}
 
 	// Ownership of visible cells: owner of the cell's first body.
 	cellOwner := map[int32]int{}
@@ -666,9 +713,15 @@ type RunResult struct {
 	TotalBytes int64
 	Rebalances int
 	// NodeLosses counts fail-stop events absorbed; RecoveryTime is the
-	// modeled detection + repartition-broadcast time charged for them.
+	// detection + repartition-broadcast time charged for them (measured
+	// heartbeat latency in Execute mode, modeled otherwise).
 	NodeLosses   int
 	RecoveryTime float64
+	// DetectLatencies are the measured heartbeat detection latencies,
+	// seconds, one per node loss (empty when the oracle detected).
+	DetectLatencies []float64
+	// Net aggregates the run's link-layer delivery activity.
+	Net NetStats
 }
 
 // RunConfig parameterizes RunWith.
@@ -676,6 +729,12 @@ type RunConfig struct {
 	Steps  int
 	Dt     float64
 	Policy RebalancePolicy
+	// StartStep offsets the run's step indices (fault schedules are
+	// absolute-step-indexed), e.g. when resuming from a checkpoint.
+	StartStep int
+	// OnStep, when non-nil, runs after each step's integration and
+	// refill — the checkpoint/observation hook.
+	OnStep func(step int)
 }
 
 // Run advances a gravitational simulation for steps time steps on the
@@ -697,11 +756,37 @@ func (s *Solver) Run(steps int, dt, rebalanceAt float64) RunResult {
 func (s *Solver) RunWith(rc RunConfig) RunResult {
 	var res RunResult
 	pol := rc.Policy
-	lastRepart := -pol.Cooldown - 1
-	for step := 0; step < rc.Steps; step++ {
+	lastRepart := rc.StartStep - pol.Cooldown - 1
+	// Execute mode detects node loss with the heartbeat detector: the
+	// fault event only silences the dead node's heartbeater, and the
+	// step loop blocks until suspicion crosses the threshold — measured
+	// detection, not the oracle.
+	if s.rt != nil && !s.Cfg.OracleDetect && len(s.Cfg.NodeFaults) > 0 {
+		s.det = newDetector(len(s.Cfg.Nodes), s.Cfg.Link, s.Cfg.LinkFaults, s.Cfg.LinkSeed)
+		defer func() {
+			s.det.stop()
+			s.det = nil
+		}()
+	}
+	var rec *telemetry.Recorder
+	if s.rt != nil {
+		rec = s.rt.rec
+	}
+	for step := rc.StartStep; step < rc.StartStep+rc.Steps; step++ {
+		if s.det != nil {
+			s.det.setStep(step)
+		}
+		if s.rt != nil {
+			s.stepIdx = step
+		}
 		recovery := s.applyNodeFaults(step, &res)
+		rec.StartStep(step)
 		rep := s.Solve()
 		rep.StepTime += recovery
+		if s.rt != nil {
+			s.observeNet(rec, step, &rep)
+		}
+		rec.EndStep()
 		// Kick-drift using the solved accelerations.
 		sys := s.Inner.Sys
 		for i := range sys.Pos {
@@ -726,15 +811,65 @@ func (s *Solver) RunWith(rc RunConfig) RunResult {
 		res.Steps = append(res.Steps, rep)
 		res.TotalTime += rep.StepTime
 		res.TotalBytes += rep.TotalBytes
+		res.Net.add(&rep.Net)
+		if rc.OnStep != nil {
+			rc.OnStep(step)
+		}
 	}
 	return res
+}
+
+// observeNet lands the step's link-layer activity on the telemetry
+// record and flags deadline breaches: an EventNetTimeout makes the
+// flight recorder dump the last 32 step records — each carrying its
+// per-link retry counts — under the "net-timeout" reason.
+func (s *Solver) observeNet(rec *telemetry.Recorder, step int, rep *StepReport) {
+	net := &rep.Net
+	if rec.Enabled() {
+		links := make([]telemetry.LinkSample, len(net.PerLink))
+		for i, ls := range net.PerLink {
+			links[i] = telemetry.LinkSample{
+				From: ls.From, To: ls.To,
+				Frames: ls.Frames, Retries: ls.Retries, RTTNs: ls.RTTNs,
+			}
+		}
+		rec.SetNetStats(telemetry.NetSample{
+			FramesSent:     net.FramesSent,
+			FramesDropped:  net.FramesDropped,
+			Retries:        net.Retries,
+			CorruptRejects: net.CorruptRejects,
+			Timeouts:       net.Timeouts,
+			Rerequests:     net.Rerequests,
+			Links:          links,
+		})
+		if net.Timeouts > 0 {
+			rec.EmitEvent(telemetry.EventNetTimeout, net.Timeouts, int64(step),
+				float64(net.Retries), float64(net.Rerequests+net.DegradedGhostFlows))
+		}
+	}
+	if s.met != nil {
+		s.met.observeNet(net)
+		if s.det != nil {
+			for k := range s.Cfg.Nodes {
+				s.met.setSuspicion(k, s.det.suspicion(k), s.alive[k])
+			}
+		}
+	}
 }
 
 // applyNodeFaults fail-stops every node whose event armed at this step:
 // the node leaves the alive set, its range is repartitioned over the
 // survivors (using the last observed leaf costs when available), and the
 // capacity epoch advances so per-node capacity estimates re-derive.
-// Returns the modeled recovery time to charge to this step.
+// Returns the recovery time to charge to this step.
+//
+// With the heartbeat detector live (Execute mode), the fault only
+// silences the node's heartbeater; the loop then blocks until the
+// detector's suspicion declares the node dead, and that measured
+// wall-clock latency — not the modeled DetectTimeout — is charged and
+// recorded. The node never participates in a step between its silencing
+// and its detection: detection completes before the step executes, so
+// bit-identity is preserved (the survivors compute everything).
 func (s *Solver) applyNodeFaults(step int, res *RunResult) float64 {
 	var recovery float64
 	for _, ev := range s.Cfg.NodeFaults {
@@ -744,16 +879,27 @@ func (s *Solver) applyNodeFaults(step int, res *RunResult) float64 {
 		if s.aliveCount() <= 1 {
 			continue // never kill the last node
 		}
+		var detect float64
+		if s.det != nil {
+			s.det.silence(ev.Node)
+			lat := s.det.waitDead(ev.Node)
+			detect = lat.Seconds()
+			res.DetectLatencies = append(res.DetectLatencies, detect)
+			if s.met != nil {
+				s.met.detectLatency.Observe(detect)
+			}
+		} else {
+			detect = s.Cfg.DetectTimeout
+			if detect <= 0 {
+				detect = 100 * s.Cfg.Net.Latency
+			}
+		}
 		s.alive[ev.Node] = false
 		s.capEpoch++
 		for k := range s.caps {
 			s.caps[k] = 1
 		}
 		s.repartitionSurvivors()
-		detect := s.Cfg.DetectTimeout
-		if detect <= 0 {
-			detect = 100 * s.Cfg.Net.Latency
-		}
 		recovery += detect + float64(len(s.Cfg.Nodes))*s.Cfg.Net.Latency
 		res.NodeLosses++
 		res.RecoveryTime += recovery

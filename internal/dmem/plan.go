@@ -18,7 +18,7 @@ import (
 // while ascending — a level-L mpole message depends only on up work at
 // levels > L — and locals flow while descending — a level-L local
 // message depends only on down work at levels < L — so the cross-node
-// channel graph is acyclic by induction on level. Ghost-body messages
+// message graph is acyclic by induction on level. Ghost-body messages
 // depend on nothing (positions are step inputs) and are graph roots.
 
 type flowKey struct {
@@ -50,12 +50,24 @@ type exchangePlan struct {
 	// rows[k] lists the near-schedule CSR rows whose target leaf node k
 	// owns.
 	rows [][]int
+}
 
-	// One channel per message, buffered 1: the sender task never blocks,
-	// the receiver milestone performs exactly one recv.
-	mpoleCh map[flowKey]chan []complex128
-	localCh map[flowKey]chan []complex128
-	ghostCh map[pairKey]chan []ghostLeaf
+// flowIDs enumerates every cross-node flow of the plan — the single
+// construction that used to be copy-pasted three times as per-kind
+// channel maps. The transport builds one frame endpoint per flow;
+// mpole/local flows are keyed by tree level, ghost flows by node pair.
+func (pl *exchangePlan) flowIDs() []flowID {
+	ids := make([]flowID, 0, len(pl.mpoleNeed)+len(pl.localNeed)+len(pl.ghostNeed))
+	for fk := range pl.mpoleNeed {
+		ids = append(ids, flowID{kind: flowMpole, from: fk.from, to: fk.to, level: fk.level})
+	}
+	for fk := range pl.localNeed {
+		ids = append(ids, flowID{kind: flowLocal, from: fk.from, to: fk.to, level: fk.level})
+	}
+	for pk := range pl.ghostNeed {
+		ids = append(ids, flowID{kind: flowGhost, from: pk.from, to: pk.to})
+	}
+	return ids
 }
 
 func sortDedup(s []int32) []int32 {
@@ -143,19 +155,6 @@ func buildPlan(t *octree.Tree, sch *octree.NearSchedule, ownerOf func(int32) int
 	}
 	for pk, cells := range pl.ghostNeed {
 		pl.ghostNeed[pk] = sortDedup(cells)
-	}
-
-	pl.mpoleCh = make(map[flowKey]chan []complex128, len(pl.mpoleNeed))
-	for fk := range pl.mpoleNeed {
-		pl.mpoleCh[fk] = make(chan []complex128, 1)
-	}
-	pl.localCh = make(map[flowKey]chan []complex128, len(pl.localNeed))
-	for fk := range pl.localNeed {
-		pl.localCh[fk] = make(chan []complex128, 1)
-	}
-	pl.ghostCh = make(map[pairKey]chan []ghostLeaf, len(pl.ghostNeed))
-	for pk := range pl.ghostNeed {
-		pl.ghostCh[pk] = make(chan []ghostLeaf, 1)
 	}
 	return pl
 }

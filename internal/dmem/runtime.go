@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"afmm/internal/fault"
 	"afmm/internal/octree"
 	"afmm/internal/particle"
 	"afmm/internal/sched"
@@ -14,25 +15,32 @@ import (
 // Runtime executes the partitioned tree: one goroutine per virtual
 // cluster node, each running its locally essential tree through its own
 // sched.Graph. Cross-node data (multipoles, locals, ghost bodies) moves
-// over buffered channels; each incoming message is a milestone node in
-// the receiver's graph, so work that depends on remote data — remote-
-// source P2P rows, V-list translations with remote sources — waits on
-// exactly the arrival it needs while everything local proceeds. That is
-// the halo-hiding schedule: the near field's local rows execute under
-// the communication wait instead of after it.
+// as framed messages over the step's transport; each incoming message is
+// a milestone node in the receiver's graph, so work that depends on
+// remote data — remote-source P2P rows, V-list translations with remote
+// sources — waits on exactly the arrival it needs while everything local
+// proceeds. That is the halo-hiding schedule: the near field's local
+// rows execute under the communication wait instead of after it.
 //
 // Deadlock freedom: each node's pool has (milestones + 2) worker slots
 // and every graph node runs as ClassGeneral, so at most all milestones
-// can block in channel receives while two slots always remain to drain
-// compute; sends never block (one send per buffered-1 channel); and the
-// cross-node message graph is acyclic by level (see plan.go). Progress
-// then follows by induction over the global dependency DAG.
+// can block in transport receives while two slots always remain to drain
+// compute; sends never block (transport.Send is asynchronous); receives
+// are deadline-bounded with an always-available degradation path; and
+// the cross-node message graph is acyclic by level (see plan.go).
+// Progress then follows by induction over the global dependency DAG.
 type Runtime struct {
 	tree *octree.Tree
 	sys  *particle.System
 	eng  []nodeEngine
 	net  NetworkSpec
 	rec  *telemetry.Recorder
+
+	// link layer: protocol knobs plus the (possibly empty) chaos
+	// schedule and its verdict seed.
+	link     LinkConfig
+	linkSch  *fault.LinkSchedule
+	linkSeed int64
 
 	skipFar  bool
 	skipNear bool
@@ -58,6 +66,9 @@ type ExecStats struct {
 	PerNode    []NodeComm
 	TotalBytes int64
 	TotalMsgs  int64
+	// Net is the step's link-layer delivery activity (frames, retries,
+	// checksum rejects, deadline degradations, per-link RTT).
+	Net NetStats
 }
 
 // nodeCommAtomic is NodeComm with atomic fields (milestones run on
@@ -70,11 +81,13 @@ type nodeCommAtomic struct {
 
 // Step executes one distributed solve over the current tree: builds the
 // exchange plan for the given ownership, zeroes the accumulators, and
-// runs every alive node's graph to completion. On return the shared
+// runs every alive node's graph to completion over a per-step transport.
+// step indexes the run's link-fault schedule. On return the shared
 // particle accumulators hold the full (near + far) result, bit-identical
-// to the single-node solver. Dead nodes (alive[k] == false) must own no
+// to the single-node solver — under any link-fault schedule, within or
+// beyond the retry budget. Dead nodes (alive[k] == false) must own no
 // bodies under cuts — callers repartition before calling Step.
-func (rt *Runtime) Step(ownerOf func(int32) int32, alive []bool) *ExecStats {
+func (rt *Runtime) Step(ownerOf func(int32) int32, alive []bool, step int) *ExecStats {
 	t := rt.tree
 	t.BuildLists()
 	sch := t.NearField()
@@ -88,6 +101,7 @@ func (rt *Runtime) Step(ownerOf func(int32) int32, alive []bool) *ExecStats {
 		}
 	}
 
+	tp := newTransport(pl.flowIDs(), rt.link, rt.linkSch, rt.linkSeed, step)
 	comm := make([]nodeCommAtomic, p)
 	var wg sync.WaitGroup
 	for k := 0; k < p; k++ {
@@ -97,12 +111,13 @@ func (rt *Runtime) Step(ownerOf func(int32) int32, alive []bool) *ExecStats {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			rt.runNode(k, pl, sch, &comm[k])
+			rt.runNode(k, pl, sch, tp, &comm[k])
 		}(k)
 	}
 	wg.Wait()
+	tp.Close()
 
-	es := &ExecStats{PerNode: make([]NodeComm, p)}
+	es := &ExecStats{PerNode: make([]NodeComm, p), Net: tp.Stats()}
 	for k := 0; k < p; k++ {
 		nc := &es.PerNode[k]
 		nc.BytesIn = comm[k].bytesIn.Load()
@@ -115,7 +130,7 @@ func (rt *Runtime) Step(ownerOf func(int32) int32, alive []bool) *ExecStats {
 }
 
 // runNode builds and runs node k's step graph.
-func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc *nodeCommAtomic) {
+func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, tp *transport, nc *nodeCommAtomic) {
 	start := time.Now()
 	t := rt.tree
 	e := rt.eng[k]
@@ -145,10 +160,18 @@ func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc
 	pool := sched.NewPool(ms + 2)
 	g := pool.NewGraph()
 
-	recvExp := func(ch chan []complex128, cells []int32, load func(int32, []complex128)) {
+	// recvExp blocks on the flow's delivery; on deadline expiry the
+	// payload is recovered over the reliable re-request path, so the
+	// slab load below always sees the sender's original bytes — the
+	// missing-expansion recovery before the L2P join.
+	recvExp := func(f flowID, cells []int32, load func(int32, []complex128)) {
 		t0 := time.Now()
-		data := <-ch
+		pay, ok := tp.Recv(f)
+		if !ok {
+			pay = tp.Rerequest(f)
+		}
 		nc.waitNs.Add(int64(time.Since(t0)))
+		data := pay.exp
 		for i, ci := range cells {
 			load(ci, data[i*expLen:(i+1)*expLen])
 		}
@@ -167,9 +190,9 @@ func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc
 			if fk.to != k {
 				continue
 			}
-			ch, cs := pl.mpoleCh[fk], cells
+			f, cs := flowID{kind: flowMpole, from: fk.from, to: fk.to, level: fk.level}, cells
 			id := g.Node(sched.ClassGeneral, 0, int32(fk.from), func() {
-				recvExp(ch, cs, e.loadMpole)
+				recvExp(f, cs, e.loadMpole)
 			})
 			for _, ci := range cs {
 				cellMpoleMS[ci] = id
@@ -179,9 +202,9 @@ func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc
 			if fk.to != k {
 				continue
 			}
-			ch, cs := pl.localCh[fk], cells
+			f, cs := flowID{kind: flowLocal, from: fk.from, to: fk.to, level: fk.level}, cells
 			id := g.Node(sched.ClassGeneral, 0, int32(fk.from), func() {
-				recvExp(ch, cs, e.loadLocal)
+				recvExp(f, cs, e.loadLocal)
 			})
 			for _, ci := range cs {
 				cellLocalMS[ci] = id
@@ -193,15 +216,28 @@ func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc
 			if pk.to != k {
 				continue
 			}
-			ch, cs := pl.ghostCh[pk], cells
+			f, cs := flowID{kind: flowGhost, from: pk.from, to: pk.to}, cells
 			var bytes int64
 			for _, ci := range cs {
 				bytes += int64(t.Nodes[ci].Count()) * int64(rt.net.BytesPerBody)
 			}
 			ghostMS[pk.from] = g.Node(sched.ClassGeneral, 0, int32(pk.from), func() {
 				t0 := time.Now()
-				data := <-ch
+				pay, ok := tp.Recv(f)
 				nc.waitNs.Add(int64(time.Since(t0)))
+				data := pay.ghost
+				if !ok {
+					// Deadline expired: re-pack the ghost rows host-side from
+					// the shared read-only particle arrays. The bytes are the
+					// owner's bytes by construction (PR 5's row-atomic
+					// fallback discipline), so the degradation costs time,
+					// never values.
+					data = make([]ghostLeaf, len(cs))
+					for i, ci := range cs {
+						data[i] = e.packGhost(ci)
+					}
+					tp.noteGhostDegrade()
+				}
 				for i, ci := range cs {
 					e.loadGhost(ci, data[i])
 				}
@@ -247,13 +283,13 @@ func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc
 			if fk.from != k {
 				continue
 			}
-			ch, cs := pl.mpoleCh[fk], cells
+			f, cs := flowID{kind: flowMpole, from: fk.from, to: fk.to, level: fk.level}, cells
 			id := g.Node(sched.ClassGeneral, 2, int32(fk.to), func() {
 				buf := make([]complex128, len(cs)*expLen)
 				for i, ci := range cs {
 					e.packMpole(ci, buf[i*expLen:(i+1)*expLen])
 				}
-				ch <- buf
+				tp.Send(f, payload{exp: buf})
 			})
 			for _, ci := range cs {
 				g.Edge(upID[ci], id)
@@ -289,13 +325,13 @@ func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc
 			if fk.from != k {
 				continue
 			}
-			ch, cs := pl.localCh[fk], cells
+			f, cs := flowID{kind: flowLocal, from: fk.from, to: fk.to, level: fk.level}, cells
 			id := g.Node(sched.ClassGeneral, 4, int32(fk.to), func() {
 				buf := make([]complex128, len(cs)*expLen)
 				for i, ci := range cs {
 					e.packLocal(ci, buf[i*expLen:(i+1)*expLen])
 				}
-				ch <- buf
+				tp.Send(f, payload{exp: buf})
 			})
 			for _, ci := range cs {
 				g.Edge(downID[ci], id)
@@ -310,13 +346,13 @@ func (rt *Runtime) runNode(k int, pl *exchangePlan, sch *octree.NearSchedule, nc
 			if pk.from != k {
 				continue
 			}
-			ch, cs := pl.ghostCh[pk], cells
+			f, cs := flowID{kind: flowGhost, from: pk.from, to: pk.to}, cells
 			g.Node(sched.ClassGeneral, 5, int32(pk.to), func() {
 				data := make([]ghostLeaf, len(cs))
 				for i, ci := range cs {
 					data[i] = e.packGhost(ci)
 				}
-				ch <- data
+				tp.Send(f, payload{ghost: data})
 			})
 		}
 		// Near rows: local-source rows are roots (they execute under the

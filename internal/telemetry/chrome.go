@@ -79,7 +79,7 @@ func spanTID(k SpanKind, arg int32) int {
 func eventTID(k EventKind) int {
 	switch k {
 	case EventFault, EventWatchdog, EventFallback, EventCapacity,
-		EventStepFail, EventRestore, EventAnomaly:
+		EventStepFail, EventRestore, EventAnomaly, EventNetTimeout:
 		return chromeTIDFault
 	}
 	return chromeTIDBal

@@ -173,6 +173,7 @@ func TestChromeTrackMapping(t *testing.T) {
 		EventRestore:     flt,
 		EventPrecision:   bal,
 		EventAnomaly:     flt,
+		EventNetTimeout:  flt,
 	}
 	if len(eventTracks) != int(numEventKinds) {
 		t.Fatalf("track table covers %d event kinds, package has %d — extend the table",

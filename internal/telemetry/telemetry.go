@@ -289,6 +289,11 @@ const (
 	// left its rolling EWMA+MAD baseline band. B = step index, FA =
 	// observed seconds, FB = the baseline mean it was compared against.
 	EventAnomaly
+	// EventNetTimeout: a dmem flow receive exhausted its phase deadline
+	// and the step fell back to degraded recovery. A = timed-out flow
+	// count, B = step index, FA = frame retries this step, FB = recovery
+	// actions (re-requests + host-side ghost re-executions).
+	EventNetTimeout
 	numEventKinds
 )
 
@@ -311,6 +316,7 @@ var eventNames = [numEventKinds]string{
 	EventRestore:     "restore",
 	EventPrecision:   "precision",
 	EventAnomaly:     "anomaly",
+	EventNetTimeout:  "net-timeout",
 }
 
 func (k EventKind) String() string {
@@ -436,6 +442,33 @@ type StepRecord struct {
 
 	Spans  []Span  `json:"spans,omitempty"`
 	Events []Event `json:"events,omitempty"`
+
+	// Net carries the dmem link layer's delivery-protocol counters for
+	// the step (nil when the distributed runtime is not in play).
+	Net *NetSample `json:"net,omitempty"`
+}
+
+// NetSample is the per-step summary of the dmem transport: global
+// delivery-protocol counters plus per-directed-link traffic with retry
+// counts, so a net-timeout flight dump shows which links were struggling.
+type NetSample struct {
+	FramesSent     int64        `json:"frames_sent"`
+	FramesDropped  int64        `json:"frames_dropped,omitempty"`
+	Retries        int64        `json:"retries,omitempty"`
+	CorruptRejects int64        `json:"corrupt_rejects,omitempty"`
+	Timeouts       int64        `json:"timeouts,omitempty"`
+	Rerequests     int64        `json:"rerequests,omitempty"`
+	Links          []LinkSample `json:"links,omitempty"`
+}
+
+// LinkSample is one directed link's traffic within a step. RTTNs is the
+// summed ack round-trip time of its delivered frames.
+type LinkSample struct {
+	From    int   `json:"from"`
+	To      int   `json:"to"`
+	Frames  int64 `json:"frames"`
+	Retries int64 `json:"retries,omitempty"`
+	RTTNs   int64 `json:"rtt_ns,omitempty"`
 }
 
 // PhaseNs sums the record's top-level phase spans (see SpanKind.TopLevel);
@@ -628,6 +661,11 @@ func (r *Recorder) endStepLocked() {
 	snap.Devices = append([]DeviceSample(nil), r.cur.Devices...)
 	snap.WorkerBusyNs = append([]int64(nil), r.cur.WorkerBusyNs...)
 	snap.ClassBusyNs = append([]int64(nil), r.cur.ClassBusyNs...)
+	if r.cur.Net != nil {
+		n := *r.cur.Net
+		n.Links = append([]LinkSample(nil), r.cur.Net.Links...)
+		snap.Net = &n
+	}
 	r.last = snap
 	r.hasLast = true
 	if r.opts.Keep {
@@ -643,7 +681,8 @@ func (r *Recorder) endStepLocked() {
 	if r.flight != nil && r.pendingDump == "" {
 		for _, ev := range snap.Events {
 			switch ev.Kind {
-			case EventFault, EventWatchdog, EventStepFail, EventAnomaly:
+			case EventFault, EventWatchdog, EventStepFail, EventAnomaly,
+				EventNetTimeout:
 				r.pendingDump = ev.Kind.String()
 			}
 			if r.pendingDump != "" {
@@ -705,6 +744,17 @@ func (r *Recorder) EmitEvent(kind EventKind, a, b int64, fa, fb float64) {
 	r.mu.Lock()
 	r.ensureStepLocked()
 	r.cur.Events = append(r.cur.Events, Event{Kind: kind, A: a, B: b, FA: fa, FB: fb})
+	r.mu.Unlock()
+}
+
+// SetNetStats records the step's dmem link-layer summary.
+func (r *Recorder) SetNetStats(n NetSample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ensureStepLocked()
+	r.cur.Net = &n
 	r.mu.Unlock()
 }
 
